@@ -1,0 +1,76 @@
+//! Raw simulator performance: contention-solver scaling with client count
+//! and end-to-end engine event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpshare_gpusim::{
+    ClientProgram, ContentionSolver, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig,
+    SharingMode, TaskProgram,
+};
+use mpshare_gpusim::contention::Contender;
+use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
+use std::hint::black_box;
+
+fn kernel(device: &DeviceSpec, dur: f64) -> KernelSpec {
+    KernelSpec::from_launch(device, LaunchConfig::dense(216 * 8, 1024), Seconds::new(dur))
+        .with_sm_demand(Fraction::new(0.05))
+        .with_bw_demand(Fraction::new(0.02))
+        .with_host_gap(Seconds::new(dur * 0.3))
+}
+
+fn client(device: &DeviceSpec, id: u64, kernels: usize) -> ClientProgram {
+    let mut t = TaskProgram::new(TaskId::new(id), "bench", MemBytes::from_mib(128));
+    t.repeat_kernel(kernel(device, 0.1), kernels);
+    let mut c = ClientProgram::new("bench");
+    c.push_task(t);
+    c
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let solver = ContentionSolver::new(device.clone(), 0.002);
+    let mut group = c.benchmark_group("engine/contention_solver");
+    for n in [2usize, 8, 48] {
+        let kernels: Vec<KernelSpec> = (0..n).map(|_| kernel(&device, 1.0)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &kernels, |b, kernels| {
+            let contenders: Vec<Contender<'_>> = kernels
+                .iter()
+                .map(|k| Contender {
+                    kernel: k,
+                    partition: Fraction::ONE,
+                })
+                .collect();
+            b.iter(|| black_box(solver.solve(&contenders)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let mut group = c.benchmark_group("engine/full_run");
+    for clients in [1usize, 8, 48] {
+        let kernels_per_client = 50usize;
+        group.throughput(Throughput::Elements((clients * kernels_per_client) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mps_clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let programs: Vec<ClientProgram> = (0..clients)
+                        .map(|i| client(&device, i as u64, kernels_per_client))
+                        .collect();
+                    let config = EngineConfig::new(
+                        device.clone(),
+                        SharingMode::mps_uniform(clients),
+                    );
+                    black_box(Engine::new(config, programs).unwrap().run().unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_engine);
+criterion_main!(benches);

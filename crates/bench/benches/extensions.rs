@@ -1,0 +1,88 @@
+//! Benches for the extension artifacts: node scaling, the mechanism
+//! comparison, the power-cap sweep, and the online dispatcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_core::{
+    distribute_plan, workflow_profile, ArrivingWorkflow, ExecutorConfig, MetricPriority,
+    NodeExecutor, OnlineScheduler, Planner, PlannerStrategy,
+};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::{ext_mechanisms, ext_node, ext_powercap};
+use mpshare_profiler::ProfileStore;
+use mpshare_types::Seconds;
+use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+use std::hint::black_box;
+
+fn bench_experiments(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    c.bench_function("ext/mechanism_matrix", |b| {
+        b.iter(|| ext_mechanisms::rows(black_box(&device)).unwrap())
+    });
+    c.bench_function("ext/powercap_sweep", |b| {
+        b.iter(|| ext_powercap::points(black_box(&device)).unwrap())
+    });
+}
+
+fn bench_node(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let q = ext_node::queue();
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&device, &q).unwrap();
+    let profiles: Vec<_> = q
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect();
+    let plan = Planner::new(device.clone(), MetricPriority::balanced_product())
+        .plan(&profiles, PlannerStrategy::Auto)
+        .unwrap();
+
+    let mut group = c.benchmark_group("ext/node_scaling");
+    for gpus in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &gpus| {
+            let node = distribute_plan(&device, &plan, &profiles, gpus, 0.0).unwrap();
+            let exec = NodeExecutor::new(ExecutorConfig::new(device.clone()), gpus).unwrap();
+            b.iter(|| exec.run_plan(black_box(&q), black_box(&node)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let arrivals: Vec<ArrivingWorkflow> = (0..8)
+        .map(|i| ArrivingWorkflow {
+            spec: WorkflowSpec::uniform(
+                if i % 2 == 0 {
+                    BenchmarkKind::Kripke
+                } else {
+                    BenchmarkKind::AthenaPk
+                },
+                ProblemSize::X1,
+                10,
+            ),
+            arrival: Seconds::new(i as f64 * 5.0),
+        })
+        .collect();
+    let mut store = ProfileStore::new();
+    let specs: Vec<WorkflowSpec> = arrivals.iter().map(|a| a.spec.clone()).collect();
+    store.profile_workflows(&device, &specs).unwrap();
+    let scheduler = OnlineScheduler::new(
+        ExecutorConfig::new(device.clone()),
+        Planner::new(device, MetricPriority::balanced_product()),
+        PlannerStrategy::Auto,
+    );
+    c.bench_function("ext/online_dispatch", |b| {
+        b.iter(|| scheduler.run(black_box(&arrivals), black_box(&store)).unwrap())
+    });
+    c.bench_function("ext/online_fifo_baseline", |b| {
+        b.iter(|| scheduler.run_fifo(black_box(&arrivals), black_box(&store)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench_experiments, bench_node, bench_online
+}
+criterion_main!(benches);

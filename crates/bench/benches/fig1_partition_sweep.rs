@@ -1,0 +1,44 @@
+//! Regenerates the paper's Figure 1 (throughput vs. MPS partition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::{ClientProgram, DeviceSpec};
+use mpshare_harness::experiments::fig1;
+use mpshare_mps::{GpuRunner, GpuSharing};
+use mpshare_types::{Fraction, TaskId};
+use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+
+    c.bench_function("fig1/full_sweep", |b| {
+        b.iter(|| fig1::points(black_box(&device)).unwrap())
+    });
+
+    // One series (Kripke 1x across ten partitions).
+    let model = benchmark(BenchmarkKind::Kripke);
+    let task = build_task(&device, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+    let runner = GpuRunner::new(device.clone());
+    c.bench_function("fig1/kripke_1x_series", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for pct in (10..=100).step_by(10) {
+                let mut p = ClientProgram::new("k");
+                p.push_task(task.clone());
+                let sharing = GpuSharing::Mps {
+                    partitions: vec![Fraction::new(pct as f64 / 100.0)],
+                };
+                total += runner.run(&sharing, vec![p]).unwrap().makespan.value();
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

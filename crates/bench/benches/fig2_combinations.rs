@@ -1,0 +1,30 @@
+//! Regenerates the paper's Figure 2 / Table III combination runs.
+//!
+//! Benches the cheap combinations individually (1 and 9); `fig2/all_combos`
+//! regenerates the entire figure and is the slowest target in the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::combos;
+use mpshare_workloads::table3_combinations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let all = table3_combinations();
+
+    for idx in [0usize, 8] {
+        let combo = all[idx].clone();
+        c.bench_function(&format!("fig2/combination_{}", combo.number), |b| {
+            b.iter(|| combos::run_combination(black_box(&device), black_box(&combo)).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Figure 3 (SW power-capping time) on the hot
+//! combination (10: MHD 4x + LAMMPS 4x pairs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::combos;
+use mpshare_workloads::table3_combinations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let combo = table3_combinations().into_iter().nth(9).unwrap();
+
+    c.bench_function("fig3/hot_combination_capping", |b| {
+        b.iter(|| {
+            let r = combos::run_combination(black_box(&device), black_box(&combo)).unwrap();
+            assert!(r.mps.capped_fraction > 0.0);
+            black_box(r)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

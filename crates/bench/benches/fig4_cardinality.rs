@@ -1,0 +1,30 @@
+//! Regenerates the paper's Figure 4 (cardinality sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::fig4;
+use mpshare_workloads::BenchmarkKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+
+    for clients in [2usize, 8, 24] {
+        c.bench_function(&format!("fig4/athena_2x{clients}"), |b| {
+            b.iter(|| {
+                fig4::run_config(black_box(&device), BenchmarkKind::AthenaPk, 2, clients).unwrap()
+            })
+        });
+    }
+    c.bench_function("fig4/lammps_2x8", |b| {
+        b.iter(|| fig4::run_config(black_box(&device), BenchmarkKind::Lammps, 2, 8).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

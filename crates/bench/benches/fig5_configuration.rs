@@ -1,0 +1,28 @@
+//! Regenerates the paper's Figure 5 (scheduling configuration at constant
+//! total work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::fig5;
+use mpshare_workloads::BenchmarkKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+
+    for (s, p) in fig5::CONFIGS {
+        c.bench_function(&format!("fig5/athena_{s}x{p}"), |b| {
+            b.iter(|| {
+                fig5::run_config(black_box(&device), BenchmarkKind::AthenaPk, s, p).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

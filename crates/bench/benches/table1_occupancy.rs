@@ -1,0 +1,42 @@
+//! Regenerates the paper's Table I (warp occupancy per benchmark) and
+//! measures the cost of the occupancy-profiling pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::{occupancy, DeviceSpec};
+use mpshare_harness::experiments::table1;
+use mpshare_workloads::{all_benchmarks, build_task, ProblemSize};
+use mpshare_types::TaskId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+
+    c.bench_function("table1/full_regeneration", |b| {
+        b.iter(|| table1::rows(black_box(&device)).unwrap())
+    });
+
+    // The occupancy calculator itself (per kernel-launch analysis).
+    let tasks: Vec<_> = all_benchmarks()
+        .iter()
+        .map(|m| build_task(&device, m, ProblemSize::X1, TaskId::new(0)).unwrap())
+        .collect();
+    c.bench_function("table1/occupancy_calculator", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in &tasks {
+                for k in &t.kernels {
+                    acc += occupancy::report(&device, &k.launch).achieved.value();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table II (utilization statistics at 1x/4x).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpshare_bench::experiment_criterion;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments::table2;
+use mpshare_profiler::profile_task;
+use mpshare_types::TaskId;
+use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+
+    c.bench_function("table2/full_regeneration", |b| {
+        b.iter(|| table2::rows(black_box(&device)).unwrap())
+    });
+
+    // One profiling run (Kripke 1x) — the unit cost of the offline pass.
+    let model = benchmark(BenchmarkKind::Kripke);
+    let task = build_task(&device, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+    c.bench_function("table2/single_profile", |b| {
+        b.iter(|| profile_task(black_box(&device), black_box(&task)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = experiment_criterion();
+    targets = bench
+}
+criterion_main!(benches);

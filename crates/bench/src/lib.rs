@@ -1,0 +1,26 @@
+//! Shared helpers for the criterion benchmark suite.
+//!
+//! Every paper table and figure has a bench target that regenerates it
+//! (and measures how long the regeneration takes); `ablations` additionally
+//! quantifies the design choices called out in DESIGN.md, and
+//! `engine_performance` measures the raw simulator.
+
+use criterion::Criterion;
+
+/// Criterion configuration shared by experiment-regeneration benches:
+/// these run whole simulations per iteration, so small sample counts keep
+/// `cargo bench` turnaround sane.
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn config_builds() {
+        let _ = super::experiment_criterion();
+    }
+}

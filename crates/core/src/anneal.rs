@@ -1,0 +1,283 @@
+//! Simulated-annealing refinement of schedule plans.
+//!
+//! The greedy and best-fit planners build plans constructively; annealing
+//! *searches* the neighborhood of a seed plan with random move/swap
+//! perturbations, accepting uphill moves with decaying probability. The
+//! score is the analytic estimator under the planner's metric priority, so
+//! a full anneal costs microseconds, not simulations.
+//!
+//! Moves preserve the hard constraints (memory capacity, client limit);
+//! the soft 100 %-sum interference rule is left to the score, which
+//! already prices contention.
+
+use crate::planner::{PlanGroup, Planner, SchedulePlan};
+use crate::wprofile::WorkflowProfile;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::MemBytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    pub iterations: u32,
+    pub seed: u64,
+    /// Initial temperature as a fraction of the seed plan's score.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 2_000,
+            seed: 0x6d70_7368,
+            initial_temperature: 0.05,
+            cooling: 0.998,
+        }
+    }
+}
+
+/// Internal group representation during the search: index sets only;
+/// partitions are re-derived at the end.
+#[derive(Debug, Clone)]
+struct State {
+    groups: Vec<Vec<usize>>,
+}
+
+impl State {
+    fn from_plan(plan: &SchedulePlan) -> State {
+        State {
+            groups: plan
+                .groups
+                .iter()
+                .map(|g| g.workflow_indices.clone())
+                .collect(),
+        }
+    }
+
+    fn group_memory(&self, g: usize, profiles: &[WorkflowProfile]) -> MemBytes {
+        self.groups[g].iter().map(|&i| profiles[i].max_memory).sum()
+    }
+}
+
+/// Refines `seed_plan` by simulated annealing; returns a plan scoring at
+/// least as well (the best state ever visited is kept).
+pub fn anneal(
+    planner: &Planner,
+    device: &DeviceSpec,
+    profiles: &[WorkflowProfile],
+    seed_plan: &SchedulePlan,
+    config: AnnealConfig,
+) -> SchedulePlan {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let materialize = |state: &State| -> SchedulePlan {
+        let groups = state
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|members| {
+                let member_profiles: Vec<&WorkflowProfile> =
+                    members.iter().map(|&i| &profiles[i]).collect();
+                PlanGroup {
+                    workflow_indices: members.clone(),
+                    partitions: planner.partition_strategy().partitions(&member_profiles),
+                }
+            })
+            .collect();
+        SchedulePlan { groups }
+    };
+
+    let mut current = State::from_plan(seed_plan);
+    let mut current_score = planner.score_plan(&materialize(&current), profiles);
+    let mut best = current.clone();
+    let mut best_score = current_score;
+    let mut temperature = (config.initial_temperature * current_score).max(1e-6);
+
+    for _ in 0..config.iterations {
+        let mut candidate = current.clone();
+        if !propose_move(&mut candidate, profiles, device, &mut rng) {
+            temperature *= config.cooling;
+            continue;
+        }
+        let score = planner.score_plan(&materialize(&candidate), profiles);
+        let delta = score - current_score;
+        let accept = delta >= 0.0 || rng.random::<f64>() < (delta / temperature).exp();
+        if accept {
+            current = candidate;
+            current_score = score;
+            if score > best_score {
+                best = current.clone();
+                best_score = score;
+            }
+        }
+        temperature *= config.cooling;
+    }
+    materialize(&best)
+}
+
+/// Applies one random move or swap; returns false when the proposal was
+/// infeasible or a no-op.
+fn propose_move(
+    state: &mut State,
+    profiles: &[WorkflowProfile],
+    device: &DeviceSpec,
+    rng: &mut StdRng,
+) -> bool {
+    let non_empty: Vec<usize> = (0..state.groups.len())
+        .filter(|&g| !state.groups[g].is_empty())
+        .collect();
+    if non_empty.is_empty() {
+        return false;
+    }
+    if rng.random::<f64>() < 0.5 {
+        // Move one workflow to another group (possibly a fresh one).
+        let from = non_empty[rng.random_range(0..non_empty.len())];
+        let pos = rng.random_range(0..state.groups[from].len());
+        let workflow = state.groups[from][pos];
+        // Destination: an existing group or a new singleton.
+        let make_new = rng.random_range(0..=state.groups.len());
+        if make_new == state.groups.len() {
+            if state.groups[from].len() == 1 {
+                return false; // singleton to singleton: no-op
+            }
+            state.groups[from].swap_remove(pos);
+            state.groups.push(vec![workflow]);
+            return true;
+        }
+        let to = make_new;
+        if to == from {
+            return false;
+        }
+        if state.groups[to].len() + 1 > device.max_mps_clients {
+            return false;
+        }
+        let new_mem = state.group_memory(to, profiles) + profiles[workflow].max_memory;
+        if new_mem > device.memory_capacity {
+            return false;
+        }
+        state.groups[from].swap_remove(pos);
+        state.groups[to].push(workflow);
+        true
+    } else {
+        // Swap two workflows between different groups.
+        if non_empty.len() < 2 {
+            return false;
+        }
+        let ga = non_empty[rng.random_range(0..non_empty.len())];
+        let gb = non_empty[rng.random_range(0..non_empty.len())];
+        if ga == gb {
+            return false;
+        }
+        let pa = rng.random_range(0..state.groups[ga].len());
+        let pb = rng.random_range(0..state.groups[gb].len());
+        let (wa, wb) = (state.groups[ga][pa], state.groups[gb][pb]);
+        let mem_a = state
+            .group_memory(ga, profiles)
+            .saturating_sub(profiles[wa].max_memory)
+            + profiles[wb].max_memory;
+        let mem_b = state
+            .group_memory(gb, profiles)
+            .saturating_sub(profiles[wb].max_memory)
+            + profiles[wa].max_memory;
+        if mem_a > device.memory_capacity || mem_b > device.memory_capacity {
+            return false;
+        }
+        state.groups[ga][pa] = wb;
+        state.groups[gb][pb] = wa;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerStrategy;
+    use crate::policy::MetricPriority;
+    use mpshare_types::{Energy, Fraction, Percent, Power, Seconds};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn profile(sm: f64, duration: f64, mem_gib: u64) -> WorkflowProfile {
+        let power = 75.0 + 1.75 * sm;
+        WorkflowProfile {
+            label: format!("wf(sm={sm})"),
+            task_count: 2,
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::new(2.0),
+            max_memory: MemBytes::from_gib(mem_gib),
+            duration: Seconds::new(duration),
+            energy: Energy::from_joules(power * duration),
+            avg_power: Power::from_watts(power),
+            busy_fraction: 0.8,
+            saturation_partition: Fraction::new(0.9),
+        }
+    }
+
+    fn queue() -> Vec<WorkflowProfile> {
+        vec![
+            profile(10.0, 50.0, 2),
+            profile(25.0, 40.0, 4),
+            profile(45.0, 80.0, 8),
+            profile(60.0, 30.0, 8),
+            profile(70.0, 90.0, 16),
+            profile(15.0, 20.0, 2),
+        ]
+    }
+
+    #[test]
+    fn anneal_never_worsens_the_seed_plan() {
+        let d = dev();
+        let profiles = queue();
+        let planner = Planner::new(d.clone(), MetricPriority::balanced_product());
+        let seed = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let refined = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
+        refined.validate(&d, &profiles).unwrap();
+        let before = planner.score_plan(&seed, &profiles);
+        let after = planner.score_plan(&refined, &profiles);
+        assert!(after >= before - 1e-12, "anneal worsened: {before} -> {after}");
+    }
+
+    #[test]
+    fn anneal_approaches_exhaustive_quality() {
+        let d = dev();
+        let profiles = queue();
+        let planner = Planner::new(d.clone(), MetricPriority::balanced_product());
+        let seed = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let refined = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
+        let optimal = planner.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        let refined_score = planner.score_plan(&refined, &profiles);
+        let optimal_score = planner.score_plan(&optimal, &profiles);
+        assert!(
+            refined_score >= 0.95 * optimal_score,
+            "anneal {refined_score} far from optimal {optimal_score}"
+        );
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let d = dev();
+        let profiles = queue();
+        let planner = Planner::new(d.clone(), MetricPriority::Energy);
+        let seed = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let a = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
+        let b = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anneal_respects_memory_in_every_visited_state() {
+        // Two 60 GiB profiles can never share: whatever the search does,
+        // the result must keep them apart.
+        let d = dev();
+        let profiles = vec![profile(10.0, 50.0, 60), profile(15.0, 40.0, 60)];
+        let planner = Planner::new(d.clone(), MetricPriority::Energy);
+        let seed = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let refined = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
+        refined.validate(&d, &profiles).unwrap();
+        assert_eq!(refined.groups.len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Baseline schedulers for ablation.
+//!
+//! * [`fifo_plan`] — naive MPS packing: groups are formed in queue order up
+//!   to a fixed cardinality, ignoring profiles entirely. This is "just use
+//!   MPS" without interference awareness — the comparator that shows why
+//!   the paper's profile-driven grouping matters.
+//! * [`single_group_plan`] — everything in one concurrent group with
+//!   default partitions (maximum oversubscription).
+
+use crate::planner::{PlanGroup, SchedulePlan};
+use crate::wprofile::WorkflowProfile;
+use mpshare_types::Fraction;
+
+/// Groups workflows in queue order, `cap` at a time, with default (100 %)
+/// partitions. No interference prediction, no right-sizing.
+pub fn fifo_plan(n_workflows: usize, cap: usize) -> SchedulePlan {
+    let cap = cap.max(1);
+    let groups = (0..n_workflows)
+        .collect::<Vec<_>>()
+        .chunks(cap)
+        .map(|chunk| PlanGroup {
+            workflow_indices: chunk.to_vec(),
+            partitions: vec![Fraction::ONE; chunk.len()],
+        })
+        .collect();
+    SchedulePlan { groups }
+}
+
+/// Everything in one MPS group with default partitions.
+pub fn single_group_plan(n_workflows: usize) -> SchedulePlan {
+    fifo_plan(n_workflows, n_workflows.max(1))
+}
+
+/// Sorts workflow indices by ascending average SM utilization — the
+/// paper's "schedule lowest-utilization workflows first" recommendation,
+/// usable as an ordering pass before FIFO packing in ablations.
+pub fn lowest_utilization_order(profiles: &[WorkflowProfile]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    order.sort_by(|&a, &b| {
+        profiles[a]
+            .avg_sm_util
+            .value()
+            .partial_cmp(&profiles[b].avg_sm_util.value())
+            .expect("finite utilizations")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_types::{Energy, MemBytes, Percent, Power, Seconds};
+
+    #[test]
+    fn fifo_groups_in_queue_order() {
+        let plan = fifo_plan(5, 2);
+        assert_eq!(plan.groups.len(), 3);
+        assert_eq!(plan.groups[0].workflow_indices, vec![0, 1]);
+        assert_eq!(plan.groups[1].workflow_indices, vec![2, 3]);
+        assert_eq!(plan.groups[2].workflow_indices, vec![4]);
+        assert_eq!(plan.workflow_count(), 5);
+    }
+
+    #[test]
+    fn fifo_partitions_are_uniform_full() {
+        let plan = fifo_plan(3, 3);
+        for g in &plan.groups {
+            assert!(g.partitions.iter().all(|p| *p == Fraction::ONE));
+        }
+    }
+
+    #[test]
+    fn single_group_holds_everything() {
+        let plan = single_group_plan(7);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.max_cardinality(), 7);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped() {
+        let plan = fifo_plan(2, 0);
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn lowest_utilization_order_sorts_ascending() {
+        let mk = |sm: f64| WorkflowProfile {
+            label: "w".into(),
+            task_count: 1,
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::ZERO,
+            max_memory: MemBytes::ZERO,
+            duration: Seconds::new(1.0),
+            energy: Energy::from_joules(100.0),
+            avg_power: Power::from_watts(100.0),
+            busy_fraction: 0.5,
+            saturation_partition: mpshare_types::Fraction::new(0.9),
+        };
+        let profiles = vec![mk(50.0), mk(10.0), mk(30.0)];
+        assert_eq!(lowest_utilization_order(&profiles), vec![1, 2, 0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Dependency-aware planning.
+//!
+//! The paper's §IV-B: "an entire queue of workflow tasks as well as data
+//! dependencies between them is known before workflow execution". Within a
+//! workflow, dependencies are the task order (handled by the engine);
+//! *between* workflows, a dependency means one workflow consumes another's
+//! output and must not start before it completes.
+//!
+//! [`plan_with_dependencies`] partitions the queue into topological levels
+//! (workflows whose prerequisites are all in earlier levels), plans each
+//! level independently with the configured strategy, and concatenates the
+//! groups in level order — so no group ever collocates, or reorders, a
+//! dependent pair.
+
+use crate::planner::{Planner, PlannerStrategy, SchedulePlan};
+use crate::wprofile::WorkflowProfile;
+use mpshare_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A dependency edge: `after` must not start before `before` completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependency {
+    pub before: usize,
+    pub after: usize,
+}
+
+impl Dependency {
+    pub fn new(before: usize, after: usize) -> Self {
+        Dependency { before, after }
+    }
+}
+
+/// Splits workflow indices into topological levels (Kahn's algorithm).
+/// Errors on cycles or out-of-range indices.
+pub fn topological_levels(n: usize, deps: &[Dependency]) -> Result<Vec<Vec<usize>>> {
+    for d in deps {
+        if d.before >= n || d.after >= n {
+            return Err(Error::InvalidConfig(format!(
+                "dependency {} -> {} out of range (queue of {n})",
+                d.before, d.after
+            )));
+        }
+        if d.before == d.after {
+            return Err(Error::InvalidConfig(format!(
+                "workflow {} depends on itself",
+                d.before
+            )));
+        }
+    }
+    let mut indegree = vec![0usize; n];
+    for d in deps {
+        indegree[d.after] += 1;
+    }
+    let mut placed = 0usize;
+    let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut levels = Vec::new();
+    while !frontier.is_empty() {
+        frontier.sort_unstable();
+        placed += frontier.len();
+        let mut next = Vec::new();
+        for &done in &frontier {
+            for d in deps.iter().filter(|d| d.before == done) {
+                indegree[d.after] -= 1;
+                if indegree[d.after] == 0 {
+                    next.push(d.after);
+                }
+            }
+        }
+        levels.push(std::mem::take(&mut frontier));
+        frontier = next;
+    }
+    if placed != n {
+        return Err(Error::InvalidConfig(
+            "dependency graph contains a cycle".into(),
+        ));
+    }
+    Ok(levels)
+}
+
+/// Plans a queue with inter-workflow dependencies: each topological level
+/// is planned independently; the resulting groups run in level order.
+pub fn plan_with_dependencies(
+    planner: &Planner,
+    profiles: &[WorkflowProfile],
+    deps: &[Dependency],
+    strategy: PlannerStrategy,
+) -> Result<SchedulePlan> {
+    let levels = topological_levels(profiles.len(), deps)?;
+    let mut groups = Vec::new();
+    for level in levels {
+        let level_profiles: Vec<WorkflowProfile> =
+            level.iter().map(|&i| profiles[i].clone()).collect();
+        let level_plan = planner.plan(&level_profiles, strategy)?;
+        for g in level_plan.groups {
+            groups.push(crate::planner::PlanGroup {
+                workflow_indices: g
+                    .workflow_indices
+                    .iter()
+                    .map(|&local| level[local])
+                    .collect(),
+                partitions: g.partitions,
+            });
+        }
+    }
+    Ok(SchedulePlan { groups })
+}
+
+/// Checks that a plan respects every dependency: for each edge, the group
+/// containing `before` comes strictly earlier than the group containing
+/// `after`, and they never share a group.
+pub fn validate_dependencies(plan: &SchedulePlan, deps: &[Dependency]) -> Result<()> {
+    let group_of = |workflow: usize| -> Option<usize> {
+        plan.groups
+            .iter()
+            .position(|g| g.workflow_indices.contains(&workflow))
+    };
+    for d in deps {
+        let (gb, ga) = match (group_of(d.before), group_of(d.after)) {
+            (Some(b), Some(a)) => (b, a),
+            _ => {
+                return Err(Error::PlanViolation(format!(
+                    "dependency {} -> {} references unscheduled workflows",
+                    d.before, d.after
+                )))
+            }
+        };
+        if gb >= ga {
+            return Err(Error::PlanViolation(format!(
+                "dependency violated: workflow {} (group {gb}) must precede workflow {} (group {ga})",
+                d.before, d.after
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MetricPriority;
+    use mpshare_gpusim::DeviceSpec;
+    use mpshare_types::{Energy, Fraction, MemBytes, Percent, Power, Seconds};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn profile(sm: f64) -> WorkflowProfile {
+        let power = 75.0 + 1.75 * sm;
+        WorkflowProfile {
+            label: format!("wf(sm={sm})"),
+            task_count: 1,
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::new(1.0),
+            max_memory: MemBytes::from_gib(2),
+            duration: Seconds::new(10.0),
+            energy: Energy::from_joules(power * 10.0),
+            avg_power: Power::from_watts(power),
+            busy_fraction: 0.7,
+            saturation_partition: Fraction::new(0.9),
+        }
+    }
+
+    #[test]
+    fn levels_respect_edges() {
+        // 0 -> 2, 1 -> 2, 2 -> 3.
+        let deps = vec![
+            Dependency::new(0, 2),
+            Dependency::new(1, 2),
+            Dependency::new(2, 3),
+        ];
+        let levels = topological_levels(4, &deps).unwrap();
+        assert_eq!(levels, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn cycles_and_bad_indices_are_rejected() {
+        assert!(topological_levels(2, &[Dependency::new(0, 1), Dependency::new(1, 0)]).is_err());
+        assert!(topological_levels(2, &[Dependency::new(0, 5)]).is_err());
+        assert!(topological_levels(2, &[Dependency::new(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn independent_queue_reduces_to_plain_planning() {
+        let profiles: Vec<WorkflowProfile> = (0..4).map(|i| profile(10.0 + i as f64)).collect();
+        let planner = Planner::new(dev(), MetricPriority::Energy);
+        let with = plan_with_dependencies(&planner, &profiles, &[], PlannerStrategy::Greedy)
+            .unwrap();
+        let without = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        assert_eq!(with.workflow_count(), without.workflow_count());
+        assert_eq!(with.max_cardinality(), without.max_cardinality());
+    }
+
+    #[test]
+    fn dependent_workflows_never_share_a_group() {
+        // Two light workflows that WOULD pair — unless one feeds the other.
+        let profiles = vec![profile(10.0), profile(12.0)];
+        let deps = vec![Dependency::new(0, 1)];
+        let planner = Planner::new(dev(), MetricPriority::Energy);
+        let plan =
+            plan_with_dependencies(&planner, &profiles, &deps, PlannerStrategy::Greedy).unwrap();
+        assert_eq!(plan.groups.len(), 2);
+        validate_dependencies(&plan, &deps).unwrap();
+        plan.validate(&dev(), &profiles).unwrap();
+
+        // Without the dependency they do pair.
+        let free = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        assert_eq!(free.groups.len(), 1);
+    }
+
+    #[test]
+    fn diamond_dependency_plans_in_three_levels() {
+        // 0 -> {1, 2} -> 3; 1 and 2 are independent and can collocate.
+        let profiles = vec![profile(10.0), profile(15.0), profile(20.0), profile(12.0)];
+        let deps = vec![
+            Dependency::new(0, 1),
+            Dependency::new(0, 2),
+            Dependency::new(1, 3),
+            Dependency::new(2, 3),
+        ];
+        let planner = Planner::new(dev(), MetricPriority::Energy);
+        let plan =
+            plan_with_dependencies(&planner, &profiles, &deps, PlannerStrategy::Greedy).unwrap();
+        validate_dependencies(&plan, &deps).unwrap();
+        // Level {1, 2} collocates into one group: 3 groups total.
+        assert_eq!(plan.groups.len(), 3);
+        assert!(plan
+            .groups
+            .iter()
+            .any(|g| g.workflow_indices.contains(&1) && g.workflow_indices.contains(&2)));
+    }
+
+    #[test]
+    fn validator_rejects_reordered_plans() {
+        let profiles = vec![profile(10.0), profile(12.0)];
+        let deps = vec![Dependency::new(0, 1)];
+        let planner = Planner::new(dev(), MetricPriority::Energy);
+        let mut plan =
+            plan_with_dependencies(&planner, &profiles, &deps, PlannerStrategy::Greedy).unwrap();
+        plan.groups.reverse();
+        assert!(validate_dependencies(&plan, &deps).is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! Plan execution and evaluation on the simulator.
+//!
+//! The executor materializes workflow specs into client programs, runs
+//! them under a schedule plan (MPS groups, one after another), under
+//! time-slicing, or sequentially, and computes the paper's relative
+//! metrics (§IV-C) from the raw outcomes.
+
+use crate::metrics::Metrics;
+use crate::planner::SchedulePlan;
+use mpshare_gpusim::{DeviceSpec, RunResult};
+use mpshare_mps::{GpuRunner, GpuSharing, TimeSliceConfig};
+use mpshare_types::{Energy, IdAllocator, Percent, Power, Result, Seconds};
+use mpshare_workloads::WorkflowSpec;
+use serde::{Deserialize, Serialize};
+
+/// Default device-level per-co-runner MPS sharing overhead. The dominant
+/// co-runner costs are modeled per workload (each kernel's
+/// `client_sensitivity` — launch-path and scheduler contention under MPS);
+/// this residual covers what is workload-independent. Ablation benches
+/// sweep it.
+pub const DEFAULT_MPS_OVERHEAD: f64 = 0.002;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    pub device: DeviceSpec,
+    /// Per-co-runner MPS overhead (see [`DEFAULT_MPS_OVERHEAD`]).
+    pub sharing_overhead: f64,
+    /// Time-slicing parameters for the time-sliced comparison runs.
+    pub timeslice: TimeSliceConfig,
+    /// Device the workloads were profiled/calibrated on, when different
+    /// from the execution device (heterogeneous nodes). Programs are built
+    /// against this device and carry it as their reference, so executing
+    /// on `device` rescales demands and speeds.
+    pub calibration_device: Option<DeviceSpec>,
+}
+
+impl ExecutorConfig {
+    pub fn new(device: DeviceSpec) -> Self {
+        ExecutorConfig {
+            device,
+            sharing_overhead: DEFAULT_MPS_OVERHEAD,
+            timeslice: TimeSliceConfig::driver_default(),
+            calibration_device: None,
+        }
+    }
+
+    pub fn with_sharing_overhead(mut self, o: f64) -> Self {
+        self.sharing_overhead = o;
+        self
+    }
+
+    /// Sets the calibration (profiling) device for heterogeneous nodes.
+    pub fn with_calibration_device(mut self, device: DeviceSpec) -> Self {
+        self.calibration_device = Some(device);
+        self
+    }
+
+    /// The device programs are built against.
+    pub fn build_device(&self) -> &DeviceSpec {
+        self.calibration_device.as_ref().unwrap_or(&self.device)
+    }
+}
+
+/// Raw outcome of one scheduling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    pub makespan: Seconds,
+    pub energy: Energy,
+    pub capped_fraction: f64,
+    pub tasks: usize,
+    pub avg_power: Power,
+    pub avg_sm_util: Percent,
+}
+
+impl RunOutcome {
+    fn from_result(r: &RunResult) -> Self {
+        RunOutcome {
+            makespan: r.makespan,
+            energy: r.total_energy,
+            capped_fraction: r.telemetry.capped_fraction(),
+            tasks: r.tasks_completed,
+            avg_power: r.telemetry.avg_power(),
+            avg_sm_util: r.telemetry.avg_sm_util(),
+        }
+    }
+
+    /// Combines sequential phases (groups run back to back): times and
+    /// energies add; fractions weight by time.
+    fn chain(outcomes: &[RunOutcome]) -> RunOutcome {
+        let total_time: f64 = outcomes.iter().map(|o| o.makespan.value()).sum();
+        let energy: f64 = outcomes.iter().map(|o| o.energy.joules()).sum();
+        let capped: f64 = outcomes
+            .iter()
+            .map(|o| o.capped_fraction * o.makespan.value())
+            .sum();
+        let sm: f64 = outcomes
+            .iter()
+            .map(|o| o.avg_sm_util.value() * o.makespan.value())
+            .sum();
+        let tasks = outcomes.iter().map(|o| o.tasks).sum();
+        RunOutcome {
+            makespan: Seconds::new(total_time),
+            energy: Energy::from_joules(energy),
+            capped_fraction: if total_time > 0.0 { capped / total_time } else { 0.0 },
+            tasks,
+            avg_power: if total_time > 0.0 {
+                Power::from_watts(energy / total_time)
+            } else {
+                Power::ZERO
+            },
+            avg_sm_util: Percent::clamped(if total_time > 0.0 { sm / total_time } else { 0.0 }),
+        }
+    }
+}
+
+/// Per-workflow latency under a shared schedule.
+///
+/// The paper's §VI caveat: "if the latency of any individual workflow is
+/// most important then one should carefully evaluate the cost and benefit
+/// of concurrent execution" — these numbers are that evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowLatency {
+    /// Index into the evaluated queue.
+    pub workflow: usize,
+    /// Completion time measured from the start of the whole schedule.
+    pub turnaround: Seconds,
+    /// The workflow's solo wall-clock time (exclusive GPU).
+    pub solo: Seconds,
+}
+
+impl WorkflowLatency {
+    /// Normalized turnaround: how many times its solo duration the
+    /// workflow waited+ran under the shared schedule.
+    pub fn slowdown(&self) -> f64 {
+        if self.solo.value() > 0.0 {
+            self.turnaround.value() / self.solo.value()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Full evaluation of a shared configuration against the sequential
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    pub shared: RunOutcome,
+    pub sequential: RunOutcome,
+    pub metrics: Metrics,
+    /// Per-workflow latency under the shared plan (empty when the report
+    /// was built from raw outcomes rather than a plan).
+    pub latencies: Vec<WorkflowLatency>,
+}
+
+impl EvaluationReport {
+    /// Worst per-workflow slowdown (1.0 when no latencies recorded).
+    pub fn max_slowdown(&self) -> f64 {
+        self.latencies
+            .iter()
+            .map(WorkflowLatency::slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Mean per-workflow slowdown (1.0 when no latencies recorded).
+    pub fn mean_slowdown(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 1.0;
+        }
+        self.latencies
+            .iter()
+            .map(WorkflowLatency::slowdown)
+            .sum::<f64>()
+            / self.latencies.len() as f64
+    }
+}
+
+/// Runs workflow queues under schedule plans and baselines.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    config: ExecutorConfig,
+}
+
+impl Executor {
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor { config }
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.config.device
+    }
+
+    fn runner(&self) -> GpuRunner {
+        GpuRunner::new(self.config.device.clone())
+            .with_sharing_overhead(self.config.sharing_overhead)
+    }
+
+    fn materialize(&self, workflows: &[WorkflowSpec]) -> Result<Vec<mpshare_gpusim::ClientProgram>> {
+        let mut ids = IdAllocator::new();
+        workflows
+            .iter()
+            .map(|w| w.to_client_program(self.config.build_device(), &mut ids))
+            .collect()
+    }
+
+    /// Sequential baseline: all workflows one after another, queue order.
+    pub fn run_sequential(&self, workflows: &[WorkflowSpec]) -> Result<RunOutcome> {
+        let programs = self.materialize(workflows)?;
+        let result = self.runner().run(&GpuSharing::Sequential, programs)?;
+        Ok(RunOutcome::from_result(&result))
+    }
+
+    /// Time-sliced sharing of the whole queue (the paper's non-MPS
+    /// comparison point).
+    pub fn run_timesliced(&self, workflows: &[WorkflowSpec]) -> Result<RunOutcome> {
+        let programs = self.materialize(workflows)?;
+        let result = self
+            .runner()
+            .run(&GpuSharing::TimeSliced(self.config.timeslice), programs)?;
+        Ok(RunOutcome::from_result(&result))
+    }
+
+    /// Naive MPS: the whole queue as one concurrent group with default
+    /// (100 %) partitions — what a user gets by just starting the MPS
+    /// daemon without a scheduler.
+    pub fn run_mps_naive(&self, workflows: &[WorkflowSpec]) -> Result<RunOutcome> {
+        let programs = self.materialize(workflows)?;
+        let n = programs.len();
+        let result = self.runner().run(&GpuSharing::mps_default(n), programs)?;
+        Ok(RunOutcome::from_result(&result))
+    }
+
+    /// Runs one plan group and returns the raw engine result (for trace
+    /// export and detailed inspection).
+    pub fn run_group_raw(
+        &self,
+        workflows: &[WorkflowSpec],
+        group: &crate::planner::PlanGroup,
+        ids: &mut IdAllocator,
+    ) -> Result<mpshare_gpusim::RunResult> {
+        let programs = group
+            .workflow_indices
+            .iter()
+            .map(|&i| workflows[i].to_client_program(self.config.build_device(), ids))
+            .collect::<Result<Vec<_>>>()?;
+        let sharing = GpuSharing::Mps {
+            partitions: group.partitions.clone(),
+        };
+        self.runner().run(&sharing, programs)
+    }
+
+    /// Runs a schedule plan: each group concurrently under MPS with its
+    /// partitions, groups back to back.
+    pub fn run_plan(
+        &self,
+        workflows: &[WorkflowSpec],
+        plan: &SchedulePlan,
+    ) -> Result<RunOutcome> {
+        Ok(self.run_plan_with_latencies(workflows, plan)?.0)
+    }
+
+    /// Like [`Executor::run_plan`], additionally returning per-workflow
+    /// turnaround latencies (schedule start → workflow completion).
+    pub fn run_plan_with_latencies(
+        &self,
+        workflows: &[WorkflowSpec],
+        plan: &SchedulePlan,
+    ) -> Result<(RunOutcome, Vec<WorkflowLatency>)> {
+        let mut outcomes = Vec::with_capacity(plan.groups.len());
+        let mut latencies = Vec::new();
+        let mut ids = IdAllocator::new();
+        let mut offset = Seconds::ZERO;
+        for group in &plan.groups {
+            let result = self.run_group_raw(workflows, group, &mut ids)?;
+            for (&workflow, client) in group.workflow_indices.iter().zip(&result.clients) {
+                let solo = workflows[workflow]
+                    .to_client_program(self.config.build_device(), &mut ids)?
+                    .solo_wall_time();
+                latencies.push(WorkflowLatency {
+                    workflow,
+                    turnaround: offset + client.finished,
+                    solo,
+                });
+            }
+            offset += result.makespan;
+            outcomes.push(RunOutcome::from_result(&result));
+        }
+        latencies.sort_by_key(|l| l.workflow);
+        Ok((RunOutcome::chain(&outcomes), latencies))
+    }
+
+    /// Evaluates a plan against the sequential baseline.
+    pub fn evaluate_plan(
+        &self,
+        workflows: &[WorkflowSpec],
+        plan: &SchedulePlan,
+    ) -> Result<EvaluationReport> {
+        let (shared, latencies) = self.run_plan_with_latencies(workflows, plan)?;
+        let sequential = self.run_sequential(workflows)?;
+        let mut report = self.report(shared, sequential);
+        report.latencies = latencies;
+        Ok(report)
+    }
+
+    /// Evaluates an arbitrary shared outcome against the baseline.
+    pub fn report(&self, shared: RunOutcome, sequential: RunOutcome) -> EvaluationReport {
+        let metrics = Metrics::relative(
+            shared.makespan,
+            shared.energy,
+            shared.capped_fraction,
+            sequential.makespan,
+            sequential.energy,
+            shared.tasks,
+        );
+        EvaluationReport {
+            shared,
+            sequential,
+            metrics,
+            latencies: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanGroup, Planner, PlannerStrategy};
+    use crate::policy::MetricPriority;
+    use crate::wprofile::workflow_profile;
+    use mpshare_profiler::ProfileStore;
+    use mpshare_types::Fraction;
+    use mpshare_workloads::{BenchmarkKind, ProblemSize};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn executor() -> Executor {
+        Executor::new(ExecutorConfig::new(dev()))
+    }
+
+    /// Two low-utilization workflows of comparable duration (~2 min each),
+    /// so co-scheduling has real overlap to exploit.
+    fn light_pair() -> Vec<WorkflowSpec> {
+        vec![
+            WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+            WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 30),
+        ]
+    }
+
+    fn plan_for(workflows: &[WorkflowSpec], priority: MetricPriority) -> SchedulePlan {
+        let mut store = ProfileStore::new();
+        store.profile_workflows(&dev(), workflows).unwrap();
+        let profiles: Vec<_> = workflows
+            .iter()
+            .map(|w| workflow_profile(&store, w).unwrap())
+            .collect();
+        Planner::new(dev(), priority)
+            .with_sharing_overhead(DEFAULT_MPS_OVERHEAD)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap()
+    }
+
+    #[test]
+    fn sequential_baseline_completes_all_tasks() {
+        let wfs = light_pair();
+        let out = executor().run_sequential(&wfs).unwrap();
+        assert_eq!(out.tasks, 32);
+        assert!(out.makespan.value() > 0.0);
+        assert!(out.energy.joules() > 0.0);
+    }
+
+    #[test]
+    fn planned_mps_beats_sequential_for_light_pair() {
+        // The headline claim: interference-aware MPS collocation of
+        // low-utilization workflows improves both throughput and energy.
+        let wfs = light_pair();
+        let plan = plan_for(&wfs, MetricPriority::Throughput);
+        let report = executor().evaluate_plan(&wfs, &plan).unwrap();
+        assert!(
+            report.metrics.throughput_gain > 1.3,
+            "throughput gain {}",
+            report.metrics.throughput_gain
+        );
+        assert!(
+            report.metrics.energy_efficiency_gain > 1.1,
+            "efficiency gain {}",
+            report.metrics.energy_efficiency_gain
+        );
+        assert_eq!(report.shared.tasks, report.sequential.tasks);
+        assert_eq!(report.shared.tasks, 32);
+    }
+
+    #[test]
+    fn mps_beats_timeslicing_for_light_pair() {
+        let wfs = light_pair();
+        let plan = plan_for(&wfs, MetricPriority::Throughput);
+        let ex = executor();
+        let mps = ex.run_plan(&wfs, &plan).unwrap();
+        let ts = ex.run_timesliced(&wfs).unwrap();
+        assert!(
+            mps.makespan < ts.makespan,
+            "mps {} !< ts {}",
+            mps.makespan,
+            ts.makespan
+        );
+    }
+
+    #[test]
+    fn timeslicing_still_beats_sequential_for_bursty_workloads() {
+        let wfs = light_pair();
+        let ex = executor();
+        let ts = ex.run_timesliced(&wfs).unwrap();
+        let seq = ex.run_sequential(&wfs).unwrap();
+        assert!(ts.makespan < seq.makespan);
+    }
+
+    #[test]
+    fn plan_execution_preserves_task_count() {
+        let wfs = light_pair();
+        let plan = plan_for(&wfs, MetricPriority::Energy);
+        let out = executor().run_plan(&wfs, &plan).unwrap();
+        assert_eq!(out.tasks, 32);
+    }
+
+    #[test]
+    fn multi_group_plans_chain_groups_sequentially() {
+        let wfs = vec![
+            WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 1),
+            WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 1),
+        ];
+        // Force a two-group plan manually.
+        let plan = SchedulePlan {
+            groups: vec![
+                PlanGroup {
+                    workflow_indices: vec![0],
+                    partitions: vec![Fraction::ONE],
+                },
+                PlanGroup {
+                    workflow_indices: vec![1],
+                    partitions: vec![Fraction::ONE],
+                },
+            ],
+        };
+        let ex = executor();
+        let chained = ex.run_plan(&wfs, &plan).unwrap();
+        let seq = ex.run_sequential(&wfs).unwrap();
+        // One workflow per group = sequential execution.
+        assert!((chained.makespan.value() - seq.makespan.value()).abs() < 0.5);
+        assert!(
+            (chained.energy.joules() - seq.energy.joules()).abs() / seq.energy.joules() < 0.02
+        );
+    }
+
+    #[test]
+    fn naive_mps_runs_entire_queue_at_once() {
+        let wfs = light_pair();
+        let out = executor().run_mps_naive(&wfs).unwrap();
+        assert_eq!(out.tasks, 32);
+    }
+
+    #[test]
+    fn latencies_expose_the_paper_latency_caveat() {
+        // Co-scheduling boosts throughput, but individual workflows can
+        // finish later than their solo time — §VI's warning, quantified.
+        let wfs = light_pair();
+        let plan = plan_for(&wfs, MetricPriority::Throughput);
+        let report = executor().evaluate_plan(&wfs, &plan).unwrap();
+        assert_eq!(report.latencies.len(), wfs.len());
+        for l in &report.latencies {
+            assert!(l.slowdown() >= 1.0 - 1e-6, "slowdown {}", l.slowdown());
+        }
+        assert!(report.max_slowdown() >= report.mean_slowdown());
+        // Throughput gained overall even though someone was slowed.
+        assert!(report.metrics.throughput_gain > 1.0);
+    }
+
+    #[test]
+    fn singleton_groups_have_unit_slowdown() {
+        let wfs = vec![WorkflowSpec::uniform(
+            BenchmarkKind::Kripke,
+            ProblemSize::X1,
+            3,
+        )];
+        let plan = SchedulePlan {
+            groups: vec![PlanGroup {
+                workflow_indices: vec![0],
+                partitions: vec![Fraction::ONE],
+            }],
+        };
+        let report = executor().evaluate_plan(&wfs, &plan).unwrap();
+        assert!((report.max_slowdown() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn report_metrics_match_outcome_ratios() {
+        let wfs = light_pair();
+        let plan = plan_for(&wfs, MetricPriority::Throughput);
+        let report = executor().evaluate_plan(&wfs, &plan).unwrap();
+        let expected_tp =
+            report.sequential.makespan.value() / report.shared.makespan.value();
+        assert!((report.metrics.throughput_gain - expected_tp).abs() < 1e-12);
+    }
+}

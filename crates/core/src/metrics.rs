@@ -1,0 +1,165 @@
+//! Evaluation metrics (paper §IV-C).
+//!
+//! **Throughput** is tasks completed per unit time, relative to sequential
+//! scheduling of the same queue (same tasks, so it reduces to a makespan
+//! ratio). **Energy efficiency** is the reduction in total GPU energy
+//! relative to sequential scheduling. A **product metric**
+//! `throughputᵃ × efficiencyᵇ` trades the two off, like the energy-delay
+//! product in computer architecture.
+
+use mpshare_types::{Energy, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Relative metrics of one scheduling configuration vs. the sequential
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Shared-over-sequential throughput ratio (> 1 = faster).
+    pub throughput_gain: f64,
+    /// Sequential-over-shared energy ratio (> 1 = less energy).
+    pub energy_efficiency_gain: f64,
+    /// Shared makespan.
+    pub makespan: Seconds,
+    /// Shared total energy.
+    pub energy: Energy,
+    /// Fraction of shared execution time spent SW power capped.
+    pub capped_fraction: f64,
+    /// Tasks completed.
+    pub tasks: usize,
+}
+
+impl Metrics {
+    /// Computes relative metrics from raw shared and sequential outcomes.
+    /// Both runs must complete the same task set.
+    pub fn relative(
+        shared_makespan: Seconds,
+        shared_energy: Energy,
+        shared_capped_fraction: f64,
+        seq_makespan: Seconds,
+        seq_energy: Energy,
+        tasks: usize,
+    ) -> Metrics {
+        let throughput_gain = if shared_makespan.value() > 0.0 {
+            seq_makespan.value() / shared_makespan.value()
+        } else {
+            0.0
+        };
+        let energy_efficiency_gain = if shared_energy.joules() > 0.0 {
+            seq_energy.joules() / shared_energy.joules()
+        } else {
+            0.0
+        };
+        Metrics {
+            throughput_gain,
+            energy_efficiency_gain,
+            makespan: shared_makespan,
+            energy: shared_energy,
+            capped_fraction: shared_capped_fraction,
+            tasks,
+        }
+    }
+
+    /// Evaluates a product metric on this result.
+    pub fn product(&self, metric: ProductMetric) -> f64 {
+        metric.evaluate(self.throughput_gain, self.energy_efficiency_gain)
+    }
+}
+
+/// A `throughputᵃ × efficiencyᵇ` product metric.
+///
+/// ```
+/// use mpshare_core::ProductMetric;
+///
+/// // A throughput-leaning config vs. an energy-leaning config...
+/// let (fast, frugal) = ((1.9, 1.05), (1.3, 1.5));
+/// // ...rank differently under different products (the paper's §IV-C point).
+/// let balanced = ProductMetric::BALANCED;
+/// assert!(balanced.evaluate(fast.0, fast.1) > balanced.evaluate(frugal.0, frugal.1));
+/// let t2e = ProductMetric::THROUGHPUT_LEANING;
+/// assert!(t2e.evaluate(fast.0, fast.1) / t2e.evaluate(frugal.0, frugal.1)
+///     > balanced.evaluate(fast.0, fast.1) / balanced.evaluate(frugal.0, frugal.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductMetric {
+    pub throughput_exponent: u32,
+    pub energy_exponent: u32,
+}
+
+impl ProductMetric {
+    /// Equal weighting: `throughput × efficiency`.
+    pub const BALANCED: ProductMetric = ProductMetric {
+        throughput_exponent: 1,
+        energy_exponent: 1,
+    };
+
+    /// The paper's example of a throughput-weighted product:
+    /// `throughput × throughput × efficiency`.
+    pub const THROUGHPUT_LEANING: ProductMetric = ProductMetric {
+        throughput_exponent: 2,
+        energy_exponent: 1,
+    };
+
+    pub fn evaluate(&self, throughput: f64, efficiency: f64) -> f64 {
+        throughput.powi(self.throughput_exponent as i32)
+            * efficiency.powi(self.energy_exponent as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_metrics_are_ratios() {
+        let m = Metrics::relative(
+            Seconds::new(50.0),
+            Energy::from_joules(4000.0),
+            0.1,
+            Seconds::new(100.0),
+            Energy::from_joules(6000.0),
+            10,
+        );
+        assert!((m.throughput_gain - 2.0).abs() < 1e-12);
+        assert!((m.energy_efficiency_gain - 1.5).abs() < 1e-12);
+        assert_eq!(m.tasks, 10);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_divide_by_zero() {
+        let m = Metrics::relative(
+            Seconds::ZERO,
+            Energy::ZERO,
+            0.0,
+            Seconds::new(10.0),
+            Energy::from_joules(100.0),
+            0,
+        );
+        assert_eq!(m.throughput_gain, 0.0);
+        assert_eq!(m.energy_efficiency_gain, 0.0);
+    }
+
+    #[test]
+    fn balanced_product_multiplies() {
+        assert!((ProductMetric::BALANCED.evaluate(2.0, 1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_leaning_product_squares_throughput() {
+        assert!((ProductMetric::THROUGHPUT_LEANING.evaluate(2.0, 1.5) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_changes_configuration_ranking() {
+        // The paper's point: configuration A (throughput-y) vs B (energy-y)
+        // rank differently under different products.
+        let a = (1.9, 1.05);
+        let b = (1.3, 1.5);
+        let balanced = ProductMetric::BALANCED;
+        assert!(balanced.evaluate(a.0, a.1) > balanced.evaluate(b.0, b.1));
+        let energy_leaning = ProductMetric {
+            throughput_exponent: 1,
+            energy_exponent: 3,
+        };
+        assert!(energy_leaning.evaluate(a.0, a.1) < energy_leaning.evaluate(b.0, b.1));
+    }
+}

@@ -1,0 +1,719 @@
+//! The collocation planner (paper §IV-B).
+//!
+//! Given a queue of workflows with profiles, produces a [`SchedulePlan`]:
+//! an ordered list of collocation groups, each executed on the GPU under
+//! MPS with right-sized partitions, one group after another.
+//!
+//! Planning strategies:
+//!
+//! * [`PlannerStrategy::Greedy`] — the paper's algorithm: workflows with
+//!   the lowest compute utilization are prioritized; a group accepts the
+//!   next lowest-utilization workflow while combined SM ≤ 100 %, combined
+//!   BW ≤ 100 %, combined memory ≤ capacity, and the group is under the
+//!   metric-priority cardinality cap (2 for throughput, 48 for energy; the
+//!   product priority sweeps caps and keeps the best estimated score).
+//! * [`PlannerStrategy::Exhaustive`] — enumerates every set partition of
+//!   the queue (n ≤ 12), scores each with the analytic estimator, and
+//!   returns the best. Ground truth for small queues; the planner tests
+//!   check greedy stays close to it.
+
+use crate::estimate::{estimate_group, estimate_sequential};
+use crate::interference::predict;
+use crate::policy::MetricPriority;
+use crate::rightsize::PartitionStrategy;
+use crate::wprofile::WorkflowProfile;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::{Error, Fraction, Result};
+use serde::{Deserialize, Serialize};
+
+/// One collocation group: workflow queue indices plus their partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanGroup {
+    /// Indices into the planner's workflow queue.
+    pub workflow_indices: Vec<usize>,
+    /// MPS partitions, parallel to `workflow_indices`.
+    pub partitions: Vec<Fraction>,
+}
+
+/// A complete schedule: groups run one after another on the GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlan {
+    pub groups: Vec<PlanGroup>,
+}
+
+impl SchedulePlan {
+    /// Total workflows covered.
+    pub fn workflow_count(&self) -> usize {
+        self.groups.iter().map(|g| g.workflow_indices.len()).sum()
+    }
+
+    /// Largest group size (the plan's cardinality).
+    pub fn max_cardinality(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.workflow_indices.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks structural validity against a queue of `n` workflows:
+    /// every index covered exactly once, group sizes within the client
+    /// limit, and no group violating the hard memory constraint.
+    pub fn validate(
+        &self,
+        device: &DeviceSpec,
+        profiles: &[WorkflowProfile],
+    ) -> Result<()> {
+        let n = profiles.len();
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            if g.workflow_indices.is_empty() {
+                return Err(Error::PlanViolation("empty group".into()));
+            }
+            if g.workflow_indices.len() != g.partitions.len() {
+                return Err(Error::PlanViolation(
+                    "partition vector length mismatch".into(),
+                ));
+            }
+            if g.workflow_indices.len() > device.max_mps_clients {
+                return Err(Error::PlanViolation(format!(
+                    "group of {} exceeds the {}-client limit",
+                    g.workflow_indices.len(),
+                    device.max_mps_clients
+                )));
+            }
+            let mut mem = mpshare_types::MemBytes::ZERO;
+            for &i in &g.workflow_indices {
+                if i >= n {
+                    return Err(Error::PlanViolation(format!("index {i} out of range")));
+                }
+                if seen[i] {
+                    return Err(Error::PlanViolation(format!(
+                        "workflow {i} scheduled twice"
+                    )));
+                }
+                seen[i] = true;
+                mem += profiles[i].max_memory;
+            }
+            if mem > device.memory_capacity {
+                return Err(Error::PlanViolation(format!(
+                    "group memory {mem} exceeds capacity {}",
+                    device.memory_capacity
+                )));
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(Error::PlanViolation(format!(
+                "workflow {missing} not scheduled"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Which search strategy the planner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlannerStrategy {
+    /// The paper's greedy lowest-utilization-first packing under the hard
+    /// 100 %-sum interference rule (§IV-B).
+    Greedy,
+    /// Estimator-guided best-fit packing: groups are grown by the
+    /// candidate with the largest predicted makespan saving, subject only
+    /// to the *hard* constraints (memory capacity, client limit). This
+    /// implements the paper's future-work direction — an interference
+    /// *model* recommending combinations — and can profitably accept mild
+    /// oversubscription the 100 %-sum rule forbids.
+    BestFit,
+    /// Runs both [`PlannerStrategy::Greedy`] and
+    /// [`PlannerStrategy::BestFit`] and keeps the better-scoring plan.
+    Auto,
+    /// Full set-partition enumeration scored by the estimator (n ≤ 12).
+    Exhaustive,
+}
+
+/// The collocation planner.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    device: DeviceSpec,
+    priority: MetricPriority,
+    partition_strategy: PartitionStrategy,
+    sharing_overhead: f64,
+}
+
+impl Planner {
+    pub fn new(device: DeviceSpec, priority: MetricPriority) -> Self {
+        Planner {
+            device,
+            priority,
+            partition_strategy: PartitionStrategy::default_saturation_aware(),
+            sharing_overhead: 0.0,
+        }
+    }
+
+    pub fn with_partition_strategy(mut self, s: PartitionStrategy) -> Self {
+        self.partition_strategy = s;
+        self
+    }
+
+    pub fn with_sharing_overhead(mut self, o: f64) -> Self {
+        self.sharing_overhead = o;
+        self
+    }
+
+    pub fn priority(&self) -> MetricPriority {
+        self.priority
+    }
+
+    pub fn partition_strategy(&self) -> PartitionStrategy {
+        self.partition_strategy
+    }
+
+    /// Convenience: plan with `Auto`, then refine by simulated annealing
+    /// (see [`crate::anneal`]). Never scores worse than the `Auto` plan.
+    pub fn plan_annealed(
+        &self,
+        profiles: &[WorkflowProfile],
+        config: crate::anneal::AnnealConfig,
+    ) -> Result<SchedulePlan> {
+        let seed = self.plan(profiles, PlannerStrategy::Auto)?;
+        let refined = crate::anneal::anneal(self, &self.device, profiles, &seed, config);
+        refined.validate(&self.device, profiles)?;
+        Ok(refined)
+    }
+
+    /// Plans with the configured strategy.
+    pub fn plan(
+        &self,
+        profiles: &[WorkflowProfile],
+        strategy: PlannerStrategy,
+    ) -> Result<SchedulePlan> {
+        if profiles.is_empty() {
+            return Err(Error::InvalidConfig("empty workflow queue".into()));
+        }
+        let plan = match strategy {
+            PlannerStrategy::Greedy => self.plan_greedy(profiles),
+            PlannerStrategy::BestFit => self.plan_bestfit(profiles),
+            PlannerStrategy::Auto => {
+                let greedy = self.plan_greedy(profiles);
+                let bestfit = self.plan_bestfit(profiles);
+                if self.score_plan(&bestfit, profiles) > self.score_plan(&greedy, profiles) {
+                    bestfit
+                } else {
+                    greedy
+                }
+            }
+            PlannerStrategy::Exhaustive => self.plan_exhaustive(profiles)?,
+        };
+        plan.validate(&self.device, profiles)?;
+        Ok(plan)
+    }
+
+    /// The paper's greedy algorithm, sweeping cardinality caps when the
+    /// priority calls for it.
+    fn plan_greedy(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
+        let caps = self.priority.candidate_caps(&self.device);
+        let mut best: Option<(f64, SchedulePlan)> = None;
+        for cap in caps {
+            let plan = self.greedy_with_cap(profiles, cap);
+            let score = self.score_plan(&plan, profiles);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, plan));
+            }
+        }
+        best.expect("at least one cap candidate").1
+    }
+
+    /// Estimator-guided best-fit packing, sweeping the priority's caps.
+    fn plan_bestfit(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
+        let caps = self.priority.candidate_caps(&self.device);
+        let mut best: Option<(f64, SchedulePlan)> = None;
+        for cap in caps {
+            let plan = self.bestfit_with_cap(profiles, cap);
+            let score = self.score_plan(&plan, profiles);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, plan));
+            }
+        }
+        best.expect("at least one cap candidate").1
+    }
+
+    /// Best-fit packing with an explicit cardinality cap: seeds each group
+    /// with the longest unassigned workflow (the makespan driver), then
+    /// repeatedly adds the candidate whose predicted *time saving* —
+    /// its solo duration minus the predicted growth of the group's
+    /// makespan — is largest and positive. Only the hard constraints
+    /// (memory, client cap) gate admission.
+    pub fn bestfit_with_cap(&self, profiles: &[WorkflowProfile], cap: usize) -> SchedulePlan {
+        let cap = cap.clamp(1, self.device.max_mps_clients);
+        let mut order: Vec<usize> = (0..profiles.len()).collect();
+        order.sort_by(|&a, &b| {
+            profiles[b]
+                .duration
+                .partial_cmp(&profiles[a].duration)
+                .expect("finite durations")
+                .then(a.cmp(&b))
+        });
+
+        let mut assigned = vec![false; profiles.len()];
+        let mut groups = Vec::new();
+        for &seed in &order {
+            if assigned[seed] {
+                continue;
+            }
+            assigned[seed] = true;
+            let mut members = vec![seed];
+            loop {
+                if members.len() >= cap {
+                    break;
+                }
+                let member_profiles: Vec<&WorkflowProfile> =
+                    members.iter().map(|&i| &profiles[i]).collect();
+                let current =
+                    estimate_group(&self.device, &member_profiles, self.sharing_overhead);
+                let group_memory: mpshare_types::MemBytes =
+                    members.iter().map(|&i| profiles[i].max_memory).sum();
+
+                let mut best_candidate: Option<(f64, usize)> = None;
+                for &cand in &order {
+                    if assigned[cand] {
+                        continue;
+                    }
+                    if group_memory + profiles[cand].max_memory > self.device.memory_capacity {
+                        continue;
+                    }
+                    let mut trial = member_profiles.clone();
+                    trial.push(&profiles[cand]);
+                    let with =
+                        estimate_group(&self.device, &trial, self.sharing_overhead);
+                    // Saving = sequential cost of the candidate minus the
+                    // growth it causes in the group's makespan.
+                    let saving = profiles[cand].duration.value()
+                        - (with.makespan.value() - current.makespan.value());
+                    if saving > 0.0
+                        && best_candidate.is_none_or(|(best, _)| saving > best)
+                    {
+                        best_candidate = Some((saving, cand));
+                    }
+                }
+                match best_candidate {
+                    Some((_, cand)) => {
+                        assigned[cand] = true;
+                        members.push(cand);
+                    }
+                    None => break,
+                }
+            }
+            let member_profiles: Vec<&WorkflowProfile> =
+                members.iter().map(|&i| &profiles[i]).collect();
+            let partitions = self.partition_strategy.partitions(&member_profiles);
+            groups.push(PlanGroup {
+                workflow_indices: members,
+                partitions,
+            });
+        }
+        SchedulePlan { groups }
+    }
+
+    /// Greedy packing with an explicit cardinality cap (public so the
+    /// harness can sweep cardinality for the paper's Figures 4/5).
+    pub fn greedy_with_cap(&self, profiles: &[WorkflowProfile], cap: usize) -> SchedulePlan {
+        // Criterion 1: lowest compute utilization first.
+        let mut order: Vec<usize> = (0..profiles.len()).collect();
+        order.sort_by(|&a, &b| {
+            profiles[a]
+                .avg_sm_util
+                .value()
+                .partial_cmp(&profiles[b].avg_sm_util.value())
+                .expect("finite utilizations")
+                .then(a.cmp(&b))
+        });
+
+        let cap = cap.clamp(1, self.device.max_mps_clients);
+        let mut assigned = vec![false; profiles.len()];
+        let mut groups = Vec::new();
+        for &seed in &order {
+            if assigned[seed] {
+                continue;
+            }
+            assigned[seed] = true;
+            let mut members = vec![seed];
+            for &cand in &order {
+                if assigned[cand] || members.len() >= cap {
+                    continue;
+                }
+                let mut trial: Vec<&WorkflowProfile> =
+                    members.iter().map(|&i| &profiles[i]).collect();
+                trial.push(&profiles[cand]);
+                // Criteria 2 & 3: stay under 100 % combined compute/BW and
+                // under memory capacity.
+                if predict(&self.device, &trial).is_compatible() {
+                    assigned[cand] = true;
+                    members.push(cand);
+                }
+            }
+            let member_profiles: Vec<&WorkflowProfile> =
+                members.iter().map(|&i| &profiles[i]).collect();
+            let partitions = self.partition_strategy.partitions(&member_profiles);
+            groups.push(PlanGroup {
+                workflow_indices: members,
+                partitions,
+            });
+        }
+        SchedulePlan { groups }
+    }
+
+    /// Exhaustive set-partition search, scored by the analytic estimator.
+    fn plan_exhaustive(&self, profiles: &[WorkflowProfile]) -> Result<SchedulePlan> {
+        const MAX_N: usize = 12;
+        let n = profiles.len();
+        if n > MAX_N {
+            return Err(Error::InvalidConfig(format!(
+                "exhaustive planning supports ≤ {MAX_N} workflows, got {n}"
+            )));
+        }
+        let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+        let mut assignment = vec![0usize; n];
+        enumerate_partitions(&mut assignment, 0, 0, &mut |assign, k| {
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (i, &g) in assign.iter().enumerate() {
+                groups[g].push(i);
+            }
+            // Hard constraints: memory and client limit.
+            for g in &groups {
+                if g.len() > self.device.max_mps_clients {
+                    return;
+                }
+                let mem: mpshare_types::MemBytes =
+                    g.iter().map(|&i| profiles[i].max_memory).sum();
+                if mem > self.device.memory_capacity {
+                    return;
+                }
+            }
+            let plan = self.materialize(&groups, profiles);
+            let score = self.score_plan(&plan, profiles);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, groups));
+            }
+        });
+        let (_, groups) =
+            best.ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
+        Ok(self.materialize(&groups, profiles))
+    }
+
+    fn materialize(&self, groups: &[Vec<usize>], profiles: &[WorkflowProfile]) -> SchedulePlan {
+        SchedulePlan {
+            groups: groups
+                .iter()
+                .map(|members| {
+                    let member_profiles: Vec<&WorkflowProfile> =
+                        members.iter().map(|&i| &profiles[i]).collect();
+                    PlanGroup {
+                        workflow_indices: members.clone(),
+                        partitions: self.partition_strategy.partitions(&member_profiles),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Scores a plan with the analytic estimator under the priority.
+    pub fn score_plan(&self, plan: &SchedulePlan, profiles: &[WorkflowProfile]) -> f64 {
+        let all: Vec<&WorkflowProfile> = profiles.iter().collect();
+        let seq = estimate_sequential(&all);
+        let mut makespan = 0.0;
+        let mut energy = 0.0;
+        for g in &plan.groups {
+            let members: Vec<&WorkflowProfile> =
+                g.workflow_indices.iter().map(|&i| &profiles[i]).collect();
+            let e = estimate_group(&self.device, &members, self.sharing_overhead);
+            makespan += e.makespan.value();
+            energy += e.energy.joules();
+        }
+        if makespan <= 0.0 || energy <= 0.0 {
+            return 0.0;
+        }
+        let throughput = seq.makespan.value() / makespan;
+        let efficiency = seq.energy.joules() / energy;
+        self.priority.score(throughput, efficiency)
+    }
+}
+
+/// Enumerates set partitions via restricted-growth strings: position `i`
+/// may use any group id `0..=max_used+1`.
+fn enumerate_partitions(
+    assignment: &mut Vec<usize>,
+    pos: usize,
+    max_used: usize,
+    visit: &mut impl FnMut(&[usize], usize),
+) {
+    if pos == assignment.len() {
+        visit(assignment, max_used);
+        return;
+    }
+    for g in 0..=max_used {
+        assignment[pos] = g;
+        let next_max = max_used.max(g + 1);
+        enumerate_partitions(assignment, pos + 1, next_max, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_types::{Energy, MemBytes, Percent, Power, Seconds};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn profile(label: &str, sm: f64, bw: f64, mem_gib: u64, duration: f64) -> WorkflowProfile {
+        let power = 75.0 + 1.75 * sm + bw;
+        WorkflowProfile {
+            label: label.into(),
+            task_count: 3,
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::new(bw),
+            max_memory: MemBytes::from_gib(mem_gib),
+            duration: Seconds::new(duration),
+            energy: Energy::from_joules(power * duration),
+            avg_power: Power::from_watts(power),
+            busy_fraction: 0.8,
+            saturation_partition: mpshare_types::Fraction::new(0.9),
+        }
+    }
+
+    fn planner(priority: MetricPriority) -> Planner {
+        Planner::new(dev(), priority)
+    }
+
+    #[test]
+    fn partition_enumeration_counts_bell_numbers() {
+        // Bell(4) = 15 set partitions.
+        let mut count = 0;
+        let mut a = vec![0usize; 4];
+        enumerate_partitions(&mut a, 0, 0, &mut |_, _| count += 1);
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn greedy_pairs_low_utilization_first() {
+        // Two light, two heavy. Throughput priority (cap 2): the two light
+        // ones pair up, the heavies are kept apart (SM sums > 100).
+        let profiles = vec![
+            profile("light-a", 10.0, 1.0, 2, 10.0),
+            profile("heavy-a", 90.0, 10.0, 5, 10.0),
+            profile("light-b", 15.0, 1.0, 2, 10.0),
+            profile("heavy-b", 85.0, 10.0, 5, 10.0),
+        ];
+        let plan = planner(MetricPriority::Throughput)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        // Find the group containing light-a (index 0): must also hold 2.
+        let g = plan
+            .groups
+            .iter()
+            .find(|g| g.workflow_indices.contains(&0))
+            .unwrap();
+        assert!(g.workflow_indices.contains(&2), "groups: {:?}", plan.groups);
+        // Heavies never share a group.
+        for g in &plan.groups {
+            assert!(!(g.workflow_indices.contains(&1) && g.workflow_indices.contains(&3)));
+        }
+    }
+
+    #[test]
+    fn throughput_priority_respects_cardinality_two() {
+        let profiles: Vec<WorkflowProfile> = (0..6)
+            .map(|i| profile(&format!("w{i}"), 5.0, 0.5, 1, 10.0))
+            .collect();
+        let plan = planner(MetricPriority::Throughput)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        assert_eq!(plan.max_cardinality(), 2);
+        assert_eq!(plan.groups.len(), 3);
+    }
+
+    #[test]
+    fn energy_priority_packs_wide() {
+        let profiles: Vec<WorkflowProfile> = (0..6)
+            .map(|i| profile(&format!("w{i}"), 5.0, 0.5, 1, 10.0))
+            .collect();
+        let plan = planner(MetricPriority::Energy)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        // 6 × 5 % = 30 % SM: all six fit in one group.
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.max_cardinality(), 6);
+    }
+
+    #[test]
+    fn interference_rule_limits_group_growth() {
+        // 40 % each: only two fit under the 100 % rule (3×40 = 120).
+        let profiles: Vec<WorkflowProfile> = (0..4)
+            .map(|i| profile(&format!("w{i}"), 40.0, 2.0, 1, 10.0))
+            .collect();
+        let plan = planner(MetricPriority::Energy)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        assert_eq!(plan.max_cardinality(), 2);
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn memory_constraint_is_hard() {
+        // Two 60 GiB workflows cannot share an 80 GiB device.
+        let profiles = vec![
+            profile("big-a", 10.0, 1.0, 60, 10.0),
+            profile("big-b", 10.0, 1.0, 60, 10.0),
+        ];
+        let plan = planner(MetricPriority::Energy)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        assert_eq!(plan.groups.len(), 2);
+        plan.validate(&dev(), &profiles).unwrap();
+    }
+
+    #[test]
+    fn exhaustive_matches_or_beats_greedy_score() {
+        let profiles = vec![
+            profile("a", 10.0, 1.0, 2, 10.0),
+            profile("b", 30.0, 5.0, 4, 8.0),
+            profile("c", 55.0, 10.0, 8, 12.0),
+            profile("d", 70.0, 20.0, 8, 6.0),
+            profile("e", 20.0, 2.0, 2, 9.0),
+        ];
+        let p = planner(MetricPriority::balanced_product());
+        let greedy = p.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let exhaustive = p.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        let gs = p.score_plan(&greedy, &profiles);
+        let es = p.score_plan(&exhaustive, &profiles);
+        assert!(es >= gs - 1e-9, "exhaustive {es} < greedy {gs}");
+        // Greedy honours the paper's soft interference rule (never groups
+        // past 100 % combined SM), which the unconstrained exhaustive
+        // search may profitably violate on energy-weighted scores — so
+        // greedy is bounded away from optimal but must stay in its
+        // neighbourhood.
+        assert!(gs >= 0.55 * es, "greedy {gs} far from optimal {es}");
+    }
+
+    #[test]
+    fn exhaustive_rejects_oversized_queues() {
+        let profiles: Vec<WorkflowProfile> = (0..13)
+            .map(|i| profile(&format!("w{i}"), 5.0, 0.5, 1, 10.0))
+            .collect();
+        let err = planner(MetricPriority::Energy)
+            .plan(&profiles, PlannerStrategy::Exhaustive)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn plans_validate_against_their_queue() {
+        let profiles = vec![
+            profile("a", 10.0, 1.0, 2, 10.0),
+            profile("b", 20.0, 1.0, 2, 10.0),
+        ];
+        let plan = planner(MetricPriority::Throughput)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        plan.validate(&dev(), &profiles).unwrap();
+
+        // Tampered plan: duplicate index.
+        let mut bad = plan.clone();
+        bad.groups[0].workflow_indices = vec![0, 0];
+        bad.groups[0].partitions = vec![Fraction::ONE, Fraction::ONE];
+        assert!(bad.validate(&dev(), &profiles).is_err());
+
+        // Tampered plan: missing workflow.
+        let bad = SchedulePlan {
+            groups: vec![PlanGroup {
+                workflow_indices: vec![0],
+                partitions: vec![Fraction::ONE],
+            }],
+        };
+        assert!(bad.validate(&dev(), &profiles).is_err());
+    }
+
+    #[test]
+    fn bestfit_accepts_profitable_mild_oversubscription() {
+        // Two long mid-utilization workflows whose SM sum (125 %) violates
+        // the paper's soft interference rule. The rule leaves them solo;
+        // the estimator sees that a 25 % stretch on 100 s of overlap still
+        // saves 75 s and pairs them.
+        let profiles = vec![
+            profile("light-a", 10.0, 1.0, 2, 10.0),
+            profile("light-b", 12.0, 1.0, 2, 10.0),
+            profile("mid-a", 60.0, 5.0, 8, 100.0),
+            profile("mid-b", 65.0, 5.0, 8, 100.0),
+        ];
+        let p = planner(MetricPriority::balanced_product());
+        let greedy = p.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+        let bestfit = p.plan(&profiles, PlannerStrategy::BestFit).unwrap();
+        bestfit.validate(&dev(), &profiles).unwrap();
+        // Greedy keeps the mids apart (60 + 65 > 100).
+        for g in &greedy.groups {
+            assert!(!(g.workflow_indices.contains(&2) && g.workflow_indices.contains(&3)));
+        }
+        // Best-fit pairs them and scores strictly higher.
+        assert!(bestfit
+            .groups
+            .iter()
+            .any(|g| g.workflow_indices.contains(&2) && g.workflow_indices.contains(&3)));
+        let gs = p.score_plan(&greedy, &profiles);
+        let bs = p.score_plan(&bestfit, &profiles);
+        assert!(bs > gs, "bestfit {bs} !> greedy {gs}");
+    }
+
+    #[test]
+    fn auto_takes_the_better_of_both() {
+        let profiles = vec![
+            profile("a", 10.0, 1.0, 2, 10.0),
+            profile("b", 30.0, 5.0, 4, 8.0),
+            profile("c", 55.0, 10.0, 8, 12.0),
+            profile("d", 70.0, 20.0, 8, 6.0),
+        ];
+        let p = planner(MetricPriority::balanced_product());
+        let auto = p.plan(&profiles, PlannerStrategy::Auto).unwrap();
+        let gs = p.score_plan(&p.plan(&profiles, PlannerStrategy::Greedy).unwrap(), &profiles);
+        let bs = p.score_plan(&p.plan(&profiles, PlannerStrategy::BestFit).unwrap(), &profiles);
+        let auto_score = p.score_plan(&auto, &profiles);
+        assert!(auto_score >= gs - 1e-12);
+        assert!(auto_score >= bs - 1e-12);
+    }
+
+    #[test]
+    fn bestfit_respects_hard_memory_constraint() {
+        let profiles = vec![
+            profile("big-a", 10.0, 1.0, 60, 10.0),
+            profile("big-b", 10.0, 1.0, 60, 10.0),
+        ];
+        let plan = planner(MetricPriority::Energy)
+            .plan(&profiles, PlannerStrategy::BestFit)
+            .unwrap();
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_is_an_error() {
+        assert!(planner(MetricPriority::Energy)
+            .plan(&[], PlannerStrategy::Greedy)
+            .is_err());
+    }
+
+    #[test]
+    fn rightsized_partitions_accompany_groups() {
+        let profiles = vec![
+            profile("light", 10.0, 1.0, 2, 10.0),
+            profile("heavy", 80.0, 5.0, 4, 10.0),
+        ];
+        let plan = planner(MetricPriority::Throughput)
+            .plan(&profiles, PlannerStrategy::Greedy)
+            .unwrap();
+        for g in &plan.groups {
+            assert_eq!(g.partitions.len(), g.workflow_indices.len());
+            for p in &g.partitions {
+                assert!(p.value() > 0.0 && p.value() <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Advisory recommendations — the paper's §VI conclusions as an API.
+//!
+//! The paper closes with three recommendations for programmers tuning
+//! workflow multi-tenancy with MPS:
+//!
+//! 1. if throughput matters most, schedule low-utilization workflows in
+//!    groups of 2–3 and avoid collocating high-utilization workflows;
+//! 2. if energy efficiency matters most, schedule lowest-utilization
+//!    workflows first and raise cardinality until the throughput loss is
+//!    intolerable;
+//! 3. where possible, pair workflows with opposing power profiles.
+//!
+//! [`advise`] inspects a queue of profiles and emits concrete, structured
+//! advice (with the numbers that triggered each item), suitable for
+//! surfacing in a CLI or scheduler log.
+
+use crate::interference::predict;
+use crate::wprofile::WorkflowProfile;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Percent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Threshold below which a workflow counts as low-utilization (average SM).
+pub const LOW_UTILIZATION: Percent = Percent::new_const(40.0);
+/// Threshold above which a workflow counts as high-utilization.
+pub const HIGH_UTILIZATION: Percent = Percent::new_const(70.0);
+
+/// One piece of advice about a queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Advice {
+    /// These workflows are good collocation candidates (rec. 1): both
+    /// low-utilization and mutually compatible.
+    PairForThroughput { a: usize, b: usize, combined_sm: f64 },
+    /// This workflow should not be collocated with other heavy work
+    /// (rec. 1's warning; the LAMMPS case).
+    KeepExclusive { workflow: usize, avg_sm: f64 },
+    /// Under an energy priority, start with this workflow and grow the
+    /// group (rec. 2).
+    ScheduleFirstForEnergy { workflow: usize, avg_sm: f64 },
+    /// These two have opposing power profiles and pair well (rec. 3).
+    PairOpposingPower {
+        a: usize,
+        b: usize,
+        power_a_watts: f64,
+        power_b_watts: f64,
+    },
+    /// These two must never share a GPU: combined footprints exceed
+    /// device memory (the hard constraint).
+    MemoryConflict { a: usize, b: usize },
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Advice::PairForThroughput { a, b, combined_sm } => write!(
+                f,
+                "pair workflows #{a} and #{b} for throughput (combined SM {combined_sm:.0}%)"
+            ),
+            Advice::KeepExclusive { workflow, avg_sm } => write!(
+                f,
+                "keep workflow #{workflow} exclusive ({avg_sm:.0}% SM — collocation will degrade it)"
+            ),
+            Advice::ScheduleFirstForEnergy { workflow, avg_sm } => write!(
+                f,
+                "under an energy priority, schedule workflow #{workflow} first ({avg_sm:.0}% SM) and grow the group"
+            ),
+            Advice::PairOpposingPower {
+                a,
+                b,
+                power_a_watts,
+                power_b_watts,
+            } => write!(
+                f,
+                "workflows #{a} ({power_a_watts:.0} W) and #{b} ({power_b_watts:.0} W) have opposing power profiles"
+            ),
+            Advice::MemoryConflict { a, b } => write!(
+                f,
+                "workflows #{a} and #{b} cannot share a GPU (combined memory exceeds capacity)"
+            ),
+        }
+    }
+}
+
+/// Produces the paper's §VI advice for a queue of profiles.
+///
+/// ```
+/// use mpshare_core::{advise, workflow_profile, Advice};
+/// use mpshare_gpusim::DeviceSpec;
+/// use mpshare_profiler::ProfileStore;
+/// use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+///
+/// let device = DeviceSpec::a100x();
+/// let queue = vec![
+///     WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 2),
+///     WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 2),
+///     WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X4, 1),
+/// ];
+/// let mut store = ProfileStore::new();
+/// store.profile_workflows(&device, &queue).unwrap();
+/// let profiles: Vec<_> = queue.iter().map(|w| workflow_profile(&store, w).unwrap()).collect();
+///
+/// let advice = advise(&device, &profiles);
+/// // AthenaPK+Kripke pair for throughput; LAMMPS 4x stays exclusive.
+/// assert!(advice.iter().any(|a| matches!(a, Advice::PairForThroughput { a: 0, b: 1, .. })));
+/// assert!(advice.iter().any(|a| matches!(a, Advice::KeepExclusive { workflow: 2, .. })));
+/// ```
+pub fn advise(device: &DeviceSpec, profiles: &[WorkflowProfile]) -> Vec<Advice> {
+    let mut advice = Vec::new();
+    let n = profiles.len();
+
+    // Rec. 1: low-utilization pairs (report each best partner once).
+    let low: Vec<usize> = (0..n)
+        .filter(|&i| profiles[i].avg_sm_util <= LOW_UTILIZATION)
+        .collect();
+    for (pos, &a) in low.iter().enumerate() {
+        for &b in &low[pos + 1..] {
+            let report = predict(device, &[&profiles[a], &profiles[b]]);
+            if report.is_compatible() {
+                advice.push(Advice::PairForThroughput {
+                    a,
+                    b,
+                    combined_sm: report.sm_sum,
+                });
+            }
+        }
+    }
+
+    // Rec. 1 (warning): high-utilization workflows should stay exclusive.
+    for (i, p) in profiles.iter().enumerate() {
+        if p.avg_sm_util >= HIGH_UTILIZATION {
+            advice.push(Advice::KeepExclusive {
+                workflow: i,
+                avg_sm: p.avg_sm_util.value(),
+            });
+        }
+    }
+
+    // Rec. 2: the lowest-utilization workflow seeds energy-first packing.
+    if let Some(first) = (0..n).min_by(|&a, &b| {
+        profiles[a]
+            .avg_sm_util
+            .value()
+            .partial_cmp(&profiles[b].avg_sm_util.value())
+            .expect("finite utilizations")
+    }) {
+        advice.push(Advice::ScheduleFirstForEnergy {
+            workflow: first,
+            avg_sm: profiles[first].avg_sm_util.value(),
+        });
+    }
+
+    // Rec. 3: opposing power profiles (the extremes of the queue), when
+    // the spread is meaningful and the pair is otherwise compatible.
+    if n >= 2 {
+        let min = (0..n)
+            .min_by(|&a, &b| cmp_power(&profiles[a], &profiles[b]))
+            .expect("non-empty");
+        let max = (0..n)
+            .max_by(|&a, &b| cmp_power(&profiles[a], &profiles[b]))
+            .expect("non-empty");
+        let spread =
+            profiles[max].avg_power.watts() - profiles[min].avg_power.watts();
+        if min != max
+            && spread > 50.0
+            && predict(device, &[&profiles[min], &profiles[max]]).is_compatible()
+        {
+            advice.push(Advice::PairOpposingPower {
+                a: min,
+                b: max,
+                power_a_watts: profiles[min].avg_power.watts(),
+                power_b_watts: profiles[max].avg_power.watts(),
+            });
+        }
+    }
+
+    // Hard memory conflicts.
+    for a in 0..n {
+        for b in a + 1..n {
+            if profiles[a].max_memory + profiles[b].max_memory > device.memory_capacity {
+                advice.push(Advice::MemoryConflict { a, b });
+            }
+        }
+    }
+
+    advice
+}
+
+fn cmp_power(a: &WorkflowProfile, b: &WorkflowProfile) -> std::cmp::Ordering {
+    a.avg_power
+        .watts()
+        .partial_cmp(&b.avg_power.watts())
+        .expect("finite powers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_types::{Energy, Fraction, MemBytes, Power, Seconds};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn profile(sm: f64, mem_gib: u64) -> WorkflowProfile {
+        let power = 75.0 + 1.75 * sm;
+        WorkflowProfile {
+            label: format!("wf(sm={sm})"),
+            task_count: 1,
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::new(1.0),
+            max_memory: MemBytes::from_gib(mem_gib),
+            duration: Seconds::new(10.0),
+            energy: Energy::from_joules(power * 10.0),
+            avg_power: Power::from_watts(power),
+            busy_fraction: 0.7,
+            saturation_partition: Fraction::new(0.9),
+        }
+    }
+
+    #[test]
+    fn low_pairs_and_heavy_exclusives_are_found() {
+        let profiles = vec![profile(10.0, 2), profile(20.0, 2), profile(90.0, 4)];
+        let advice = advise(&dev(), &profiles);
+        assert!(advice.iter().any(|a| matches!(
+            a,
+            Advice::PairForThroughput { a: 0, b: 1, .. }
+        )));
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::KeepExclusive { workflow: 2, .. })));
+    }
+
+    #[test]
+    fn energy_seed_is_the_lightest_workflow() {
+        let profiles = vec![profile(30.0, 2), profile(5.0, 2), profile(60.0, 2)];
+        let advice = advise(&dev(), &profiles);
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::ScheduleFirstForEnergy { workflow: 1, .. })));
+    }
+
+    #[test]
+    fn opposing_power_pairing_requires_spread_and_compatibility() {
+        // 10% vs 80% SM -> 92.5 W vs 215 W: big spread, compatible sums.
+        let profiles = vec![profile(10.0, 2), profile(80.0, 2)];
+        let advice = advise(&dev(), &profiles);
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::PairOpposingPower { a: 0, b: 1, .. })));
+
+        // Two similar-power workflows: no opposing-power advice.
+        let similar = vec![profile(40.0, 2), profile(45.0, 2)];
+        let advice = advise(&dev(), &similar);
+        assert!(!advice
+            .iter()
+            .any(|a| matches!(a, Advice::PairOpposingPower { .. })));
+    }
+
+    #[test]
+    fn memory_conflicts_are_flagged() {
+        let profiles = vec![profile(10.0, 60), profile(15.0, 60)];
+        let advice = advise(&dev(), &profiles);
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::MemoryConflict { a: 0, b: 1 })));
+        // And the same pair is NOT recommended for throughput pairing.
+        assert!(!advice
+            .iter()
+            .any(|a| matches!(a, Advice::PairForThroughput { .. })));
+    }
+
+    #[test]
+    fn advice_renders_readably() {
+        let profiles = vec![profile(10.0, 2), profile(20.0, 2)];
+        for a in advise(&dev(), &profiles) {
+            let text = a.to_string();
+            assert!(text.contains('#'), "unreadable: {text}");
+        }
+    }
+
+    #[test]
+    fn empty_queue_produces_no_advice() {
+        assert!(advise(&dev(), &[]).is_empty());
+    }
+}

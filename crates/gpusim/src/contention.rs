@@ -1,0 +1,415 @@
+//! Resource-contention solver.
+//!
+//! Given the set of kernels resident on the GPU at one instant — each with
+//! its MPS partition, SM-throughput demand, and memory-bandwidth demand —
+//! the solver computes every kernel's progress rate relative to solo
+//! execution. The model composes four effects, in order:
+//!
+//! 1. **Partition response** (granularity): wave-quantized speed at the
+//!    partition's SM count ([`crate::kernel::KernelSpec::speed_at_partition`]).
+//! 2. **SM-throughput contention**: if combined demand exceeds the device,
+//!    all kernels scale proportionally — MPS has no SM performance
+//!    isolation between oversubscribed partitions.
+//! 3. **Memory-bandwidth contention**: HBM arbitration is modeled as
+//!    max-min fair sharing, so a compute-bound kernel is *not* slowed when
+//!    a co-runner saturates the bus, but bandwidth hogs split the residual
+//!    fairly.
+//! 4. **Cache/sharing pressure**: MPS shares L2, the launch path,
+//!    scheduling hardware, and caches between clients; each kernel is
+//!    slowed by `1 / (1 + cache_sensitivity·Σ other BW pressure +
+//!    client_sensitivity·min(n−1, 6) + overhead·(n−1))`. The per-co-runner
+//!    term saturates: beyond a handful of co-runners the shared front-end
+//!    is already fully contended.
+//!
+//! Clock throttling from the power cap is applied afterwards by the engine
+//! (see [`crate::power`]) because it depends on total power, which depends
+//! on the rates computed here.
+
+use crate::device::DeviceSpec;
+use crate::kernel::KernelSpec;
+use mpshare_types::Fraction;
+use serde::{Deserialize, Serialize};
+
+/// Co-runner count beyond which per-client pressure stops growing (the
+/// shared front-end is saturated).
+pub const CLIENT_PRESSURE_CAP: f64 = 6.0;
+
+/// Per-kernel result of the contention solve, before clock throttling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Progress rate relative to solo full-partition execution, in `[0, 1]`.
+    pub rate: f64,
+    /// Fraction of device SM throughput consumed at this rate.
+    pub sm_share: f64,
+    /// Fraction of device memory bandwidth consumed at this rate.
+    pub bw_share: f64,
+    /// Weighted dynamic-power contribution (before clock scaling), watts.
+    pub dyn_power_watts: f64,
+}
+
+/// One kernel's inputs to the contention solve.
+#[derive(Debug, Clone, Copy)]
+pub struct Contender<'a> {
+    pub kernel: &'a KernelSpec,
+    /// The MPS SM partition (active thread percentage) of the owning client.
+    pub partition: Fraction,
+}
+
+/// Stateless solver; holds the device and the device-level sharing overhead.
+#[derive(Debug, Clone)]
+pub struct ContentionSolver {
+    device: DeviceSpec,
+    /// Per-additional-co-runner slowdown coefficient (shared scheduling
+    /// hardware / L2 pressure under MPS). Zero disables the effect.
+    sharing_overhead: f64,
+    /// When true, all contenders belong to one process (CUDA Streams):
+    /// they share an address space and launch path, so the per-client
+    /// pressure terms (client sensitivity, sharing overhead) do not apply.
+    /// Resource contention (SM throughput, bandwidth, cache) still does.
+    same_process: bool,
+}
+
+impl ContentionSolver {
+    pub fn new(device: DeviceSpec, sharing_overhead: f64) -> Self {
+        assert!(
+            sharing_overhead >= 0.0 && sharing_overhead.is_finite(),
+            "sharing overhead must be non-negative"
+        );
+        ContentionSolver {
+            device,
+            sharing_overhead,
+            same_process: false,
+        }
+    }
+
+    /// Marks all contenders as streams of one process (no per-client
+    /// pressure).
+    pub fn with_same_process(mut self, same_process: bool) -> Self {
+        self.same_process = same_process;
+        self
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Solves for the rates of all currently running kernels.
+    ///
+    /// Returns one [`Allocation`] per contender, in input order. With an
+    /// empty input the result is empty. All outputs are finite; rates are
+    /// in `[0, 1]`, and `Σ sm_share ≤ 1`, `Σ bw_share ≤ 1 + ε`.
+    pub fn solve(&self, contenders: &[Contender<'_>]) -> Vec<Allocation> {
+        let n = contenders.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Step 1: partition-capped speed for each kernel.
+        let speed_cap: Vec<f64> = contenders
+            .iter()
+            .map(|c| c.kernel.speed_at_partition(&self.device, c.partition))
+            .collect();
+
+        // Step 2: proportional SM-throughput contention. Demands are
+        // rescaled from each kernel's calibration device to this one.
+        let sm_demands: Vec<f64> = contenders
+            .iter()
+            .map(|c| c.kernel.sm_demand_on(&self.device))
+            .collect();
+        let bw_demands: Vec<f64> = contenders
+            .iter()
+            .map(|c| c.kernel.bw_demand_on(&self.device))
+            .collect();
+        let total_sm_demand: f64 = sm_demands
+            .iter()
+            .zip(&speed_cap)
+            .map(|(d, s)| d * s)
+            .sum();
+        let compute_scale = if total_sm_demand > 1.0 {
+            1.0 / total_sm_demand
+        } else {
+            1.0
+        };
+        let r1: Vec<f64> = speed_cap.iter().map(|s| s * compute_scale).collect();
+
+        // Step 3: max-min fair bandwidth. wanted_i = bw_demand_i · r1_i.
+        let wanted: Vec<f64> = bw_demands
+            .iter()
+            .zip(&r1)
+            .map(|(d, r)| d * r)
+            .collect();
+        let granted = max_min_share(&wanted, 1.0);
+        let r2: Vec<f64> = r1
+            .iter()
+            .zip(wanted.iter().zip(&granted))
+            .map(|(r, (w, g))| {
+                if *w > 0.0 {
+                    r * (g / w).min(1.0)
+                } else {
+                    *r
+                }
+            })
+            .collect();
+
+        // Step 4: cache/sharing pressure. Pressure on kernel i is the BW
+        // consumption of everyone else plus a flat per-co-runner term.
+        let bw_used: Vec<f64> = bw_demands
+            .iter()
+            .zip(&r2)
+            .map(|(d, r)| d * r)
+            .collect();
+        let total_bw_used: f64 = bw_used.iter().sum();
+        let rates: Vec<f64> = contenders
+            .iter()
+            .zip(r2.iter().zip(&bw_used))
+            .map(|(c, (r, own_bw))| {
+                let other_pressure = (total_bw_used - own_bw).max(0.0);
+                let corunners = if self.same_process {
+                    0.0
+                } else {
+                    (n as f64 - 1.0).max(0.0)
+                };
+                let slowdown = 1.0
+                    + c.kernel.cache_sensitivity * other_pressure
+                    + c.kernel.client_sensitivity * corunners.min(CLIENT_PRESSURE_CAP)
+                    + self.sharing_overhead * corunners;
+                r / slowdown
+            })
+            .collect();
+
+        // Occupancy (and therefore power) follows the pre-pressure rates:
+        // a kernel slowed by cache thrash or client pressure still holds
+        // its SMs and burns power while stalled — `nvidia-smi` reports it
+        // busy. Only *progress* (and the data actually moved on the bus)
+        // takes the slowdown.
+        contenders
+            .iter()
+            .zip(rates.iter().zip(&r2))
+            .enumerate()
+            .map(|(i, (c, (r, busy_rate)))| {
+                let sm_share = sm_demands[i] * busy_rate;
+                let bw_share = bw_demands[i] * r;
+                let dyn_power_watts = c.kernel.power_scale
+                    * (self.device.power_per_sm_pct * sm_share * 100.0
+                        + self.device.power_per_bw_pct * bw_share * 100.0);
+                Allocation {
+                    rate: *r,
+                    sm_share,
+                    bw_share,
+                    dyn_power_watts,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Max-min fair allocation of `capacity` among `wanted` demands
+/// (water-filling): demands below the fair share are fully granted and the
+/// residual is redistributed among the rest.
+pub fn max_min_share(wanted: &[f64], capacity: f64) -> Vec<f64> {
+    let n = wanted.len();
+    let mut granted = vec![0.0; n];
+    if n == 0 {
+        return granted;
+    }
+    let total: f64 = wanted.iter().sum();
+    if total <= capacity {
+        granted.copy_from_slice(wanted);
+        return granted;
+    }
+
+    // Sort indices by demand ascending; grant in order, recomputing the fair
+    // share of the remaining capacity at each step.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| wanted[a].partial_cmp(&wanted[b]).expect("finite demands"));
+
+    let mut remaining_capacity = capacity;
+    let mut remaining_users = n;
+    for &i in &order {
+        let fair = remaining_capacity / remaining_users as f64;
+        let g = wanted[i].min(fair);
+        granted[i] = g;
+        remaining_capacity -= g;
+        remaining_users -= 1;
+    }
+    granted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::LaunchConfig;
+    use mpshare_types::Seconds;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    /// A kernel occupying `sm` of the device's SM throughput and `bw` of
+    /// its bandwidth, with a grid large enough to scale linearly.
+    fn k(sm: f64, bw: f64) -> KernelSpec {
+        KernelSpec::from_launch(
+            &dev(),
+            LaunchConfig::dense(216 * 100, 1024),
+            Seconds::new(1.0),
+        )
+        .with_sm_demand(Fraction::new(sm))
+        .with_bw_demand(Fraction::new(bw))
+    }
+
+    fn solve(kernels: &[KernelSpec]) -> Vec<Allocation> {
+        let solver = ContentionSolver::new(dev(), 0.0);
+        let contenders: Vec<Contender<'_>> = kernels
+            .iter()
+            .map(|kernel| Contender {
+                kernel,
+                partition: Fraction::ONE,
+            })
+            .collect();
+        solver.solve(&contenders)
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(solve(&[]).is_empty());
+    }
+
+    #[test]
+    fn solo_low_utilization_kernel_runs_at_full_rate() {
+        let a = solve(&[k(0.3, 0.1)]);
+        assert!((a[0].rate - 1.0).abs() < 1e-12);
+        assert!((a[0].sm_share - 0.3).abs() < 1e-12);
+        assert!((a[0].bw_share - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_interfering_pair_runs_at_full_rate() {
+        // The paper's rule: combined SM < 100% and BW < 100% -> no
+        // interference.
+        let a = solve(&[k(0.4, 0.2), k(0.5, 0.3)]);
+        assert!((a[0].rate - 1.0).abs() < 1e-9);
+        assert!((a[1].rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sm_oversubscription_scales_proportionally() {
+        // 0.8 + 0.8 = 1.6 demand -> everyone at 1/1.6.
+        let a = solve(&[k(0.8, 0.0), k(0.8, 0.0)]);
+        for alloc in &a {
+            assert!((alloc.rate - 1.0 / 1.6).abs() < 1e-9);
+        }
+        let total_sm: f64 = a.iter().map(|x| x.sm_share).sum();
+        assert!((total_sm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_hog_does_not_slow_compute_bound_corunner() {
+        // Kernel A: compute bound (bw 0.05). Kernel B: saturates BW (0.9).
+        // Combined wanted = 0.95 < 1 -> no slowdown at all. Push B to 2
+        // copies to exceed capacity.
+        let a = solve(&[k(0.2, 0.05), k(0.3, 0.9), k(0.3, 0.9)]);
+        // A gets its 0.05 fully (max-min), so it runs at full rate.
+        assert!((a[0].rate - 1.0).abs() < 1e-9, "rate was {}", a[0].rate);
+        // B kernels split the residual 0.95/2 each -> rate ≈ 0.475/0.9.
+        let expected = (0.95 / 2.0) / 0.9;
+        assert!((a[1].rate - expected).abs() < 1e-6);
+        assert!((a[2].rate - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_shares_never_exceed_capacity() {
+        let kernels: Vec<KernelSpec> = (0..6).map(|_| k(0.5, 0.4)).collect();
+        let a = solve(&kernels);
+        let total_sm: f64 = a.iter().map(|x| x.sm_share).sum();
+        let total_bw: f64 = a.iter().map(|x| x.bw_share).sum();
+        assert!(total_sm <= 1.0 + 1e-9, "sm {total_sm}");
+        assert!(total_bw <= 1.0 + 1e-9, "bw {total_bw}");
+    }
+
+    #[test]
+    fn partition_caps_rate_for_small_partitions() {
+        let solver = ContentionSolver::new(dev(), 0.0);
+        let kernel = k(0.9, 0.0);
+        let a = solver.solve(&[Contender {
+            kernel: &kernel,
+            partition: Fraction::new(0.25),
+        }]);
+        // Linear-scaling kernel at 25% partition: rate ≈ 0.25.
+        assert!((a[0].rate - 0.25).abs() < 0.01, "rate {}", a[0].rate);
+    }
+
+    #[test]
+    fn cache_sensitivity_slows_victim_under_pressure() {
+        let victim = k(0.2, 0.1).with_cache_sensitivity(1.0);
+        let aggressor = k(0.2, 0.5);
+        let solo = solve(std::slice::from_ref(&victim));
+        let shared = solve(&[victim.clone(), aggressor]);
+        assert!((solo[0].rate - 1.0).abs() < 1e-9);
+        // Pressure ≈ 0.5 -> slowdown ≈ 1.5.
+        assert!(shared[0].rate < 0.72 && shared[0].rate > 0.6, "rate {}", shared[0].rate);
+    }
+
+    #[test]
+    fn sharing_overhead_scales_with_corunner_count() {
+        let solver = ContentionSolver::new(dev(), 0.01);
+        let kernel = k(0.05, 0.0);
+        let rate_of = |n: usize| {
+            let kernels: Vec<KernelSpec> = (0..n).map(|_| kernel.clone()).collect();
+            let contenders: Vec<Contender<'_>> = kernels
+                .iter()
+                .map(|kernel| Contender {
+                    kernel,
+                    partition: Fraction::ONE,
+                })
+                .collect();
+            solver.solve(&contenders)[0].rate
+        };
+        let r1 = rate_of(1);
+        let r4 = rate_of(4);
+        let r16 = rate_of(16);
+        assert!((r1 - 1.0).abs() < 1e-9);
+        assert!(r4 < r1 && r16 < r4);
+        assert!((r4 - 1.0 / 1.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dyn_power_reflects_shares_and_scale() {
+        let kernel = k(0.5, 0.2).with_power_scale(2.0);
+        let a = solve(std::slice::from_ref(&kernel));
+        let d = dev();
+        let expected = 2.0 * (d.power_per_sm_pct * 50.0 + d.power_per_bw_pct * 20.0);
+        assert!((a[0].dyn_power_watts - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_share_under_capacity_grants_everything() {
+        let g = max_min_share(&[0.2, 0.3], 1.0);
+        assert_eq!(g, vec![0.2, 0.3]);
+    }
+
+    #[test]
+    fn max_min_share_protects_small_demands() {
+        let g = max_min_share(&[0.1, 0.9, 0.9], 1.0);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[1] - 0.45).abs() < 1e-12);
+        assert!((g[2] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_min_share_equal_demands_split_evenly() {
+        let g = max_min_share(&[0.8, 0.8, 0.8, 0.8], 1.0);
+        for x in g {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_min_share_total_equals_capacity_when_oversubscribed() {
+        let g = max_min_share(&[0.5, 0.7, 0.2, 0.9], 1.0);
+        let total: f64 = g.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (gi, wi) in g.iter().zip([0.5, 0.7, 0.2, 0.9]) {
+            assert!(*gi <= wi + 1e-12);
+        }
+    }
+}

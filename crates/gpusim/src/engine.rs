@@ -1,0 +1,1128 @@
+//! Piecewise-constant-rate discrete-event execution engine.
+//!
+//! The engine advances simulated time between *events* (kernel completion,
+//! host-gap expiry, client arrival, time-slice quantum expiry). Between
+//! events the set of resident kernels is fixed, so the contention solver's
+//! rates are constant and the time of the next completion is exact. This
+//! makes the simulation deterministic and free of time-stepping error.
+//!
+//! Three sharing modes are supported, mirroring the paper's §II-B:
+//!
+//! * [`SharingMode::Mps`] — all clients resident concurrently, each with an
+//!   SM partition (active thread percentage). Memory bandwidth, caches and
+//!   scheduling hardware are shared (the contention model).
+//! * [`SharingMode::TimeSliced`] — the default GPU scheduler: one client's
+//!   kernels on the device at a time, rotated with a quantum and a context
+//!   switch overhead. Host-side phases (setup, gaps) still overlap, which
+//!   is why time-slicing retains *some* benefit over sequential for bursty
+//!   workloads.
+//! * [`SharingMode::Sequential`] — jobs run strictly one after another in
+//!   queue order with no overlap of any kind: the paper's baseline for
+//!   both throughput and energy-efficiency comparisons.
+
+use crate::contention::{Contender, ContentionSolver};
+use crate::device::DeviceSpec;
+use crate::events::{Event, EventKind, EventLog};
+use crate::power::PowerModel;
+use crate::program::ClientProgram;
+use crate::telemetry::{Segment, Telemetry};
+use mpshare_types::{Energy, Error, Fraction, MemBytes, Result, Seconds, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// How resident clients share the GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SharingMode {
+    /// CUDA MPS: concurrent execution with per-client SM partitions.
+    /// `partitions[i]` is client `i`'s active thread percentage as a
+    /// fraction; partitions may oversubscribe (sum > 1).
+    Mps { partitions: Vec<Fraction> },
+    /// Default time-sliced scheduler.
+    TimeSliced {
+        quantum: Seconds,
+        switch_overhead: Seconds,
+    },
+    /// Strict sequential execution in client order (the paper's baseline).
+    Sequential,
+    /// CUDA Streams: all "clients" are streams of one fused process. They
+    /// execute concurrently with no partitions, share one address space
+    /// (no memory protection — but footprints still consume capacity),
+    /// and pay no per-client MPS pressure. Resource contention still
+    /// applies.
+    Streams,
+}
+
+impl SharingMode {
+    /// MPS with every client at a 100 % partition (the MPS default).
+    pub fn mps_uniform(clients: usize) -> SharingMode {
+        SharingMode::Mps {
+            partitions: vec![Fraction::ONE; clients],
+        }
+    }
+
+    /// Time slicing with defaults representative of the driver scheduler:
+    /// a 2 ms quantum and a 100 µs context-switch penalty.
+    pub fn timesliced_default() -> SharingMode {
+        SharingMode::TimeSliced {
+            quantum: Seconds::from_millis(2.0),
+            switch_overhead: Seconds::from_millis(0.1),
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub device: DeviceSpec,
+    pub mode: SharingMode,
+    /// Device-level per-co-runner slowdown (see [`ContentionSolver`]).
+    pub sharing_overhead: f64,
+    /// Safety valve: abort after this many events (guards against
+    /// pathological quantum settings).
+    pub max_events: u64,
+    /// Record a discrete-event log (task/kernel boundaries, memory
+    /// blocking, throttle transitions, context switches). Off by default:
+    /// long sweeps don't need it and it costs memory.
+    pub record_events: bool,
+}
+
+impl EngineConfig {
+    pub fn new(device: DeviceSpec, mode: SharingMode) -> Self {
+        EngineConfig {
+            device,
+            mode,
+            sharing_overhead: 0.0,
+            max_events: 50_000_000,
+            record_events: false,
+        }
+    }
+
+    pub fn with_sharing_overhead(mut self, overhead: f64) -> Self {
+        self.sharing_overhead = overhead;
+        self
+    }
+
+    pub fn with_event_log(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+}
+
+/// Completion record for one workflow task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskCompletion {
+    pub task: TaskId,
+    pub label: String,
+    pub client: usize,
+    pub at: Seconds,
+}
+
+/// Per-client summary of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientOutcome {
+    pub label: String,
+    /// When the client's first task began setup.
+    pub started: Seconds,
+    /// When the client's last task completed.
+    pub finished: Seconds,
+    /// Integrated GPU progress time (Σ rate·dt over its kernels).
+    pub gpu_progress: Seconds,
+    pub completions: Vec<TaskCompletion>,
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    pub telemetry: Telemetry,
+    pub clients: Vec<ClientOutcome>,
+    /// Time of the last completion.
+    pub makespan: Seconds,
+    pub total_energy: Energy,
+    pub tasks_completed: usize,
+    /// Discrete-event log; empty unless `EngineConfig::record_events`.
+    pub events: EventLog,
+}
+
+impl RunResult {
+    /// Tasks completed per second over the makespan — the raw quantity
+    /// behind the paper's throughput metric.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == Seconds::ZERO {
+            0.0
+        } else {
+            self.tasks_completed as f64 / self.makespan.value()
+        }
+    }
+
+    /// All task completions across clients, sorted by time.
+    pub fn completions(&self) -> Vec<&TaskCompletion> {
+        let mut all: Vec<&TaskCompletion> = self
+            .clients
+            .iter()
+            .flat_map(|c| c.completions.iter())
+            .collect();
+        all.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        all
+    }
+}
+
+/// Progress-resolution epsilon: counters within this of zero are complete.
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Process not yet arrived (or not yet eligible under Sequential).
+    Pending,
+    /// Blocked waiting for device memory for the current task.
+    WaitingMemory,
+    /// Host-side setup of the current task; `remaining` seconds left.
+    Setup { remaining: f64 },
+    /// Current kernel resident on the GPU; `remaining` solo-seconds left.
+    Running { remaining: f64 },
+    /// Host-side gap after a kernel; `remaining` seconds left.
+    Gap { remaining: f64 },
+    /// All tasks finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct ClientState {
+    program: ClientProgram,
+    task_idx: usize,
+    kernel_idx: usize,
+    phase: Phase,
+    held_memory: MemBytes,
+    started: Option<Seconds>,
+    finished: Option<Seconds>,
+    gpu_progress: f64,
+    completions: Vec<TaskCompletion>,
+}
+
+impl ClientState {
+    fn new(program: ClientProgram) -> Self {
+        ClientState {
+            program,
+            task_idx: 0,
+            kernel_idx: 0,
+            phase: Phase::Pending,
+            held_memory: MemBytes::ZERO,
+            started: None,
+            finished: None,
+            gpu_progress: 0.0,
+            completions: Vec::new(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    fn is_running(&self) -> bool {
+        matches!(self.phase, Phase::Running { .. })
+    }
+}
+
+/// The execution engine. Construct with [`Engine::new`], then [`Engine::run`].
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    solver: ContentionSolver,
+    power: PowerModel,
+    clients: Vec<ClientState>,
+    free_memory: MemBytes,
+    /// FIFO of clients blocked on memory, in blocking order.
+    memory_waiters: Vec<usize>,
+    now: f64,
+    telemetry: Telemetry,
+    // Time-slicing state.
+    active: Option<usize>,
+    quantum_remaining: f64,
+    switch_remaining: f64,
+    next_rr: usize,
+    events: u64,
+    log: EventLog,
+    was_capped: bool,
+}
+
+impl Engine {
+    /// Builds an engine for the given client programs. Validates programs
+    /// against the device, the partition list length, and the MPS client
+    /// limit.
+    pub fn new(config: EngineConfig, programs: Vec<ClientProgram>) -> Result<Self> {
+        let device = config.device.clone().validated()?;
+        for p in &programs {
+            p.validate(&device)?;
+        }
+        match &config.mode {
+            SharingMode::Mps { partitions } => {
+                if partitions.len() != programs.len() {
+                    return Err(Error::InvalidConfig(format!(
+                        "{} partitions for {} clients",
+                        partitions.len(),
+                        programs.len()
+                    )));
+                }
+                if programs.len() > device.max_mps_clients {
+                    return Err(Error::ClientLimitExceeded {
+                        gpu: mpshare_types::GpuId::new(0),
+                        limit: device.max_mps_clients,
+                    });
+                }
+                if partitions.iter().any(|p| p.is_zero()) {
+                    return Err(Error::InvalidConfig(
+                        "MPS partitions must be non-zero".into(),
+                    ));
+                }
+            }
+            SharingMode::TimeSliced { quantum, .. } => {
+                if quantum.value() <= 0.0 {
+                    return Err(Error::InvalidConfig(
+                        "time-slice quantum must be positive".into(),
+                    ));
+                }
+            }
+            SharingMode::Sequential | SharingMode::Streams => {}
+        }
+        let free_memory = device.memory_capacity;
+        let log = if config.record_events {
+            EventLog::new()
+        } else {
+            EventLog::with_capacity(0)
+        };
+        let same_process = matches!(config.mode, SharingMode::Streams);
+        let solver = ContentionSolver::new(device.clone(), config.sharing_overhead)
+            .with_same_process(same_process);
+        let power = PowerModel::new(&device);
+        Ok(Engine {
+            config,
+            solver,
+            power,
+            clients: programs.into_iter().map(ClientState::new).collect(),
+            free_memory,
+            memory_waiters: Vec::new(),
+            now: 0.0,
+            telemetry: Telemetry::new(),
+            active: None,
+            quantum_remaining: 0.0,
+            switch_remaining: 0.0,
+            next_rr: 0,
+            events: 0,
+            log,
+            was_capped: false,
+        })
+    }
+
+    fn record(&mut self, client: usize, kind: EventKind) {
+        if self.config.record_events {
+            self.log.record(Seconds::new(self.now), client, kind);
+        }
+    }
+
+    /// Runs all clients to completion and returns the result.
+    pub fn run(mut self) -> Result<RunResult> {
+        loop {
+            self.process_transitions()?;
+            if self.clients.iter().all(|c| c.is_done()) {
+                break;
+            }
+            self.events += 1;
+            if self.events > self.config.max_events {
+                return Err(Error::Stalled {
+                    at_seconds: self.now,
+                    detail: format!("exceeded {} events", self.config.max_events),
+                });
+            }
+            self.advance()?;
+        }
+
+        if self.was_capped {
+            self.record(Event::DEVICE, EventKind::ThrottleOff);
+        }
+        let makespan = Seconds::new(
+            self.clients
+                .iter()
+                .filter_map(|c| c.finished)
+                .map(|s| s.value())
+                .fold(0.0, f64::max),
+        );
+        let tasks_completed = self.clients.iter().map(|c| c.completions.len()).sum();
+        let total_energy = self.telemetry.total_energy();
+        let clients = self
+            .clients
+            .into_iter()
+            .map(|c| ClientOutcome {
+                label: c.program.label.clone(),
+                started: c.started.unwrap_or(Seconds::ZERO),
+                finished: c.finished.unwrap_or(Seconds::ZERO),
+                gpu_progress: Seconds::new(c.gpu_progress.max(0.0)),
+                completions: c.completions,
+            })
+            .collect();
+        Ok(RunResult {
+            telemetry: self.telemetry,
+            clients,
+            makespan,
+            total_energy,
+            tasks_completed,
+            events: self.log,
+        })
+    }
+
+    /// Is client `i` allowed to begin executing (arrival + mode gating)?
+    fn eligible(&self, i: usize) -> bool {
+        if self.clients[i].program.arrival.value() > self.now + EPS {
+            return false;
+        }
+        match self.config.mode {
+            SharingMode::Sequential => self.clients[..i].iter().all(|c| c.is_done()),
+            _ => true,
+        }
+    }
+
+    /// Drains all zero-cost state transitions at the current time:
+    /// arrivals, memory grants, task/kernel boundaries. Loops until a fixed
+    /// point since one transition can enable another (e.g. a completion
+    /// frees memory that unblocks a waiter).
+    fn process_transitions(&mut self) -> Result<()> {
+        loop {
+            let mut changed = false;
+            for i in 0..self.clients.len() {
+                changed |= self.step_client(i)?;
+            }
+            changed |= self.grant_memory();
+            if !changed {
+                break;
+            }
+        }
+        self.fix_timeslice_active();
+        Ok(())
+    }
+
+    /// Applies at most one transition for client `i`; returns whether
+    /// anything changed.
+    fn step_client(&mut self, i: usize) -> Result<bool> {
+        let phase = self.clients[i].phase.clone();
+        match phase {
+            Phase::Pending => {
+                if self.eligible(i) {
+                    self.begin_task(i);
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            Phase::Setup { remaining } if remaining <= EPS => {
+                self.clients[i].kernel_idx = 0;
+                self.start_kernel(i);
+                Ok(true)
+            }
+            Phase::Running { remaining } if remaining <= EPS => {
+                self.finish_kernel(i);
+                Ok(true)
+            }
+            Phase::Gap { remaining } if remaining <= EPS => {
+                self.clients[i].kernel_idx += 1;
+                self.start_kernel(i);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Begins the current task of client `i`: request memory, then setup.
+    fn begin_task(&mut self, i: usize) {
+        let client = &mut self.clients[i];
+        if client.started.is_none() {
+            client.started = Some(Seconds::new(self.now));
+        }
+        let task = &client.program.tasks[client.task_idx];
+        let (id, label, need) = (task.id, task.label.clone(), task.memory);
+        if need <= self.free_memory {
+            self.free_memory = self.free_memory.saturating_sub(need);
+            let client = &mut self.clients[i];
+            client.held_memory = need;
+            let setup = client.program.tasks[client.task_idx].setup.value();
+            client.phase = Phase::Setup { remaining: setup };
+            self.record(i, EventKind::TaskStart { task: id, label });
+        } else {
+            self.clients[i].phase = Phase::WaitingMemory;
+            self.memory_waiters.push(i);
+            self.record(i, EventKind::MemoryBlocked { task: id });
+        }
+    }
+
+    /// Starts kernel `kernel_idx` of the current task, or completes the
+    /// task if the kernel list is exhausted.
+    fn start_kernel(&mut self, i: usize) {
+        let client = &mut self.clients[i];
+        let task = &client.program.tasks[client.task_idx];
+        if client.kernel_idx < task.kernels.len() {
+            let remaining = task.kernels[client.kernel_idx].solo_duration.value();
+            let (id, kernel_index) = (task.id, client.kernel_idx);
+            client.phase = Phase::Running { remaining };
+            self.record(i, EventKind::KernelStart { task: id, kernel_index });
+        } else {
+            // Task complete: free memory, record, move on.
+            let completion = TaskCompletion {
+                task: task.id,
+                label: task.label.clone(),
+                client: i,
+                at: Seconds::new(self.now),
+            };
+            let finished_task = completion.task;
+            self.free_memory += client.held_memory;
+            client.held_memory = MemBytes::ZERO;
+            client.completions.push(completion);
+            client.task_idx += 1;
+            client.kernel_idx = 0;
+            if client.task_idx < client.program.tasks.len() {
+                client.phase = Phase::Pending;
+            } else {
+                client.phase = Phase::Done;
+                client.finished = Some(Seconds::new(self.now));
+            }
+            self.record(i, EventKind::TaskEnd { task: finished_task });
+        }
+    }
+
+    /// Moves a client whose kernel finished into its host gap (or directly
+    /// to the next kernel / task end when the gap is zero).
+    fn finish_kernel(&mut self, i: usize) {
+        let client = &mut self.clients[i];
+        let task = &client.program.tasks[client.task_idx];
+        let gap = task.kernels[client.kernel_idx].host_gap.value();
+        let (id, kernel_index) = (task.id, client.kernel_idx);
+        self.record(i, EventKind::KernelEnd { task: id, kernel_index });
+        let client = &mut self.clients[i];
+        if gap > EPS {
+            client.phase = Phase::Gap { remaining: gap };
+        } else {
+            client.kernel_idx += 1;
+            self.start_kernel(i);
+        }
+    }
+
+    /// Grants memory to blocked clients in FIFO order; returns whether any
+    /// grant happened.
+    fn grant_memory(&mut self) -> bool {
+        let mut granted = false;
+        let mut j = 0;
+        while j < self.memory_waiters.len() {
+            let i = self.memory_waiters[j];
+            let client = &mut self.clients[i];
+            let need = client.program.tasks[client.task_idx].memory;
+            if need <= self.free_memory {
+                self.free_memory = self.free_memory.saturating_sub(need);
+                client.held_memory = need;
+                let setup = client.program.tasks[client.task_idx].setup.value();
+                client.phase = Phase::Setup { remaining: setup };
+                self.memory_waiters.remove(j);
+                granted = true;
+            } else {
+                j += 1;
+            }
+        }
+        granted
+    }
+
+    /// Keeps the time-slicing `active` pointer valid: points at a Running
+    /// client, rotating round-robin when the current one stops running.
+    fn fix_timeslice_active(&mut self) {
+        let SharingMode::TimeSliced {
+            quantum,
+            switch_overhead,
+        } = &self.config.mode
+        else {
+            return;
+        };
+        let quantum = quantum.value();
+        let switch = switch_overhead.value();
+        let still_valid = self
+            .active
+            .is_some_and(|a| self.clients[a].is_running());
+        if still_valid {
+            return;
+        }
+        // Pick the next runnable client round-robin from next_rr.
+        let n = self.clients.len();
+        let next = (0..n)
+            .map(|k| (self.next_rr + k) % n)
+            .find(|&i| self.clients[i].is_running());
+        match next {
+            Some(i) => {
+                let switching_from_other = self.active.is_some_and(|a| a != i) || self.active.is_none() && self.now > 0.0;
+                self.active = Some(i);
+                self.next_rr = (i + 1) % n;
+                self.quantum_remaining = quantum;
+                self.switch_remaining = if switching_from_other { switch } else { 0.0 };
+            }
+            None => {
+                self.active = None;
+                self.quantum_remaining = 0.0;
+                self.switch_remaining = 0.0;
+            }
+        }
+    }
+
+    /// Rotates the time-slice on quantum expiry (only meaningful when more
+    /// than one client is runnable).
+    fn rotate_timeslice(&mut self) {
+        let SharingMode::TimeSliced {
+            quantum,
+            switch_overhead,
+        } = self.config.mode.clone()
+        else {
+            return;
+        };
+        let runnable: Vec<usize> = (0..self.clients.len())
+            .filter(|&i| self.clients[i].is_running())
+            .collect();
+        if runnable.len() <= 1 {
+            self.quantum_remaining = quantum.value();
+            return;
+        }
+        let n = self.clients.len();
+        let next = (0..n)
+            .map(|k| (self.next_rr + k) % n)
+            .find(|&i| self.clients[i].is_running())
+            .expect("at least two runnable clients");
+        if Some(next) != self.active {
+            self.switch_remaining = switch_overhead.value();
+            self.record(Event::DEVICE, EventKind::ContextSwitch { to_client: next });
+        }
+        self.active = Some(next);
+        self.next_rr = (next + 1) % n;
+        self.quantum_remaining = quantum.value();
+    }
+
+    /// Returns the indices of clients whose kernels are on the GPU now.
+    fn scheduled_running(&self) -> Vec<usize> {
+        match &self.config.mode {
+            SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => (0..self
+                .clients
+                .len())
+                .filter(|&i| self.clients[i].is_running())
+                .collect(),
+            SharingMode::TimeSliced { .. } => {
+                if self.switch_remaining > EPS {
+                    Vec::new() // context switch in progress: GPU drained
+                } else {
+                    self.active
+                        .filter(|&a| self.clients[a].is_running())
+                        .map(|a| vec![a])
+                        .unwrap_or_default()
+                }
+            }
+        }
+    }
+
+    fn partition_of(&self, client: usize) -> Fraction {
+        match &self.config.mode {
+            SharingMode::Mps { partitions } => partitions[client],
+            _ => Fraction::ONE,
+        }
+    }
+
+    /// Advances simulated time to the next event, integrating telemetry.
+    fn advance(&mut self) -> Result<()> {
+        let scheduled = self.scheduled_running();
+
+        // Solve rates for the scheduled kernels.
+        let contenders: Vec<Contender<'_>> = scheduled
+            .iter()
+            .map(|&i| {
+                let c = &self.clients[i];
+                Contender {
+                    kernel: &c.program.tasks[c.task_idx].kernels[c.kernel_idx],
+                    partition: self.partition_of(i),
+                }
+            })
+            .collect();
+        let allocations = self.solver.solve(&contenders);
+        let dyn_power: f64 = allocations.iter().map(|a| a.dyn_power_watts).sum();
+        // Streams of one process interleave like a single client as far as
+        // the power-peak model is concerned.
+        let resident_processes = match self.config.mode {
+            SharingMode::Streams => scheduled.len().min(1),
+            _ => scheduled.len(),
+        };
+        let pstate = self.power.resolve(dyn_power, resident_processes);
+        let rates: Vec<f64> = allocations
+            .iter()
+            .map(|a| a.rate * pstate.clock_factor)
+            .collect();
+
+        // Find the next event horizon.
+        let mut dt = f64::INFINITY;
+        // Kernel completions.
+        for (slot, &i) in scheduled.iter().enumerate() {
+            if let Phase::Running { remaining } = self.clients[i].phase {
+                if rates[slot] > 0.0 {
+                    dt = dt.min(remaining / rates[slot]);
+                }
+            }
+        }
+        // Host-side timers (setup and gaps) always progress.
+        for c in &self.clients {
+            match c.phase {
+                Phase::Setup { remaining } | Phase::Gap { remaining } => {
+                    dt = dt.min(remaining);
+                }
+                _ => {}
+            }
+        }
+        // Future arrivals.
+        for (i, c) in self.clients.iter().enumerate() {
+            if matches!(c.phase, Phase::Pending) && !self.eligible(i) {
+                let at = c.program.arrival.value();
+                if at > self.now {
+                    dt = dt.min(at - self.now);
+                }
+            }
+        }
+        // Time-slice events.
+        let mut quantum_event = false;
+        if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
+            if self.switch_remaining > EPS {
+                dt = dt.min(self.switch_remaining);
+            } else if !scheduled.is_empty() {
+                let runnable = self
+                    .clients
+                    .iter()
+                    .filter(|c| c.is_running())
+                    .count();
+                if runnable > 1 && self.quantum_remaining > EPS {
+                    if self.quantum_remaining <= dt {
+                        quantum_event = true;
+                    }
+                    dt = dt.min(self.quantum_remaining);
+                }
+            }
+        }
+
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(Error::Stalled {
+                at_seconds: self.now,
+                detail: format!(
+                    "no progress possible ({} scheduled kernels, dt={dt})",
+                    scheduled.len()
+                ),
+            });
+        }
+
+        // Throttle transition events.
+        if pstate.capped != self.was_capped {
+            let kind = if pstate.capped {
+                EventKind::ThrottleOn
+            } else {
+                EventKind::ThrottleOff
+            };
+            self.record(Event::DEVICE, kind);
+            self.was_capped = pstate.capped;
+        }
+
+        // Integrate telemetry for this segment.
+        let sm_util: f64 = allocations.iter().map(|a| a.sm_share).sum();
+        let bw_util: f64 = allocations.iter().map(|a| a.bw_share).sum();
+        self.telemetry.record(Segment {
+            start: Seconds::new(self.now),
+            end: Seconds::new(self.now + dt),
+            sm_util: sm_util.min(1.0),
+            bw_util: bw_util.min(1.0),
+            power: pstate.power,
+            clock_factor: pstate.clock_factor,
+            capped: pstate.capped,
+            active_clients: scheduled.len(),
+        });
+
+        // Apply progress.
+        for (slot, &i) in scheduled.iter().enumerate() {
+            if let Phase::Running { remaining } = &mut self.clients[i].phase {
+                let progress = rates[slot] * dt;
+                *remaining = (*remaining - progress).max(0.0);
+                self.clients[i].gpu_progress += progress;
+            }
+        }
+        for c in &mut self.clients {
+            match &mut c.phase {
+                Phase::Setup { remaining } | Phase::Gap { remaining } => {
+                    *remaining = (*remaining - dt).max(0.0);
+                }
+                _ => {}
+            }
+        }
+        if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
+            if self.switch_remaining > EPS {
+                self.switch_remaining = (self.switch_remaining - dt).max(0.0);
+            } else {
+                self.quantum_remaining = (self.quantum_remaining - dt).max(0.0);
+            }
+        }
+        self.now += dt;
+        if quantum_event && self.quantum_remaining <= EPS {
+            self.rotate_timeslice();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KernelSpec, LaunchConfig};
+    use crate::program::TaskProgram;
+    use mpshare_types::Percent;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    /// A kernel with a large grid (linear partition response), given SM and
+    /// BW demand and a host gap.
+    fn kernel(dur: f64, sm: f64, bw: f64, gap: f64) -> KernelSpec {
+        KernelSpec::from_launch(
+            &dev(),
+            LaunchConfig::dense(216 * 64, 1024),
+            Seconds::new(dur),
+        )
+        .with_sm_demand(Fraction::new(sm))
+        .with_bw_demand(Fraction::new(bw))
+        .with_host_gap(Seconds::new(gap))
+    }
+
+    fn one_task_client(label: &str, id: u64, kernels: Vec<KernelSpec>) -> ClientProgram {
+        let mut t = TaskProgram::new(TaskId::new(id), label, MemBytes::from_mib(1024));
+        for k in kernels {
+            t.push_kernel(k);
+        }
+        let mut c = ClientProgram::new(label);
+        c.push_task(t);
+        c
+    }
+
+    fn run(mode: SharingMode, programs: Vec<ClientProgram>) -> RunResult {
+        Engine::new(EngineConfig::new(dev(), mode), programs)
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_client_runs_for_its_solo_time() {
+        let c = one_task_client("solo", 0, vec![kernel(2.0, 0.5, 0.1, 0.5)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        // 2.0s kernel + 0.5s gap after it.
+        assert!((r.makespan.value() - 2.5).abs() < 1e-9, "makespan {}", r.makespan);
+        assert_eq!(r.tasks_completed, 1);
+        assert_eq!(r.clients[0].completions.len(), 1);
+    }
+
+    #[test]
+    fn non_interfering_clients_fully_overlap() {
+        let a = one_task_client("a", 0, vec![kernel(4.0, 0.3, 0.1, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(4.0, 0.3, 0.1, 0.0)]);
+        let r = run(SharingMode::mps_uniform(2), vec![a, b]);
+        assert!((r.makespan.value() - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn oversubscribed_clients_slow_down() {
+        let a = one_task_client("a", 0, vec![kernel(4.0, 0.8, 0.0, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(4.0, 0.8, 0.0, 0.0)]);
+        let r = run(SharingMode::mps_uniform(2), vec![a, b]);
+        // Σ demand = 1.6 -> rate 1/1.6 -> 6.4 s.
+        assert!((r.makespan.value() - 6.4).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn sequential_mode_runs_one_after_another() {
+        let a = one_task_client("a", 0, vec![kernel(3.0, 0.3, 0.0, 1.0)]);
+        let b = one_task_client("b", 1, vec![kernel(3.0, 0.3, 0.0, 1.0)]);
+        let r = run(SharingMode::Sequential, vec![a, b]);
+        assert!((r.makespan.value() - 8.0).abs() < 1e-9, "makespan {}", r.makespan);
+        // Client b must start only after a finishes.
+        assert!(r.clients[1].started >= r.clients[0].finished);
+    }
+
+    #[test]
+    fn sequential_energy_exceeds_mps_energy_for_low_util_pair() {
+        // The paper's core energy result: overlapping low-utilization work
+        // amortizes idle power.
+        let mk = |id| one_task_client("w", id, vec![kernel(5.0, 0.2, 0.05, 2.0)]);
+        let seq = run(SharingMode::Sequential, vec![mk(0), mk(1)]);
+        let mps = run(SharingMode::mps_uniform(2), vec![mk(2), mk(3)]);
+        assert!(mps.makespan < seq.makespan);
+        assert!(
+            mps.total_energy.joules() < seq.total_energy.joules(),
+            "mps {} !< seq {}",
+            mps.total_energy,
+            seq.total_energy
+        );
+    }
+
+    #[test]
+    fn partition_slows_a_saturating_kernel() {
+        let mk = |id| one_task_client("w", id, vec![kernel(4.0, 0.9, 0.0, 0.0)]);
+        let full = run(SharingMode::mps_uniform(1), vec![mk(0)]);
+        let quarter = run(
+            SharingMode::Mps {
+                partitions: vec![Fraction::new(0.25)],
+            },
+            vec![mk(1)],
+        );
+        assert!((full.makespan.value() - 4.0).abs() < 1e-9);
+        // Large grid -> nearly linear: ~16 s at 25 % partition.
+        assert!(
+            (quarter.makespan.value() - 16.0).abs() < 0.5,
+            "makespan {}",
+            quarter.makespan
+        );
+    }
+
+    #[test]
+    fn power_capping_throttles_and_is_accounted() {
+        // Two hot kernels: dyn power = 2 * (1.75*90 + 1.0*50) = 415 W >> cap.
+        let mk = |id| one_task_client("hot", id, vec![kernel(4.0, 0.9, 0.5, 0.0)]);
+        let r = run(SharingMode::mps_uniform(2), vec![mk(0), mk(1)]);
+        assert!(r.telemetry.capped_time().value() > 0.0);
+        assert!(r.telemetry.capped_fraction() > 0.5);
+        // Power never exceeds the cap.
+        for s in r.telemetry.segments() {
+            assert!(s.power.watts() <= 300.0 + 1e-9);
+        }
+        // Throttling stretches the makespan beyond pure contention.
+        // Σ sm demand 1.8 -> contention alone gives 4*1.8 = 7.2 s.
+        assert!(r.makespan.value() > 7.2);
+    }
+
+    #[test]
+    fn timeslicing_serializes_gpu_but_overlaps_host_gaps() {
+        // Kernel 1 s + gap 1 s, two kernels per task. Solo wall = 4 s.
+        let mk = |id| {
+            one_task_client(
+                "bursty",
+                id,
+                vec![kernel(1.0, 0.6, 0.0, 1.0), kernel(1.0, 0.6, 0.0, 1.0)],
+            )
+        };
+        let seq = run(SharingMode::Sequential, vec![mk(0), mk(1)]);
+        let ts = run(SharingMode::timesliced_default(), vec![mk(2), mk(3)]);
+        let mps = run(SharingMode::mps_uniform(2), vec![mk(4), mk(5)]);
+        assert!((seq.makespan.value() - 8.0).abs() < 1e-6);
+        // Time slicing overlaps one client's gaps with the other's kernels:
+        // strictly better than sequential, worse than (or equal to) MPS.
+        assert!(ts.makespan < seq.makespan, "ts {} seq {}", ts.makespan, seq.makespan);
+        assert!(mps.makespan.value() <= ts.makespan.value() + 1e-6);
+    }
+
+    #[test]
+    fn memory_pressure_blocks_second_client() {
+        let mut big = one_task_client("big", 0, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        big.tasks[0].memory = MemBytes::from_gib(60);
+        let mut big2 = one_task_client("big2", 1, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        big2.tasks[0].memory = MemBytes::from_gib(60);
+        let r = run(SharingMode::mps_uniform(2), vec![big, big2]);
+        // Second can only start after first frees its 60 GiB.
+        assert!((r.makespan.value() - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert_eq!(r.tasks_completed, 2);
+    }
+
+    #[test]
+    fn multi_task_client_respects_order_and_counts_tasks() {
+        let mut c = ClientProgram::new("wf");
+        for id in 0..3 {
+            let mut t = TaskProgram::new(TaskId::new(id), format!("t{id}"), MemBytes::from_mib(64));
+            t.push_kernel(kernel(1.0, 0.4, 0.0, 0.0));
+            c.push_task(t);
+        }
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert_eq!(r.tasks_completed, 3);
+        let times: Vec<f64> = r.clients[0]
+            .completions
+            .iter()
+            .map(|x| x.at.value())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!((r.makespan.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_delay_start() {
+        let mut c = one_task_client("late", 0, vec![kernel(1.0, 0.3, 0.0, 0.0)]);
+        c.arrival = Seconds::new(5.0);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert!((r.clients[0].started.value() - 5.0).abs() < 1e-9);
+        assert!((r.makespan.value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_covers_makespan_and_reports_utilization() {
+        let c = one_task_client("solo", 0, vec![kernel(2.0, 0.5, 0.25, 2.0)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert!((r.telemetry.total_time().value() - r.makespan.value()).abs() < 1e-9);
+        // 2 s at 50% + 2 s at 0% -> 25% average.
+        assert!((r.telemetry.avg_sm_util().value() - 25.0).abs() < 0.01);
+        assert!((r.telemetry.avg_bw_util().value() - 12.5).abs() < 0.01);
+        assert!((r.telemetry.busy_fraction() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_length_mismatch_is_rejected() {
+        let c = one_task_client("a", 0, vec![kernel(1.0, 0.3, 0.0, 0.0)]);
+        let cfg = EngineConfig::new(
+            dev(),
+            SharingMode::Mps {
+                partitions: vec![Fraction::ONE, Fraction::ONE],
+            },
+        );
+        assert!(Engine::new(cfg, vec![c]).is_err());
+    }
+
+    #[test]
+    fn client_limit_is_enforced() {
+        let programs: Vec<ClientProgram> = (0..49)
+            .map(|id| one_task_client("c", id, vec![kernel(0.1, 0.01, 0.0, 0.0)]))
+            .collect();
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(49));
+        let err = Engine::new(cfg, programs).unwrap_err();
+        assert!(matches!(err, Error::ClientLimitExceeded { limit: 48, .. }));
+    }
+
+    #[test]
+    fn forty_eight_clients_run_to_completion() {
+        let programs: Vec<ClientProgram> = (0..48)
+            .map(|id| one_task_client("c", id, vec![kernel(0.5, 0.02, 0.01, 0.1)]))
+            .collect();
+        let r = run(SharingMode::mps_uniform(48), programs);
+        assert_eq!(r.tasks_completed, 48);
+        // 48 × 0.02 = 0.96 demand: no contention, everything overlaps.
+        assert!(r.makespan.value() < 0.7, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn gpu_progress_equals_solo_duration_without_contention() {
+        let c = one_task_client("solo", 0, vec![kernel(3.0, 0.4, 0.0, 1.0)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert!((r.clients[0].gpu_progress.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_result_throughput_and_sorted_completions() {
+        let a = one_task_client("a", 0, vec![kernel(1.0, 0.2, 0.0, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        let r = run(SharingMode::mps_uniform(2), vec![a, b]);
+        assert_eq!(r.tasks_completed, 2);
+        assert!((r.throughput() - 2.0 / r.makespan.value()).abs() < 1e-12);
+        let completions = r.completions();
+        assert!(completions[0].at <= completions[1].at);
+        assert_eq!(completions[0].label, "a");
+    }
+
+    #[test]
+    fn average_power_matches_hand_computation() {
+        // Solo kernel: sm 0.5, bw 0.2 -> dyn = 1.75*50 + 1.0*20 = 107.5 W;
+        // total 182.5 W while busy.
+        let c = one_task_client("solo", 0, vec![kernel(2.0, 0.5, 0.2, 0.0)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert!((r.telemetry.avg_power().watts() - 182.5).abs() < 1e-6);
+        let expected: f64 = 182.5 * 2.0;
+        assert!((r.total_energy.joules() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streams_avoid_per_client_pressure() {
+        // Two identical light kernels with high client sensitivity: under
+        // MPS they pay per-client pressure; as streams of one process they
+        // run at full speed.
+        let mk = |id| {
+            let k = kernel(2.0, 0.2, 0.05, 0.0).with_client_sensitivity(0.2);
+            let mut t = TaskProgram::new(TaskId::new(id), "s", MemBytes::from_mib(64));
+            t.push_kernel(k);
+            let mut c = ClientProgram::new("s");
+            c.push_task(t);
+            c
+        };
+        let mps = run(SharingMode::mps_uniform(2), vec![mk(0), mk(1)]);
+        let streams = run(SharingMode::Streams, vec![mk(2), mk(3)]);
+        assert!((streams.makespan.value() - 2.0).abs() < 1e-6, "streams {}", streams.makespan);
+        assert!(mps.makespan.value() > 2.2, "mps {}", mps.makespan);
+    }
+
+    #[test]
+    fn streams_still_contend_for_resources() {
+        let mk = |id| one_task_client("s", id, vec![kernel(2.0, 0.8, 0.0, 0.0)]);
+        let r = run(SharingMode::Streams, vec![mk(0), mk(1)]);
+        // Σ demand 1.6 -> both slow to 1/1.6.
+        assert!((r.makespan.value() - 3.2).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn streams_do_not_trigger_mps_power_peaks() {
+        // ~210 W dynamic: the 1.18x two-client peak factor caps MPS
+        // (75 + 1.18*210 > 300) while the fused-process streams stay under
+        // (75 + 210 < 300).
+        let mk = |id| one_task_client("s", id, vec![kernel(2.0, 0.55, 0.2, 0.0)]);
+        let mps = run(SharingMode::mps_uniform(2), vec![mk(0), mk(1)]);
+        let streams = run(SharingMode::Streams, vec![mk(2), mk(3)]);
+        assert!(mps.telemetry.capped_time().value() > 0.0);
+        assert_eq!(streams.telemetry.capped_time().value(), 0.0);
+    }
+
+    #[test]
+    fn event_log_records_task_and_kernel_boundaries() {
+        let c = one_task_client("solo", 0, vec![kernel(1.0, 0.4, 0.0, 0.5), kernel(1.0, 0.4, 0.0, 0.0)]);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(1)).with_event_log(true);
+        let r = Engine::new(cfg, vec![c]).unwrap().run().unwrap();
+        let spans = r.events.kernel_spans();
+        assert_eq!(spans.len(), 2);
+        // First kernel runs [0, 1), gap to 1.5, second kernel [1.5, 2.5).
+        assert_eq!(spans[0].3.value(), 0.0);
+        assert!((spans[0].4.value() - 1.0).abs() < 1e-9);
+        assert!((spans[1].3.value() - 1.5).abs() < 1e-9);
+        // Task start/end present.
+        use crate::events::EventKind;
+        assert!(r.events.events().iter().any(|e| matches!(e.kind, EventKind::TaskStart { .. })));
+        assert!(r.events.events().iter().any(|e| matches!(e.kind, EventKind::TaskEnd { .. })));
+    }
+
+    #[test]
+    fn event_log_throttle_time_matches_telemetry() {
+        let mk = |id| one_task_client("hot", id, vec![kernel(4.0, 0.9, 0.5, 0.0)]);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2)).with_event_log(true);
+        let r = Engine::new(cfg, vec![mk(0), mk(1)]).unwrap().run().unwrap();
+        let logged = r.events.throttled_time().value();
+        let integrated = r.telemetry.capped_time().value();
+        assert!(logged > 0.0);
+        assert!((logged - integrated).abs() < 1e-6, "log {logged} vs telemetry {integrated}");
+    }
+
+    #[test]
+    fn event_log_records_memory_blocking() {
+        use crate::events::EventKind;
+        let mut a = one_task_client("big", 0, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        a.tasks[0].memory = MemBytes::from_gib(60);
+        let mut b = one_task_client("big2", 1, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        b.tasks[0].memory = MemBytes::from_gib(60);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2)).with_event_log(true);
+        let r = Engine::new(cfg, vec![a, b]).unwrap().run().unwrap();
+        assert!(r
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MemoryBlocked { .. })));
+    }
+
+    #[test]
+    fn event_log_is_empty_when_disabled() {
+        let c = one_task_client("solo", 0, vec![kernel(1.0, 0.4, 0.0, 0.0)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn percent_types_round_trip_through_telemetry() {
+        let c = one_task_client("solo", 0, vec![kernel(1.0, 0.33, 0.11, 0.0)]);
+        let r = run(SharingMode::mps_uniform(1), vec![c]);
+        let sm: Percent = r.telemetry.avg_sm_util();
+        assert!((sm.value() - 33.0).abs() < 0.01);
+    }
+}

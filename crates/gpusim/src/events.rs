@@ -1,0 +1,208 @@
+//! Discrete-event log: what happened, when, to whom.
+//!
+//! The engine optionally records every state transition — task and kernel
+//! boundaries, memory blocking, throttle transitions, time-slice context
+//! switches. The log supports kernel-level timeline export and the kind of
+//! post-mortem debugging Nsight traces are used for on real hardware.
+
+use mpshare_types::{Seconds, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub at: Seconds,
+    /// Client index the event belongs to (`usize::MAX` for device-level
+    /// events, exposed as [`Event::DEVICE`]).
+    pub client: usize,
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Sentinel client index for device-level events.
+    pub const DEVICE: usize = usize::MAX;
+}
+
+/// Event kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A task began host-side setup.
+    TaskStart { task: TaskId, label: String },
+    /// A task completed (memory released).
+    TaskEnd { task: TaskId },
+    /// A client blocked waiting for device memory.
+    MemoryBlocked { task: TaskId },
+    /// A kernel became resident on the GPU.
+    KernelStart { task: TaskId, kernel_index: usize },
+    /// A kernel retired.
+    KernelEnd { task: TaskId, kernel_index: usize },
+    /// The SW power cap began throttling (device-level).
+    ThrottleOn,
+    /// The SW power cap released (device-level).
+    ThrottleOff,
+    /// Time-slice context switch to `client` (device-level; the client is
+    /// in the payload because the event marks the *scheduler's* decision).
+    ContextSwitch { to_client: usize },
+}
+
+/// Append-only event log with bounded growth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+    /// Cap on recorded events; once reached, further events are counted
+    /// but dropped (the log never makes a long simulation unbounded).
+    capacity: usize,
+    dropped: usize,
+}
+
+impl EventLog {
+    /// Default capacity: generous for any single experiment run.
+    pub const DEFAULT_CAPACITY: usize = 1_000_000;
+
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn record(&mut self, at: Seconds, client: usize, kind: EventKind) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(Event { at, client, kind });
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped after the capacity was reached.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Iterates the events of one client.
+    pub fn for_client(&self, client: usize) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.client == client)
+    }
+
+    /// Reconstructs kernel spans `(client, task, kernel_index, start, end)`
+    /// by pairing start/end events.
+    pub fn kernel_spans(&self) -> Vec<(usize, TaskId, usize, Seconds, Seconds)> {
+        let mut open: Vec<(usize, TaskId, usize, Seconds)> = Vec::new();
+        let mut spans = Vec::new();
+        for e in &self.events {
+            match &e.kind {
+                EventKind::KernelStart { task, kernel_index } => {
+                    open.push((e.client, *task, *kernel_index, e.at));
+                }
+                EventKind::KernelEnd { task, kernel_index } => {
+                    if let Some(pos) = open.iter().position(|(c, t, k, _)| {
+                        *c == e.client && t == task && k == kernel_index
+                    }) {
+                        let (c, t, k, start) = open.swap_remove(pos);
+                        spans.push((c, t, k, start, e.at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite times"));
+        spans
+    }
+
+    /// Total time between ThrottleOn/ThrottleOff pairs (cross-check for
+    /// the telemetry's capped-time integral).
+    pub fn throttled_time(&self) -> Seconds {
+        let mut total = 0.0;
+        let mut since: Option<Seconds> = None;
+        for e in &self.events {
+            match e.kind {
+                EventKind::ThrottleOn => since = since.or(Some(e.at)),
+                EventKind::ThrottleOff => {
+                    if let Some(s) = since.take() {
+                        total += (e.at.saturating_sub(s)).value();
+                    }
+                }
+                _ => {}
+            }
+        }
+        Seconds::new(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> Seconds {
+        Seconds::new(secs)
+    }
+
+    #[test]
+    fn records_and_filters_by_client() {
+        let mut log = EventLog::new();
+        log.record(t(0.0), 0, EventKind::TaskStart { task: TaskId::new(1), label: "a".into() });
+        log.record(t(1.0), 1, EventKind::TaskStart { task: TaskId::new(2), label: "b".into() });
+        log.record(t(2.0), 0, EventKind::TaskEnd { task: TaskId::new(1) });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_client(0).count(), 2);
+        assert_eq!(log.for_client(1).count(), 1);
+    }
+
+    #[test]
+    fn capacity_drops_but_counts() {
+        let mut log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(t(i as f64), 0, EventKind::ThrottleOn);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn kernel_spans_pair_start_and_end() {
+        let mut log = EventLog::new();
+        let task = TaskId::new(7);
+        log.record(t(1.0), 0, EventKind::KernelStart { task, kernel_index: 0 });
+        log.record(t(2.0), 1, EventKind::KernelStart { task: TaskId::new(8), kernel_index: 0 });
+        log.record(t(3.0), 0, EventKind::KernelEnd { task, kernel_index: 0 });
+        log.record(t(4.0), 1, EventKind::KernelEnd { task: TaskId::new(8), kernel_index: 0 });
+        let spans = log.kernel_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], (0, task, 0, t(1.0), t(3.0)));
+        assert_eq!(spans[1].4, t(4.0));
+    }
+
+    #[test]
+    fn throttled_time_sums_intervals() {
+        let mut log = EventLog::new();
+        log.record(t(1.0), Event::DEVICE, EventKind::ThrottleOn);
+        log.record(t(3.0), Event::DEVICE, EventKind::ThrottleOff);
+        log.record(t(10.0), Event::DEVICE, EventKind::ThrottleOn);
+        log.record(t(11.5), Event::DEVICE, EventKind::ThrottleOff);
+        assert!((log.throttled_time().value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unterminated_throttle_is_ignored() {
+        let mut log = EventLog::new();
+        log.record(t(1.0), Event::DEVICE, EventKind::ThrottleOn);
+        assert_eq!(log.throttled_time(), Seconds::ZERO);
+    }
+}

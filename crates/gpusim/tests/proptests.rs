@@ -1,0 +1,195 @@
+//! Property-based tests of the simulator's core math: the occupancy
+//! calculator, the contention solver, max-min fairness, and the power
+//! model.
+
+use mpshare_gpusim::contention::{max_min_share, Contender};
+use mpshare_gpusim::{
+    occupancy, ContentionSolver, DeviceSpec, KernelSpec, LaunchConfig, PowerModel,
+};
+use mpshare_types::{Fraction, Seconds};
+use proptest::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+/// Arbitrary (possibly degenerate) launch configurations.
+fn launch_strategy() -> impl Strategy<Value = LaunchConfig> {
+    (
+        1u32..=50_000,  // grid blocks
+        1u32..=1024,    // threads per block
+        0u32..=255,     // registers per thread
+        0u64..=200_000, // shared memory per block
+        0.05f64..=1.0,  // issue efficiency
+    )
+        .prop_map(|(grid, tpb, regs, smem, eff)| LaunchConfig {
+            grid_blocks: grid,
+            threads_per_block: tpb,
+            regs_per_thread: regs,
+            shared_mem_per_block: smem,
+            issue_efficiency: Fraction::new(eff),
+        })
+}
+
+fn kernel_strategy() -> impl Strategy<Value = KernelSpec> {
+    (
+        0.01f64..=1.0, // sm demand
+        0.0f64..=1.0,  // bw demand
+        0.0f64..=2.0,  // cache sensitivity
+        0.0f64..=0.3,  // client sensitivity
+        0.1f64..=3.0,  // power scale
+    )
+        .prop_map(|(sm, bw, cache, client, power)| {
+            KernelSpec::from_launch(
+                &device(),
+                LaunchConfig::dense(10_000, 256),
+                Seconds::new(1.0),
+            )
+            .with_sm_demand(Fraction::new(sm))
+            .with_bw_demand(Fraction::new(bw))
+            .with_cache_sensitivity(cache)
+            .with_client_sensitivity(client)
+            .with_power_scale(power)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Occupancy outputs are always within physical bounds, and achieved
+    /// never exceeds theoretical.
+    #[test]
+    fn occupancy_bounds(launch in launch_strategy()) {
+        let rep = occupancy::report(&device(), &launch);
+        prop_assert!(rep.theoretical.value() >= 0.0 && rep.theoretical.value() <= 100.0);
+        prop_assert!(rep.achieved.value() <= rep.theoretical.value() + 1e-9);
+        prop_assert!(rep.waves >= 1);
+        // Resident warps never exceed the SM's warp capacity.
+        let resident = rep.blocks_per_sm as u64 * rep.warps_per_block as u64;
+        if rep.blocks_per_sm > 0 {
+            prop_assert!(
+                rep.theoretical.value()
+                    <= 100.0 * resident as f64 / device().max_warps_per_sm as f64 + 1e-9
+            );
+        } else {
+            prop_assert_eq!(rep.theoretical.value(), 0.0);
+        }
+    }
+
+    /// More resident resources never decrease occupancy: shrinking
+    /// register pressure can only keep or raise the theoretical bound.
+    #[test]
+    fn occupancy_monotone_in_registers(launch in launch_strategy()) {
+        let d = device();
+        let base = occupancy::report(&d, &launch);
+        let mut lighter = launch;
+        lighter.regs_per_thread = launch.regs_per_thread / 2;
+        let better = occupancy::report(&d, &lighter);
+        prop_assert!(better.theoretical.value() >= base.theoretical.value() - 1e-9);
+    }
+
+    /// Solver outputs are bounded and conserve device capacity.
+    #[test]
+    fn solver_respects_capacity(
+        kernels in prop::collection::vec(kernel_strategy(), 1..16),
+        partitions in prop::collection::vec(0.05f64..=1.0, 16),
+    ) {
+        let solver = ContentionSolver::new(device(), 0.01);
+        let contenders: Vec<Contender<'_>> = kernels
+            .iter()
+            .zip(&partitions)
+            .map(|(kernel, p)| Contender {
+                kernel,
+                partition: Fraction::new(*p),
+            })
+            .collect();
+        let allocations = solver.solve(&contenders);
+        prop_assert_eq!(allocations.len(), kernels.len());
+        let mut sm_total = 0.0;
+        let mut bw_total = 0.0;
+        for a in &allocations {
+            prop_assert!(a.rate >= 0.0 && a.rate <= 1.0 + 1e-9, "rate {}", a.rate);
+            prop_assert!(a.sm_share >= 0.0 && a.bw_share >= 0.0);
+            prop_assert!(a.dyn_power_watts >= 0.0 && a.dyn_power_watts.is_finite());
+            sm_total += a.sm_share;
+            bw_total += a.bw_share;
+        }
+        prop_assert!(sm_total <= 1.0 + 1e-6, "sm {sm_total}");
+        prop_assert!(bw_total <= 1.0 + 1e-6, "bw {bw_total}");
+    }
+
+    /// Adding a co-runner never speeds anyone up.
+    #[test]
+    fn corunners_never_help(
+        kernels in prop::collection::vec(kernel_strategy(), 2..8),
+    ) {
+        let solver = ContentionSolver::new(device(), 0.0);
+        let solo = {
+            let contenders = [Contender {
+                kernel: &kernels[0],
+                partition: Fraction::ONE,
+            }];
+            solver.solve(&contenders)[0].rate
+        };
+        let shared = {
+            let contenders: Vec<Contender<'_>> = kernels
+                .iter()
+                .map(|kernel| Contender {
+                    kernel,
+                    partition: Fraction::ONE,
+                })
+                .collect();
+            solver.solve(&contenders)[0].rate
+        };
+        prop_assert!(shared <= solo + 1e-9, "shared {shared} > solo {solo}");
+    }
+
+    /// Max-min fairness: never exceeds demand, exhausts capacity when
+    /// oversubscribed, and dominates any uniform split for the smallest
+    /// demand.
+    #[test]
+    fn max_min_properties(
+        wanted in prop::collection::vec(0.0f64..=1.0, 1..12),
+        capacity in 0.1f64..=1.0,
+    ) {
+        let granted = max_min_share(&wanted, capacity);
+        let total_wanted: f64 = wanted.iter().sum();
+        let total_granted: f64 = granted.iter().sum();
+        for (g, w) in granted.iter().zip(&wanted) {
+            prop_assert!(*g >= -1e-12 && *g <= w + 1e-12);
+        }
+        if total_wanted <= capacity {
+            prop_assert!((total_granted - total_wanted).abs() < 1e-9);
+        } else {
+            prop_assert!((total_granted - capacity).abs() < 1e-9);
+            // Max-min dominance: everyone gets at least
+            // min(want, capacity/n).
+            let fair = capacity / wanted.len() as f64;
+            for (g, w) in granted.iter().zip(&wanted) {
+                prop_assert!(*g >= w.min(fair) - 1e-9);
+            }
+        }
+    }
+
+    /// The power model never reports above the cap, never yields a
+    /// non-positive clock, and is monotone in dynamic draw.
+    #[test]
+    fn power_model_bounds(
+        dyn_a in 0.0f64..=2000.0,
+        dyn_b in 0.0f64..=2000.0,
+        clients in 0usize..=48,
+    ) {
+        let model = PowerModel::new(&device());
+        let a = model.resolve(dyn_a, clients);
+        let b = model.resolve(dyn_b, clients);
+        for s in [&a, &b] {
+            prop_assert!(s.power.watts() <= 300.0 + 1e-9);
+            prop_assert!(s.clock_factor > 0.0 || s.power.watts() <= 75.0 + 1e-9);
+            prop_assert!(s.clock_factor <= 1.0);
+        }
+        // Reported power is monotone (weakly) in dynamic draw.
+        if dyn_a <= dyn_b {
+            prop_assert!(a.power.watts() <= b.power.watts() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! `mpshare-repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|all> [--out DIR]
+//! ```
+//!
+//! Each experiment prints its table to stdout and writes `.txt`, `.csv`,
+//! and `.json` artifacts under the output directory (default `results/`).
+
+use mpshare_gpusim::DeviceSpec;
+use mpshare_harness::experiments;
+use mpshare_harness::{write_report, write_results, Experiment};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|all> [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Option<String> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "-h" | "--help" => usage(),
+            other if which.is_none() => which = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+
+    let device = DeviceSpec::a100x();
+    let started = Instant::now();
+    let result: mpshare_types::Result<Vec<Experiment>> = match which.as_str() {
+        "table1" => experiments::table1::run(&device).map(|e| vec![e]),
+        "table2" => experiments::table2::run(&device).map(|e| vec![e]),
+        "fig1" => experiments::fig1::run(&device).map(|e| vec![e]),
+        "fig2" => experiments::fig2::run(&device).map(|e| vec![e]),
+        "fig3" => experiments::fig3::run(&device).map(|e| vec![e]),
+        "fig4" => experiments::fig4::run(&device).map(|e| vec![e]),
+        "fig5" => experiments::fig5::run(&device).map(|e| vec![e]),
+        "ext_node" => experiments::ext_node::run(&device).map(|e| vec![e]),
+        "ext_mechanisms" => experiments::ext_mechanisms::run(&device).map(|e| vec![e]),
+        "ext_powercap" => experiments::ext_powercap::run(&device).map(|e| vec![e]),
+        "ext_online" => experiments::ext_online::run(&device).map(|e| vec![e]),
+        "ext_hetero" => experiments::ext_hetero::run(&device).map(|e| vec![e]),
+        "all" => experiments::run_all(&device),
+        _ => usage(),
+    };
+
+    let experiments = match result {
+        Ok(e) => e,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for e in &experiments {
+        println!("{}", e.render());
+    }
+    if which == "all" {
+        match write_report(&out_dir, &experiments) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write REPORT.md: {err}"),
+        }
+    }
+    match write_results(&out_dir, &experiments) {
+        Ok(paths) => {
+            eprintln!(
+                "wrote {} files to {} in {:.1}s",
+                paths.len(),
+                out_dir.display(),
+                started.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("failed to write results: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared runner for the Table III workflow combinations.
+//!
+//! Figures 2 and 3 both report on the same ten combination runs
+//! (sequential baseline, MPS co-scheduling, time-slicing), so the runs
+//! execute once here and both figures format from the results.
+
+use mpshare_core::{Executor, ExecutorConfig, Metrics};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Result;
+use mpshare_workloads::{table3_combinations, Combination};
+use rayon::prelude::*;
+
+/// Outcome of one combination under all three scheduling mechanisms.
+#[derive(Debug, Clone)]
+pub struct ComboResult {
+    pub number: usize,
+    pub label: String,
+    pub tasks: usize,
+    /// MPS co-scheduling vs. sequential.
+    pub mps: Metrics,
+    /// Time-slicing vs. sequential.
+    pub timesliced: Metrics,
+    /// Sequential capped fraction (Fig. 3's baseline).
+    pub seq_capped_fraction: f64,
+}
+
+/// Runs one combination under sequential, MPS, and time-slicing.
+pub fn run_combination(device: &DeviceSpec, combo: &Combination) -> Result<ComboResult> {
+    let executor = Executor::new(ExecutorConfig::new(device.clone()));
+    let workflows = &combo.workflows;
+    let seq = executor.run_sequential(workflows)?;
+    let mps = executor.run_mps_naive(workflows)?;
+    let ts = executor.run_timesliced(workflows)?;
+    Ok(ComboResult {
+        number: combo.number,
+        label: workflows
+            .iter()
+            .map(|w| w.label())
+            .collect::<Vec<_>>()
+            .join(" | "),
+        tasks: combo.task_count(),
+        mps: executor.report(mps, seq).metrics,
+        timesliced: executor.report(ts, seq).metrics,
+        seq_capped_fraction: seq.capped_fraction,
+    })
+}
+
+/// Runs all ten Table III combinations (in parallel across combinations).
+pub fn run_all(device: &DeviceSpec) -> Result<Vec<ComboResult>> {
+    let combos = table3_combinations();
+    let mut results: Vec<ComboResult> = combos
+        .par_iter()
+        .map(|c| run_combination(device, c))
+        .collect::<Result<Vec<_>>>()?;
+    results.sort_by_key(|r| r.number);
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Combination 1 (AthenaPK 4x ×5 + LAMMPS 4x ×3) is cheap enough for a
+    /// unit test and exercises a mixed light/heavy pairing.
+    #[test]
+    fn combination_one_runs_and_reports() {
+        let combos = table3_combinations();
+        let r = run_combination(&DeviceSpec::a100x(), &combos[0]).unwrap();
+        assert_eq!(r.number, 1);
+        assert_eq!(r.tasks, 8);
+        assert_eq!(r.mps.tasks, 8);
+        assert!(r.mps.throughput_gain > 0.5 && r.mps.throughput_gain < 3.0);
+        assert!(r.timesliced.throughput_gain > 0.5);
+        // MPS should not lose to time slicing on this combination.
+        assert!(r.mps.throughput_gain >= r.timesliced.throughput_gain - 0.05);
+    }
+
+    /// Combination 9 (AthenaPK 1x ×300 + Gravity 1x ×50): two light,
+    /// bursty workflows — MPS should clearly beat sequential.
+    #[test]
+    fn combination_nine_shows_light_pair_gains() {
+        let combos = table3_combinations();
+        let r = run_combination(&DeviceSpec::a100x(), &combos[8]).unwrap();
+        assert_eq!(r.number, 9);
+        assert!(
+            r.mps.throughput_gain > 1.05,
+            "throughput gain {}",
+            r.mps.throughput_gain
+        );
+        assert!(r.mps.energy_efficiency_gain > 1.0);
+    }
+}

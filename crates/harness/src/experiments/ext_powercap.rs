@@ -1,0 +1,134 @@
+//! Extension experiment: energy effects of power capping at varying
+//! thresholds — the study the paper's §V-C explicitly leaves to future
+//! work ("a more comprehensive study of the energy effects of power
+//! capping (with varying power thresholds) is left to future work").
+//!
+//! The hot MHD+LAMMPS pair (combination 7's composition) runs under MPS
+//! with the device's software power cap swept from 200 W to 300 W.
+//! Reported per threshold: capped time, throughput and energy relative to
+//! the *uncapped* (300 W) run, and energy-delay product.
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_core::{Executor, ExecutorConfig};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::{Power, Result};
+use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+use rayon::prelude::*;
+
+/// Power-cap thresholds swept, watts.
+pub const THRESHOLDS: [f64; 6] = [200.0, 220.0, 240.0, 260.0, 280.0, 300.0];
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub cap_watts: f64,
+    pub makespan_s: f64,
+    pub energy_j: f64,
+    pub capped_fraction: f64,
+}
+
+fn workloads() -> Vec<WorkflowSpec> {
+    vec![
+        WorkflowSpec::uniform(BenchmarkKind::ChollaMhd, ProblemSize::X4, 1),
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X4, 2),
+    ]
+}
+
+/// Runs the sweep.
+pub fn points(base_device: &DeviceSpec) -> Result<Vec<Point>> {
+    THRESHOLDS
+        .par_iter()
+        .map(|&cap| {
+            let mut device = base_device.clone();
+            device.power_cap = Power::from_watts(cap);
+            let executor = Executor::new(ExecutorConfig::new(device));
+            let outcome = executor.run_mps_naive(&workloads())?;
+            Ok(Point {
+                cap_watts: cap,
+                makespan_s: outcome.makespan.value(),
+                energy_j: outcome.energy.joules(),
+                capped_fraction: outcome.capped_fraction,
+            })
+        })
+        .collect()
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let pts = points(device)?;
+    let reference = pts.last().expect("non-empty sweep"); // 300 W
+    let mut table = TextTable::new([
+        "Cap (W)",
+        "Capped %",
+        "Makespan (s)",
+        "Throughput vs 300W",
+        "Energy vs 300W",
+        "Energy*Delay vs 300W",
+    ]);
+    for p in &pts {
+        let throughput = reference.makespan_s / p.makespan_s;
+        let energy = p.energy_j / reference.energy_j;
+        let edp = (p.energy_j * p.makespan_s) / (reference.energy_j * reference.makespan_s);
+        table.push_row([
+            fmt(p.cap_watts, 0),
+            fmt(p.capped_fraction * 100.0, 1),
+            fmt(p.makespan_s, 1),
+            fmt(throughput, 3),
+            fmt(energy, 3),
+            fmt(edp, 3),
+        ]);
+    }
+    Ok(Experiment::new(
+        "ext_powercap",
+        "Extension: energy effects of power capping at varying thresholds (MHD 4x + LAMMPS 4x under MPS)",
+        table,
+    )
+    .with_note(
+        "the study §V-C defers: lower caps throttle longer, stretching the makespan while \
+         the idle-power floor keeps accruing — in this rate-proportional power model the \
+         latency increase cancels the power savings (the paper's observation) and total \
+         energy *rises* as the cap tightens",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_caps_throttle_more_and_run_longer() {
+        let pts = points(&DeviceSpec::a100x()).unwrap();
+        assert_eq!(pts.len(), THRESHOLDS.len());
+        // Capped fraction decreases (weakly) as the cap loosens.
+        for w in pts.windows(2) {
+            assert!(
+                w[0].capped_fraction >= w[1].capped_fraction - 1e-9,
+                "capped% not monotone: {} then {}",
+                w[0].capped_fraction,
+                w[1].capped_fraction
+            );
+            assert!(
+                w[0].makespan_s >= w[1].makespan_s - 1e-6,
+                "makespan not monotone"
+            );
+        }
+        // At 200 W the hot pair is heavily throttled.
+        assert!(pts[0].capped_fraction > 0.5);
+        assert!(pts[0].makespan_s > 1.2 * pts.last().unwrap().makespan_s);
+    }
+
+    #[test]
+    fn capping_does_not_save_energy_in_this_model() {
+        // §V-C: "the resulting increase in task latency from clock
+        // throttling seems to cancel out any energy efficiency benefits".
+        let pts = points(&DeviceSpec::a100x()).unwrap();
+        let tight = &pts[0];
+        let loose = pts.last().unwrap();
+        assert!(
+            tight.energy_j >= loose.energy_j * 0.99,
+            "tight cap saved energy: {} vs {}",
+            tight.energy_j,
+            loose.energy_j
+        );
+    }
+}

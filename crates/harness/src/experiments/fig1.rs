@@ -1,0 +1,188 @@
+//! Figure 1: change in throughput as the MPS SM partition grows 10→100 %.
+//!
+//! The paper plots BerkeleyGW-Epsilon (1a), Kripke (1b) and WarpX (1c) at
+//! several input scales. Throughput increases non-linearly — small
+//! problems saturate at partial partitions (the green circle), large
+//! problems respond almost linearly.
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_mps::{GpuRunner, GpuSharing};
+use mpshare_types::{Fraction, Result, TaskId};
+use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
+use rayon::prelude::*;
+
+/// Partition sweep points (percent).
+pub const PARTITIONS: [u8; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+/// One sweep point of one series.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub benchmark: BenchmarkKind,
+    pub size: ProblemSize,
+    /// MPS partition in percent.
+    pub partition: u8,
+    /// Task throughput (tasks/hour) at this partition.
+    pub tasks_per_hour: f64,
+    /// Throughput relative to the 100 % partition.
+    pub relative: f64,
+}
+
+/// The series the paper plots: Epsilon at 1×, Kripke and WarpX at 1×/2×/4×.
+pub fn series() -> Vec<(BenchmarkKind, ProblemSize)> {
+    vec![
+        (BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1),
+        (BenchmarkKind::Kripke, ProblemSize::X1),
+        (BenchmarkKind::Kripke, ProblemSize::X2),
+        (BenchmarkKind::Kripke, ProblemSize::X4),
+        (BenchmarkKind::WarpX, ProblemSize::X1),
+        (BenchmarkKind::WarpX, ProblemSize::X2),
+        (BenchmarkKind::WarpX, ProblemSize::X4),
+    ]
+}
+
+/// Runs the sweep for all series.
+pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
+    let jobs: Vec<(BenchmarkKind, ProblemSize, u8)> = series()
+        .into_iter()
+        .flat_map(|(kind, size)| PARTITIONS.iter().map(move |&p| (kind, size, p)))
+        .collect();
+    let raw: Vec<(BenchmarkKind, ProblemSize, u8, f64)> = jobs
+        .par_iter()
+        .map(|&(kind, size, partition)| {
+            let model = benchmark(kind);
+            let task = build_task(device, &model, size, TaskId::new(0))?;
+            let mut program = mpshare_gpusim::ClientProgram::new(task.label.clone());
+            program.push_task(task);
+            let runner = GpuRunner::new(device.clone());
+            let sharing = GpuSharing::Mps {
+                partitions: vec![Fraction::new(partition as f64 / 100.0)],
+            };
+            let result = runner.run(&sharing, vec![program])?;
+            Ok((kind, size, partition, 3600.0 / result.makespan.value()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    // Normalize each series by its 100 % point.
+    let mut points = Vec::with_capacity(raw.len());
+    for (kind, size) in series() {
+        let full = raw
+            .iter()
+            .find(|(k, s, p, _)| *k == kind && *s == size && *p == 100)
+            .expect("100% point present")
+            .3;
+        for &(k, s, p, tph) in &raw {
+            if k == kind && s == size {
+                points.push(Point {
+                    benchmark: k,
+                    size: s,
+                    partition: p,
+                    tasks_per_hour: tph,
+                    relative: tph / full,
+                });
+            }
+        }
+    }
+    Ok(points)
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Size",
+        "Partition %",
+        "Tasks/hour",
+        "Relative to 100%",
+    ]);
+    for p in points(device)? {
+        table.push_row([
+            p.benchmark.name().to_string(),
+            p.size.to_string(),
+            p.partition.to_string(),
+            fmt(p.tasks_per_hour, 2),
+            fmt(p.relative, 3),
+        ]);
+    }
+    Ok(Experiment::new(
+        "fig1",
+        "Throughput vs. MPS SM partition percentage (10-100%)",
+        table,
+    )
+    .with_note("small problems saturate at partial partitions; larger sizes respond more linearly"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn by_series(points: &[Point]) -> BTreeMap<(BenchmarkKind, String), Vec<&Point>> {
+        let mut map: BTreeMap<(BenchmarkKind, String), Vec<&Point>> = BTreeMap::new();
+        for p in points {
+            map.entry((p.benchmark, p.size.to_string()))
+                .or_default()
+                .push(p);
+        }
+        map
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_partition() {
+        let pts = points(&DeviceSpec::a100x()).unwrap();
+        for ((kind, size), series) in by_series(&pts) {
+            let mut prev = 0.0;
+            for p in series {
+                assert!(
+                    p.relative >= prev - 1e-9,
+                    "{kind} {size}: non-monotone at {}%",
+                    p.partition
+                );
+                prev = p.relative;
+            }
+        }
+    }
+
+    #[test]
+    fn curves_are_concave_saturating_not_linear() {
+        // The paper's core Figure 1 observation: at small sizes the first
+        // half of the partition range buys much more than the second half.
+        let pts = points(&DeviceSpec::a100x()).unwrap();
+        let rel = |kind, size: ProblemSize, part: u8| {
+            pts.iter()
+                .find(|p| p.benchmark == kind && p.size.factor() == size.factor() && p.partition == part)
+                .unwrap()
+                .relative
+        };
+        // Epsilon 1x: going 10->50 gains far more than 50->100.
+        let eps_low = rel(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 50)
+            - rel(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 10);
+        let eps_high = rel(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 100)
+            - rel(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 50);
+        assert!(
+            eps_low > 1.8 * eps_high,
+            "Epsilon 1x not saturating: low {eps_low:.3} high {eps_high:.3}"
+        );
+    }
+
+    #[test]
+    fn larger_warpx_is_more_linear() {
+        // Fig 1c: 4x responds more linearly than 1x. Compare the relative
+        // throughput at a 50% partition: closer to 0.5 = more linear.
+        let pts = points(&DeviceSpec::a100x()).unwrap();
+        let rel = |size: ProblemSize| {
+            pts.iter()
+                .find(|p| {
+                    p.benchmark == BenchmarkKind::WarpX
+                        && p.size.factor() == size.factor()
+                        && p.partition == 50
+                })
+                .unwrap()
+                .relative
+        };
+        let r1 = rel(ProblemSize::X1);
+        let r4 = rel(ProblemSize::X4);
+        assert!(r1 > r4, "1x ({r1:.3}) should saturate above 4x ({r4:.3})");
+        assert!(r4 < 0.65, "4x should be nearly linear, got {r4:.3}");
+    }
+}

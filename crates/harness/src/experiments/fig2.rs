@@ -1,0 +1,73 @@
+//! Figure 2: throughput and energy efficiency for workflow combinations
+//! 1–10, MPS vs. time-slicing, relative to sequential scheduling.
+
+use super::combos::{run_all, ComboResult};
+use crate::table::{fmt_gain, Experiment, TextTable};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Result;
+
+/// Formats the experiment from pre-computed combination results.
+pub fn from_results(results: &[ComboResult]) -> Experiment {
+    let mut table = TextTable::new([
+        "Comb. #",
+        "Tasks",
+        "MPS Throughput",
+        "MPS Energy Eff.",
+        "TS Throughput",
+        "TS Energy Eff.",
+        "Workflows",
+    ]);
+    for r in results {
+        table.push_row([
+            r.number.to_string(),
+            r.tasks.to_string(),
+            fmt_gain(r.mps.throughput_gain),
+            fmt_gain(r.mps.energy_efficiency_gain),
+            fmt_gain(r.timesliced.throughput_gain),
+            fmt_gain(r.timesliced.energy_efficiency_gain),
+            r.label.clone(),
+        ]);
+    }
+    let best_tp = results
+        .iter()
+        .map(|r| r.mps.throughput_gain)
+        .fold(0.0, f64::max);
+    let best_eff = results
+        .iter()
+        .map(|r| r.mps.energy_efficiency_gain)
+        .fold(0.0, f64::max);
+    Experiment::new(
+        "fig2",
+        "Throughput and energy efficiency for workflow combinations 1-10 (vs. sequential)",
+        table,
+    )
+    .with_note(format!(
+        "best MPS throughput gain {} and energy-efficiency gain {} across combinations \
+         (paper: 0%..147% and -2%..109%)",
+        fmt_gain(best_tp),
+        fmt_gain(best_eff)
+    ))
+}
+
+/// Runs everything and formats.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    Ok(from_results(&run_all(device)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::combos::run_combination;
+    use mpshare_workloads::table3_combinations;
+
+    #[test]
+    fn formats_rows_from_results() {
+        // Use one real (cheap) combination to exercise the formatting path.
+        let combos = table3_combinations();
+        let r = run_combination(&DeviceSpec::a100x(), &combos[0]).unwrap();
+        let e = from_results(std::slice::from_ref(&r));
+        assert_eq!(e.table.len(), 1);
+        assert!(e.render().contains("AthenaPK"));
+        assert_eq!(e.id, "fig2");
+    }
+}

@@ -1,0 +1,179 @@
+//! Figure 4: throughput, energy efficiency, and the efficiency-throughput
+//! product for AthenaPK and LAMMPS workflow sets with increasing
+//! cardinality (number of concurrent workflows).
+//!
+//! Following the paper's set labels, configuration `SxP` launches `P`
+//! concurrent workflows of `S` sequential tasks each; the cardinality
+//! sweep holds `S = 2` and grows `P`, increasing the total work with it.
+//! Every configuration is compared against sequential scheduling of the
+//! same task set.
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_core::{Executor, ExecutorConfig, Metrics, ProductMetric};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Result;
+use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+use rayon::prelude::*;
+
+/// Concurrent-workflow counts swept (2x1 … 2x24 = up to 48 tasks).
+pub const CARDINALITIES: [usize; 6] = [1, 2, 4, 8, 16, 24];
+
+/// Sequential tasks per workflow in the cardinality sweep.
+pub const TASKS_PER_WORKFLOW: usize = 2;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub benchmark: BenchmarkKind,
+    /// Configuration label, e.g. `"2x8"`.
+    pub config: String,
+    pub concurrent_workflows: usize,
+    pub metrics: Metrics,
+}
+
+impl Point {
+    pub fn balanced_product(&self) -> f64 {
+        self.metrics.product(ProductMetric::BALANCED)
+    }
+
+    pub fn throughput_leaning_product(&self) -> f64 {
+        self.metrics.product(ProductMetric::THROUGHPUT_LEANING)
+    }
+}
+
+/// Runs one `SxP` configuration of one benchmark and compares MPS
+/// co-scheduling against sequential.
+pub fn run_config(
+    device: &DeviceSpec,
+    kind: BenchmarkKind,
+    seq_tasks: usize,
+    parallel: usize,
+) -> Result<Point> {
+    let workflows: Vec<WorkflowSpec> = (0..parallel)
+        .map(|_| WorkflowSpec::uniform(kind, ProblemSize::X4, seq_tasks))
+        .collect();
+    let executor = Executor::new(ExecutorConfig::new(device.clone()));
+    let seq = executor.run_sequential(&workflows)?;
+    let mps = executor.run_mps_naive(&workflows)?;
+    Ok(Point {
+        benchmark: kind,
+        config: format!("{seq_tasks}x{parallel}"),
+        concurrent_workflows: parallel,
+        metrics: executor.report(mps, seq).metrics,
+    })
+}
+
+/// The full cardinality sweep for both benchmarks.
+pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
+    let jobs: Vec<(BenchmarkKind, usize)> = [BenchmarkKind::AthenaPk, BenchmarkKind::Lammps]
+        .into_iter()
+        .flat_map(|k| CARDINALITIES.iter().map(move |&c| (k, c)))
+        .collect();
+    let mut pts: Vec<Point> = jobs
+        .par_iter()
+        .map(|&(kind, card)| run_config(device, kind, TASKS_PER_WORKFLOW, card))
+        .collect::<Result<Vec<_>>>()?;
+    pts.sort_by_key(|p| (p.benchmark, p.concurrent_workflows));
+    Ok(pts)
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Config",
+        "Clients",
+        "Throughput",
+        "Energy Eff.",
+        "T*E Product",
+        "T^2*E Product",
+    ]);
+    for p in points(device)? {
+        table.push_row([
+            p.benchmark.name().to_string(),
+            p.config.clone(),
+            p.concurrent_workflows.to_string(),
+            fmt(p.metrics.throughput_gain, 3),
+            fmt(p.metrics.energy_efficiency_gain, 3),
+            fmt(p.balanced_product(), 3),
+            fmt(p.throughput_leaning_product(), 3),
+        ]);
+    }
+    Ok(Experiment::new(
+        "fig4",
+        "Throughput/energy efficiency/product vs. cardinality (AthenaPK 4x & LAMMPS 4x, MPS)",
+        table,
+    )
+    .with_note(
+        "AthenaPK (low utilization): gains peak at small cardinality and the marginal \
+         benefit drops off as clients are added; LAMMPS (high utilization) is flat near 1.0 \
+         at every cardinality — collocating LAMMPS with LAMMPS does not pay",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn athena_points() -> Vec<Point> {
+        let d = DeviceSpec::a100x();
+        CARDINALITIES
+            .iter()
+            .map(|&c| run_config(&d, BenchmarkKind::AthenaPk, 2, c).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn athena_pairs_gain_then_marginal_benefit_drops() {
+        let pts = athena_points();
+        // Cardinality 1 is sequential by construction: gain 1.0.
+        assert!((pts[0].metrics.throughput_gain - 1.0).abs() < 0.02);
+        // Pairs give a real gain.
+        assert!(pts[1].metrics.throughput_gain > 1.5, "2x2: {}", pts[1].metrics.throughput_gain);
+        // The paper's takeaway 3: the benefit per added client falls;
+        // deep oversubscription is strictly worse than the peak.
+        let peak = pts
+            .iter()
+            .map(|p| p.metrics.throughput_gain)
+            .fold(0.0, f64::max);
+        let at_24 = pts.last().unwrap().metrics.throughput_gain;
+        assert!(
+            at_24 < 0.9 * peak,
+            "no drop-off: peak {peak:.3} vs 24 clients {at_24:.3}"
+        );
+    }
+
+    #[test]
+    fn athena_energy_efficiency_exceeds_one_at_high_cardinality() {
+        let pts = athena_points();
+        let last = pts.last().unwrap();
+        assert!(
+            last.metrics.energy_efficiency_gain > 1.2,
+            "eff at 24 clients: {}",
+            last.metrics.energy_efficiency_gain
+        );
+    }
+
+    #[test]
+    fn lammps_is_flat_and_near_unity() {
+        let d = DeviceSpec::a100x();
+        for &c in &[2usize, 8] {
+            let p = run_config(&d, BenchmarkKind::Lammps, 2, c).unwrap();
+            assert!(
+                p.metrics.throughput_gain > 0.9 && p.metrics.throughput_gain < 1.15,
+                "LAMMPS at {c}: {}",
+                p.metrics.throughput_gain
+            );
+        }
+    }
+
+    #[test]
+    fn product_metric_is_consistent() {
+        let d = DeviceSpec::a100x();
+        let p = run_config(&d, BenchmarkKind::AthenaPk, 2, 4).unwrap();
+        let expected = p.metrics.throughput_gain * p.metrics.energy_efficiency_gain;
+        assert!((p.balanced_product() - expected).abs() < 1e-12);
+        let expected2 = p.metrics.throughput_gain * expected;
+        assert!((p.throughput_leaning_product() - expected2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Figure 5: throughput, energy efficiency, and product for different
+//! scheduling *configurations* of the same total work.
+//!
+//! Unlike Figure 4, the total task count is constant (16 tasks); what
+//! varies is the split into sequential-tasks × concurrent-workflows:
+//! 16x1, 8x2, 4x4, 2x8, 1x16. The paper's finding: fewer, longer-running
+//! workflows benefit throughput most, while maximal oversubscription buys
+//! slightly more energy efficiency.
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_core::{Executor, ExecutorConfig, Metrics, ProductMetric};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Result;
+use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+use rayon::prelude::*;
+
+/// Total tasks in every configuration.
+pub const TOTAL_TASKS: usize = 16;
+
+/// The `(sequential, parallel)` splits swept.
+pub const CONFIGS: [(usize, usize); 5] = [(16, 1), (8, 2), (4, 4), (2, 8), (1, 16)];
+
+/// One configuration's result.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub benchmark: BenchmarkKind,
+    pub config: String,
+    pub concurrent_workflows: usize,
+    pub metrics: Metrics,
+}
+
+/// Runs one configuration of one benchmark.
+pub fn run_config(
+    device: &DeviceSpec,
+    kind: BenchmarkKind,
+    seq_tasks: usize,
+    parallel: usize,
+) -> Result<Point> {
+    assert_eq!(seq_tasks * parallel, TOTAL_TASKS, "configs hold work constant");
+    let workflows: Vec<WorkflowSpec> = (0..parallel)
+        .map(|_| WorkflowSpec::uniform(kind, ProblemSize::X4, seq_tasks))
+        .collect();
+    let executor = Executor::new(ExecutorConfig::new(device.clone()));
+    let seq = executor.run_sequential(&workflows)?;
+    let mps = executor.run_mps_naive(&workflows)?;
+    Ok(Point {
+        benchmark: kind,
+        config: format!("{seq_tasks}x{parallel}"),
+        concurrent_workflows: parallel,
+        metrics: executor.report(mps, seq).metrics,
+    })
+}
+
+/// The full configuration sweep for both benchmarks.
+pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
+    let jobs: Vec<(BenchmarkKind, usize, usize)> =
+        [BenchmarkKind::AthenaPk, BenchmarkKind::Lammps]
+            .into_iter()
+            .flat_map(|k| CONFIGS.iter().map(move |&(s, p)| (k, s, p)))
+            .collect();
+    let mut pts: Vec<Point> = jobs
+        .par_iter()
+        .map(|&(kind, s, p)| run_config(device, kind, s, p))
+        .collect::<Result<Vec<_>>>()?;
+    pts.sort_by_key(|p| (p.benchmark, p.concurrent_workflows));
+    Ok(pts)
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Config",
+        "Clients",
+        "Throughput",
+        "Energy Eff.",
+        "T*E Product",
+    ]);
+    for p in points(device)? {
+        table.push_row([
+            p.benchmark.name().to_string(),
+            p.config.clone(),
+            p.concurrent_workflows.to_string(),
+            fmt(p.metrics.throughput_gain, 3),
+            fmt(p.metrics.energy_efficiency_gain, 3),
+            fmt(p.metrics.product(ProductMetric::BALANCED), 3),
+        ]);
+    }
+    Ok(Experiment::new(
+        "fig5",
+        "Throughput/energy efficiency/product vs. scheduling configuration (16 tasks total)",
+        table,
+    )
+    .with_note(
+        "for the low-utilization workflow, a small number of longer workflows maximizes \
+         throughput even though more concurrent MPS clients would fit",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athena_fewer_longer_workflows_beat_wide_oversubscription() {
+        // Paper: "scheduling fewer, longer-running workflows yields the
+        // most benefit to throughput". Compare 8x2 against 1x16.
+        let d = DeviceSpec::a100x();
+        let narrow = run_config(&d, BenchmarkKind::AthenaPk, 8, 2).unwrap();
+        let wide = run_config(&d, BenchmarkKind::AthenaPk, 1, 16).unwrap();
+        assert!(
+            narrow.metrics.throughput_gain > wide.metrics.throughput_gain,
+            "narrow {} !> wide {}",
+            narrow.metrics.throughput_gain,
+            wide.metrics.throughput_gain
+        );
+    }
+
+    #[test]
+    fn single_workflow_config_matches_sequential() {
+        let d = DeviceSpec::a100x();
+        let p = run_config(&d, BenchmarkKind::AthenaPk, 16, 1).unwrap();
+        assert!((p.metrics.throughput_gain - 1.0).abs() < 0.02);
+        assert!((p.metrics.energy_efficiency_gain - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn lammps_configuration_is_irrelevant() {
+        // Paper: LAMMPS workflows do not benefit regardless of
+        // configuration (~6 % at best).
+        let d = DeviceSpec::a100x();
+        let a = run_config(&d, BenchmarkKind::Lammps, 8, 2).unwrap();
+        let b = run_config(&d, BenchmarkKind::Lammps, 2, 8).unwrap();
+        for p in [&a, &b] {
+            assert!(
+                p.metrics.throughput_gain > 0.9 && p.metrics.throughput_gain < 1.15,
+                "{}: {}",
+                p.config,
+                p.metrics.throughput_gain
+            );
+        }
+        assert!((a.metrics.throughput_gain - b.metrics.throughput_gain).abs() < 0.12);
+    }
+
+    #[test]
+    #[should_panic(expected = "configs hold work constant")]
+    fn mismatched_split_is_rejected() {
+        let d = DeviceSpec::a100x();
+        let _ = run_config(&d, BenchmarkKind::AthenaPk, 3, 4);
+    }
+}

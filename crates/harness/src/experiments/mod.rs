@@ -1,0 +1,39 @@
+//! Experiment modules, one per paper artifact.
+
+pub mod combos;
+pub mod ext_hetero;
+pub mod ext_mechanisms;
+pub mod ext_node;
+pub mod ext_online;
+pub mod ext_powercap;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+
+use crate::table::Experiment;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::Result;
+
+/// Runs every experiment in paper order. The Table III combination runs
+/// (shared by Figures 2 and 3) execute once.
+pub fn run_all(device: &DeviceSpec) -> Result<Vec<Experiment>> {
+    let mut out = Vec::new();
+    out.push(table1::run(device)?);
+    out.push(table2::run(device)?);
+    out.push(fig1::run(device)?);
+    let combo_results = combos::run_all(device)?;
+    out.push(fig2::from_results(&combo_results));
+    out.push(fig3::from_results(&combo_results));
+    out.push(fig4::run(device)?);
+    out.push(fig5::run(device)?);
+    out.push(ext_node::run(device)?);
+    out.push(ext_mechanisms::run(device)?);
+    out.push(ext_powercap::run(device)?);
+    out.push(ext_online::run(device)?);
+    out.push(ext_hetero::run(device)?);
+    Ok(out)
+}

@@ -1,0 +1,127 @@
+//! Table II: utilization statistics for selected workflows (1× and 4×).
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_profiler::profile_task;
+use mpshare_types::{Result, TaskId};
+use mpshare_workloads::{all_benchmarks, build_task, AnchorProfile, ProblemSize};
+use rayon::prelude::*;
+
+/// One regenerated Table II row (measured + paper anchor).
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub benchmark: String,
+    pub size: ProblemSize,
+    pub max_memory_mib: f64,
+    pub avg_bw_util: f64,
+    pub avg_sm_util: f64,
+    pub avg_power_w: f64,
+    pub energy_j: f64,
+    pub paper: AnchorProfile,
+}
+
+/// Profiles every benchmark at the paper's measured sizes.
+pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
+    let mut jobs = Vec::new();
+    for b in all_benchmarks() {
+        jobs.push((b.clone(), ProblemSize::X1));
+        if b.anchor_4x.is_some() {
+            jobs.push((b, ProblemSize::X4));
+        }
+    }
+    jobs.par_iter()
+        .map(|(b, size)| {
+            let task = build_task(device, b, *size, TaskId::new(0))?;
+            let p = profile_task(device, &task)?;
+            Ok(Row {
+                benchmark: b.kind.name().to_string(),
+                size: *size,
+                max_memory_mib: p.max_memory.mib(),
+                avg_bw_util: p.avg_bw_util.value(),
+                avg_sm_util: p.avg_sm_util.value(),
+                avg_power_w: p.avg_power.watts(),
+                energy_j: p.energy.joules(),
+                paper: b.profile_at(*size),
+            })
+        })
+        .collect()
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let mut table = TextTable::new([
+        "Benchmark",
+        "Size",
+        "Max Mem (MiB)",
+        "Paper Mem",
+        "BW Util %",
+        "Paper BW",
+        "SM Util %",
+        "Paper SM",
+        "Power (W)",
+        "Paper Power",
+        "Energy (J)",
+        "Paper Energy",
+    ]);
+    for r in rows(device)? {
+        table.push_row([
+            r.benchmark.clone(),
+            r.size.to_string(),
+            fmt(r.max_memory_mib, 0),
+            fmt(r.paper.max_memory.mib(), 0),
+            fmt(r.avg_bw_util, 2),
+            fmt(r.paper.avg_bw_util.value(), 2),
+            fmt(r.avg_sm_util, 2),
+            fmt(r.paper.avg_sm_util.value(), 2),
+            fmt(r.avg_power_w, 2),
+            fmt(r.paper.avg_power.watts(), 2),
+            fmt(r.energy_j, 2),
+            fmt(r.paper.energy.joules(), 2),
+        ]);
+    }
+    Ok(Experiment::new(
+        "table2",
+        "Utilization statistics for selected workflows (measured on the simulator vs. paper)",
+        table,
+    )
+    .with_note("BerkeleyGW-Epsilon has no 4x row: the paper could not scale it either"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_anchor_rows() {
+        let rows = rows(&DeviceSpec::a100x()).unwrap();
+        // 7 benchmarks, 6 of them at two sizes.
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+            assert!(
+                rel(r.avg_sm_util, r.paper.avg_sm_util.value()) < 0.03,
+                "{} {}: SM",
+                r.benchmark,
+                r.size
+            );
+            assert!(
+                rel(r.avg_power_w, r.paper.avg_power.watts()) < 0.03,
+                "{} {}: power",
+                r.benchmark,
+                r.size
+            );
+            assert!(
+                rel(r.energy_j, r.paper.energy.joules()) < 0.05,
+                "{} {}: energy",
+                r.benchmark,
+                r.size
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_has_thirteen_rows() {
+        let e = run(&DeviceSpec::a100x()).unwrap();
+        assert_eq!(e.table.len(), 13);
+    }
+}

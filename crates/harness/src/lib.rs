@@ -1,0 +1,26 @@
+//! `mpshare-harness` — regenerates every table and figure of the paper.
+//!
+//! One module per artifact (see DESIGN.md's per-experiment index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — warp occupancy per benchmark |
+//! | [`experiments::table2`] | Table II — utilization statistics per workflow |
+//! | [`experiments::fig1`] | Fig. 1 — throughput vs. MPS SM partition |
+//! | [`experiments::fig2`] | Fig. 2 — throughput & energy efficiency, combos 1–10 (Table III) |
+//! | [`experiments::fig3`] | Fig. 3 — SW power-capping time, combos 1–10 |
+//! | [`experiments::fig4`] | Fig. 4 — cardinality sweep (AthenaPK / LAMMPS) |
+//! | [`experiments::fig5`] | Fig. 5 — scheduling configuration at constant task count |
+//!
+//! Each experiment returns an [`Experiment`] (typed rows + rendered text
+//! table + notes) that the `mpshare-repro` binary prints and writes under
+//! `results/`. EXPERIMENTS.md records paper-vs-measured for each.
+
+pub mod experiments;
+pub mod gantt;
+pub mod output;
+pub mod table;
+
+pub use gantt::render_gantt;
+pub use output::{write_report, write_results};
+pub use table::{Experiment, TextTable};

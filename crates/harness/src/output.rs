@@ -1,0 +1,95 @@
+//! Result persistence: text, CSV and JSON artifacts under a results dir.
+
+use crate::table::Experiment;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes `<id>.txt`, `<id>.csv`, and `<id>.json` for each experiment into
+/// `dir` (created if missing). Returns the paths written.
+pub fn write_results(dir: &Path, experiments: &[Experiment]) -> io::Result<Vec<std::path::PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for e in experiments {
+        let txt = dir.join(format!("{}.txt", e.id));
+        fs::write(&txt, e.render())?;
+        written.push(txt);
+
+        let csv = dir.join(format!("{}.csv", e.id));
+        fs::write(&csv, e.table.to_csv())?;
+        written.push(csv);
+
+        let json = dir.join(format!("{}.json", e.id));
+        let body = serde_json::to_string_pretty(e).map_err(io::Error::other)?;
+        fs::write(&json, body)?;
+        written.push(json);
+    }
+    Ok(written)
+}
+
+/// Writes a combined `REPORT.md` rendering every experiment in order —
+/// the one-file artifact to skim after `mpshare-repro all`.
+pub fn write_report(dir: &Path, experiments: &[Experiment]) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let mut body = String::from(
+        "# mpshare — regenerated paper artifacts\n\n\
+         Produced by `mpshare-repro`. Each section is one table or figure of\n\
+         the paper (or an extension); see EXPERIMENTS.md for the\n\
+         paper-vs-measured discussion.\n\n",
+    );
+    for e in experiments {
+        body.push_str(&format!("## {} — {}\n\n```text\n", e.id, e.title));
+        body.push_str(&e.table.render());
+        body.push_str("```\n\n");
+        for note in &e.notes {
+            body.push_str(&format!("> {note}\n\n"));
+        }
+    }
+    let path = dir.join("REPORT.md");
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TextTable;
+
+    #[test]
+    fn writes_three_files_per_experiment() {
+        let dir = std::env::temp_dir().join(format!("mpshare-out-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(["k", "v"]);
+        t.push_row(["a", "1"]);
+        let experiments = vec![Experiment::new("smoke", "Smoke", t)];
+        let written = write_results(&dir, &experiments).unwrap();
+        assert_eq!(written.len(), 3);
+        for path in &written {
+            assert!(path.exists(), "{path:?} missing");
+        }
+        let text = fs::read_to_string(dir.join("smoke.txt")).unwrap();
+        assert!(text.contains("Smoke"));
+        let json = fs::read_to_string(dir.join("smoke.json")).unwrap();
+        let parsed: Experiment = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.id, "smoke");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_concatenates_experiments() {
+        let dir = std::env::temp_dir().join(format!("mpshare-report-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(["k", "v"]);
+        t.push_row(["a", "1"]);
+        let experiments = vec![
+            Experiment::new("one", "First", t.clone()).with_note("caveat"),
+            Experiment::new("two", "Second", t),
+        ];
+        let path = write_report(&dir, &experiments).unwrap();
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(body.contains("## one — First"));
+        assert!(body.contains("## two — Second"));
+        assert!(body.contains("> caveat"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! The MPS control daemon: node-level lifecycle management.
+//!
+//! Mirrors `nvidia-cuda-mps-control`: the daemon owns the set of GPUs on
+//! the node and lazily spawns one [`MpsServer`] per GPU when the first
+//! client for that GPU connects (the real daemon spawns the server on first
+//! client contact too). `quit` shuts down all servers, refusing when
+//! clients are still connected unless forced.
+
+use crate::server::MpsServer;
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::{Error, GpuId, Result};
+use std::collections::BTreeMap;
+
+/// Daemon lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonState {
+    Stopped,
+    Running,
+}
+
+/// The node-level control daemon.
+#[derive(Debug)]
+pub struct ControlDaemon {
+    state: DaemonState,
+    devices: BTreeMap<GpuId, DeviceSpec>,
+    servers: BTreeMap<GpuId, MpsServer>,
+}
+
+impl ControlDaemon {
+    /// Creates a stopped daemon managing the given GPUs.
+    pub fn new(devices: impl IntoIterator<Item = (GpuId, DeviceSpec)>) -> Self {
+        ControlDaemon {
+            state: DaemonState::Stopped,
+            devices: devices.into_iter().collect(),
+            servers: BTreeMap::new(),
+        }
+    }
+
+    /// Convenience: a node with `n` identical GPUs.
+    pub fn homogeneous_node(n: usize, device: DeviceSpec) -> Self {
+        Self::new((0..n as u64).map(|i| (GpuId::new(i), device.clone())))
+    }
+
+    pub fn state(&self) -> DaemonState {
+        self.state
+    }
+
+    pub fn gpu_ids(&self) -> Vec<GpuId> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// Starts the daemon (idempotent).
+    pub fn start(&mut self) {
+        self.state = DaemonState::Running;
+    }
+
+    /// Returns the server for `gpu`, spawning it on first use. Errors when
+    /// the daemon is stopped or the GPU does not exist.
+    pub fn server(&mut self, gpu: GpuId) -> Result<&mut MpsServer> {
+        if self.state != DaemonState::Running {
+            return Err(Error::InvalidState(
+                "MPS control daemon is not running".into(),
+            ));
+        }
+        let device = self
+            .devices
+            .get(&gpu)
+            .ok_or_else(|| Error::InvalidConfig(format!("no such GPU: {gpu}")))?
+            .clone();
+        Ok(self
+            .servers
+            .entry(gpu)
+            .or_insert_with(|| MpsServer::new(gpu, device)))
+    }
+
+    /// Whether a server has been spawned for `gpu`.
+    pub fn has_server(&self, gpu: GpuId) -> bool {
+        self.servers.contains_key(&gpu)
+    }
+
+    /// Total clients across all servers.
+    pub fn total_clients(&self) -> usize {
+        self.servers.values().map(|s| s.client_count()).sum()
+    }
+
+    /// Stops the daemon and tears down all servers. Refuses when clients
+    /// are still connected unless `force` is set (like `quit` vs the
+    /// daemon's forced shutdown).
+    pub fn quit(&mut self, force: bool) -> Result<()> {
+        if !force && self.total_clients() > 0 {
+            return Err(Error::InvalidState(format!(
+                "{} clients still connected; use force to terminate",
+                self.total_clients()
+            )));
+        }
+        self.servers.clear();
+        self.state = DaemonState::Stopped;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_types::MemBytes;
+
+    fn daemon() -> ControlDaemon {
+        ControlDaemon::homogeneous_node(2, DeviceSpec::a100x())
+    }
+
+    #[test]
+    fn starts_stopped_and_refuses_servers() {
+        let mut d = daemon();
+        assert_eq!(d.state(), DaemonState::Stopped);
+        assert!(d.server(GpuId::new(0)).is_err());
+    }
+
+    #[test]
+    fn spawns_servers_lazily_per_gpu() {
+        let mut d = daemon();
+        d.start();
+        assert!(!d.has_server(GpuId::new(0)));
+        d.server(GpuId::new(0)).unwrap();
+        assert!(d.has_server(GpuId::new(0)));
+        assert!(!d.has_server(GpuId::new(1)));
+    }
+
+    #[test]
+    fn unknown_gpu_is_an_error() {
+        let mut d = daemon();
+        d.start();
+        assert!(d.server(GpuId::new(5)).is_err());
+    }
+
+    #[test]
+    fn quit_refuses_with_connected_clients_unless_forced() {
+        let mut d = daemon();
+        d.start();
+        d.server(GpuId::new(0))
+            .unwrap()
+            .connect("c", MemBytes::from_mib(1))
+            .unwrap();
+        assert!(d.quit(false).is_err());
+        assert_eq!(d.state(), DaemonState::Running);
+        d.quit(true).unwrap();
+        assert_eq!(d.state(), DaemonState::Stopped);
+        assert_eq!(d.total_clients(), 0);
+    }
+
+    #[test]
+    fn quit_succeeds_when_idle() {
+        let mut d = daemon();
+        d.start();
+        d.server(GpuId::new(0)).unwrap();
+        d.quit(false).unwrap();
+        assert_eq!(d.state(), DaemonState::Stopped);
+    }
+
+    #[test]
+    fn total_clients_sums_across_gpus() {
+        let mut d = daemon();
+        d.start();
+        d.server(GpuId::new(0))
+            .unwrap()
+            .connect("a", MemBytes::ZERO)
+            .unwrap();
+        d.server(GpuId::new(1))
+            .unwrap()
+            .connect("b", MemBytes::ZERO)
+            .unwrap();
+        d.server(GpuId::new(1))
+            .unwrap()
+            .connect("c", MemBytes::ZERO)
+            .unwrap();
+        assert_eq!(d.total_clients(), 3);
+    }
+}

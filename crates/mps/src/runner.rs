@@ -1,0 +1,515 @@
+//! A uniform entry point for running client programs under any sharing
+//! mechanism.
+//!
+//! The profiler, scheduler, and experiment harness all execute workloads
+//! through [`GpuRunner::run`], selecting the mechanism with [`GpuSharing`]:
+//! sequential (the paper's baseline), time slicing, MPS with per-client
+//! partitions, or MIG with an instance layout and a program→instance
+//! assignment.
+//!
+//! For MIG, each instance is an isolated sub-device simulated by its own
+//! engine; the per-instance timelines are merged into a single board-level
+//! [`Telemetry`] (utilizations weighted by slice size, powers summed, with
+//! idle instances and unused slices drawing their share of idle power) so
+//! that every mechanism reports comparable metrics.
+
+use crate::mig::MigLayout;
+use crate::timeslice::TimeSliceConfig;
+use mpshare_gpusim::{
+    ClientOutcome, ClientProgram, DeviceSpec, Engine, EngineConfig, RunResult, Segment,
+    SharingMode, Telemetry,
+};
+use mpshare_types::{Error, Fraction, Power, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Which sharing mechanism to run under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GpuSharing {
+    /// Jobs run one after another in queue order — the paper's baseline.
+    Sequential,
+    /// The driver's default time-sliced scheduler.
+    TimeSliced(TimeSliceConfig),
+    /// CUDA MPS with per-client SM partitions (`partitions[i]` for
+    /// program `i`).
+    Mps { partitions: Vec<Fraction> },
+    /// CUDA Streams: the programs run as streams of one fused process —
+    /// concurrent, no partitions, no per-client MPS pressure, but also no
+    /// memory protection between them (§II-B).
+    Streams,
+    /// MIG: `assignment[i]` is the index of the instance program `i` runs
+    /// on. Programs sharing an instance run under MPS (full partitions)
+    /// within it.
+    Mig {
+        layout: MigLayout,
+        assignment: Vec<usize>,
+    },
+}
+
+impl GpuSharing {
+    /// MPS with all clients unrestricted (the MPS default).
+    pub fn mps_default(clients: usize) -> GpuSharing {
+        GpuSharing::Mps {
+            partitions: vec![Fraction::ONE; clients],
+        }
+    }
+}
+
+/// Runs client programs on one GPU under a chosen sharing mechanism.
+///
+/// ```
+/// use mpshare_gpusim::{ClientProgram, DeviceSpec, KernelSpec, LaunchConfig, TaskProgram};
+/// use mpshare_mps::{GpuRunner, GpuSharing};
+/// use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
+///
+/// let device = DeviceSpec::a100x();
+/// let kernel = KernelSpec::from_launch(&device, LaunchConfig::dense(216, 1024), Seconds::new(1.0))
+///     .with_sm_demand(Fraction::new(0.3));
+/// let mut task = TaskProgram::new(TaskId::new(0), "demo", MemBytes::from_mib(256));
+/// task.push_kernel(kernel);
+/// let mut program = ClientProgram::new("demo");
+/// program.push_task(task);
+///
+/// let result = GpuRunner::new(device)
+///     .run(&GpuSharing::mps_default(1), vec![program])
+///     .unwrap();
+/// assert_eq!(result.tasks_completed, 1);
+/// assert!((result.makespan.value() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuRunner {
+    device: DeviceSpec,
+    sharing_overhead: f64,
+    record_events: bool,
+}
+
+impl GpuRunner {
+    pub fn new(device: DeviceSpec) -> Self {
+        GpuRunner {
+            device,
+            sharing_overhead: 0.0,
+            record_events: false,
+        }
+    }
+
+    /// Records a discrete-event log on every run (task/kernel boundaries,
+    /// throttle transitions) — needed for kernel-level trace export.
+    pub fn with_event_log(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+
+    /// Sets the device-level per-co-runner MPS overhead (shared scheduling
+    /// hardware / L2 pressure); see `mpshare-gpusim`'s contention model.
+    pub fn with_sharing_overhead(mut self, overhead: f64) -> Self {
+        self.sharing_overhead = overhead;
+        self
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Executes `programs` under `sharing` and returns the merged result.
+    pub fn run(&self, sharing: &GpuSharing, programs: Vec<ClientProgram>) -> Result<RunResult> {
+        match sharing {
+            GpuSharing::Sequential => self.run_engine(SharingMode::Sequential, programs),
+            GpuSharing::TimeSliced(cfg) => self.run_engine(cfg.to_sharing_mode(), programs),
+            GpuSharing::Mps { partitions } => self.run_engine(
+                SharingMode::Mps {
+                    partitions: partitions.clone(),
+                },
+                programs,
+            ),
+            GpuSharing::Streams => self.run_engine(SharingMode::Streams, programs),
+            GpuSharing::Mig { layout, assignment } => self.run_mig(layout, assignment, programs),
+        }
+    }
+
+    fn run_engine(&self, mode: SharingMode, programs: Vec<ClientProgram>) -> Result<RunResult> {
+        let config = EngineConfig::new(self.device.clone(), mode)
+            .with_sharing_overhead(self.sharing_overhead)
+            .with_event_log(self.record_events);
+        Engine::new(config, programs)?.run()
+    }
+
+    fn run_mig(
+        &self,
+        layout: &MigLayout,
+        assignment: &[usize],
+        programs: Vec<ClientProgram>,
+    ) -> Result<RunResult> {
+        if assignment.len() != programs.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} assignments for {} programs",
+                assignment.len(),
+                programs.len()
+            )));
+        }
+        let n_instances = layout.instances().len();
+        if let Some(&bad) = assignment.iter().find(|&&a| a >= n_instances) {
+            return Err(Error::InvalidConfig(format!(
+                "assignment to instance {bad}, but only {n_instances} exist"
+            )));
+        }
+
+        // Partition the programs per instance, remembering original order.
+        let mut per_instance: Vec<Vec<(usize, ClientProgram)>> = vec![Vec::new(); n_instances];
+        for (idx, (program, &inst)) in programs.into_iter().zip(assignment).enumerate() {
+            per_instance[inst].push((idx, program));
+        }
+
+        let mut sub_results: Vec<(usize, RunResult, Vec<usize>)> = Vec::new();
+        for (inst, batch) in per_instance.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (orig_indices, progs): (Vec<usize>, Vec<ClientProgram>) =
+                batch.into_iter().unzip();
+            let device = layout.instances()[inst].device.clone();
+            let config = EngineConfig::new(
+                device,
+                SharingMode::Mps {
+                    partitions: vec![Fraction::ONE; progs.len()],
+                },
+            )
+            .with_sharing_overhead(self.sharing_overhead);
+            let result = Engine::new(config, progs)?.run();
+            sub_results.push((inst, result?, orig_indices));
+        }
+
+        self.merge_mig_results(layout, sub_results)
+    }
+
+    /// Merges per-instance results into one board-level result. Unused
+    /// slices and instances that finished early keep drawing their share
+    /// of idle power until the board-level makespan.
+    fn merge_mig_results(
+        &self,
+        layout: &MigLayout,
+        sub_results: Vec<(usize, RunResult, Vec<usize>)>,
+    ) -> Result<RunResult> {
+        let makespan = sub_results
+            .iter()
+            .map(|(_, r, _)| r.makespan)
+            .fold(Seconds::ZERO, Seconds::max);
+
+        // Board-level idle power not covered by any busy instance:
+        // unused slices, plus the whole-board fraction MIG cannot slice.
+        let covered_idle: f64 = sub_results
+            .iter()
+            .map(|(inst, _, _)| layout.instances()[*inst].device.idle_power.watts())
+            .sum();
+        let uncovered_idle = (self.device.idle_power.watts() - covered_idle).max(0.0);
+
+        let parts: Vec<(&RunResult, &DeviceSpec)> = sub_results
+            .iter()
+            .map(|(inst, r, _)| (r, &layout.instances()[*inst].device))
+            .collect();
+        let telemetry = merge_parallel_telemetries(&self.device, &parts, makespan, uncovered_idle);
+
+        // Client outcomes keep their original submission order.
+        let mut clients: Vec<(usize, ClientOutcome)> = Vec::new();
+        for (_, result, orig_indices) in &sub_results {
+            for (client, &orig) in result.clients.iter().zip(orig_indices) {
+                clients.push((orig, client.clone()));
+            }
+        }
+        clients.sort_by_key(|(orig, _)| *orig);
+        let clients: Vec<ClientOutcome> = clients.into_iter().map(|(_, c)| c).collect();
+        let tasks_completed = clients.iter().map(|c| c.completions.len()).sum();
+        let total_energy = telemetry.total_energy();
+        Ok(RunResult {
+            telemetry,
+            clients,
+            makespan,
+            total_energy,
+            tasks_completed,
+            // Per-instance logs are not merged (their client indices are
+            // instance-local); request traces per instance if needed.
+            events: mpshare_gpusim::EventLog::default(),
+        })
+    }
+}
+
+/// Merges parallel per-instance telemetries into one board-level timeline.
+///
+/// Utilizations are weighted by each instance's share of the parent's SMs
+/// (for SM util) and bandwidth (for BW util); powers are summed. An
+/// instance contributes its idle power after its own timeline ends, and
+/// `uncovered_idle_watts` (unused slices) is added throughout.
+fn merge_parallel_telemetries(
+    parent: &DeviceSpec,
+    parts: &[(&RunResult, &DeviceSpec)],
+    horizon: Seconds,
+    uncovered_idle_watts: f64,
+) -> Telemetry {
+    let mut boundaries: Vec<f64> = vec![0.0, horizon.value()];
+    for (r, _) in parts {
+        for s in r.telemetry.segments() {
+            boundaries.push(s.start.value());
+            boundaries.push(s.end.value());
+        }
+    }
+    boundaries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut merged = Telemetry::new();
+    // Per-part sweep cursor over its segments.
+    let mut cursors = vec![0usize; parts.len()];
+    for w in boundaries.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        if t1 - t0 <= 1e-12 || t0 >= horizon.value() {
+            continue;
+        }
+        let mid = 0.5 * (t0 + t1);
+        let mut sm = 0.0;
+        let mut bw = 0.0;
+        let mut power = uncovered_idle_watts;
+        let mut capped = false;
+        let mut active = 0usize;
+        for (pi, (r, dev)) in parts.iter().enumerate() {
+            let segs = r.telemetry.segments();
+            while cursors[pi] < segs.len() && segs[cursors[pi]].end.value() <= mid {
+                cursors[pi] += 1;
+            }
+            let sm_weight = dev.num_sms as f64 / parent.num_sms as f64;
+            let bw_weight =
+                dev.memory_bandwidth_bytes_per_sec / parent.memory_bandwidth_bytes_per_sec;
+            match segs.get(cursors[pi]) {
+                Some(s) if s.start.value() <= mid => {
+                    sm += s.sm_util * sm_weight;
+                    bw += s.bw_util * bw_weight;
+                    power += s.power.watts();
+                    capped |= s.capped;
+                    active += s.active_clients;
+                }
+                _ => {
+                    // Instance idle (finished or not yet started).
+                    power += dev.idle_power.watts();
+                }
+            }
+        }
+        merged.record(Segment {
+            start: Seconds::new(t0),
+            end: Seconds::new(t1),
+            sm_util: sm.min(1.0),
+            bw_util: bw.min(1.0),
+            power: Power::from_watts(power),
+            clock_factor: 1.0,
+            capped,
+            active_clients: active,
+        });
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mig::MigProfile;
+    use mpshare_gpusim::{KernelSpec, LaunchConfig, TaskProgram};
+    use mpshare_types::{MemBytes, TaskId};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    fn program(label: &str, id: u64, dur: f64, sm: f64) -> ClientProgram {
+        let kernel = KernelSpec::from_launch(
+            &dev(),
+            LaunchConfig::dense(216 * 64, 1024),
+            Seconds::new(dur),
+        )
+        .with_sm_demand(Fraction::new(sm));
+        let mut t = TaskProgram::new(TaskId::new(id), label, MemBytes::from_mib(256));
+        t.push_kernel(kernel);
+        let mut c = ClientProgram::new(label);
+        c.push_task(t);
+        c
+    }
+
+    #[test]
+    fn sequential_and_mps_agree_with_engine_semantics() {
+        let runner = GpuRunner::new(dev());
+        let seq = runner
+            .run(
+                &GpuSharing::Sequential,
+                vec![program("a", 0, 2.0, 0.3), program("b", 1, 2.0, 0.3)],
+            )
+            .unwrap();
+        assert!((seq.makespan.value() - 4.0).abs() < 1e-9);
+
+        let mps = runner
+            .run(
+                &GpuSharing::mps_default(2),
+                vec![program("a", 0, 2.0, 0.3), program("b", 1, 2.0, 0.3)],
+            )
+            .unwrap();
+        assert!((mps.makespan.value() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timesliced_runs_through_config() {
+        let runner = GpuRunner::new(dev());
+        let r = runner
+            .run(
+                &GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+                vec![program("a", 0, 0.5, 0.3), program("b", 1, 0.5, 0.3)],
+            )
+            .unwrap();
+        // GPU work serializes: makespan ≈ 1.0 plus switch overheads.
+        assert!(r.makespan.value() >= 1.0);
+        assert!(r.makespan.value() < 1.2, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn streams_run_concurrently_without_client_pressure() {
+        let runner = GpuRunner::new(dev());
+        let r = runner
+            .run(
+                &GpuSharing::Streams,
+                vec![program("a", 0, 2.0, 0.3), program("b", 1, 2.0, 0.3)],
+            )
+            .unwrap();
+        assert!((r.makespan.value() - 2.0).abs() < 1e-6);
+        assert_eq!(r.tasks_completed, 2);
+    }
+
+    #[test]
+    fn mig_isolates_instances() {
+        let runner = GpuRunner::new(dev());
+        let layout = MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice])
+            .unwrap();
+        // Two kernels that would contend heavily under MPS run isolated
+        // under MIG (each slowed only by its smaller instance).
+        let r = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0, 1],
+                },
+                vec![program("a", 0, 2.0, 0.9), program("b", 1, 2.0, 0.9)],
+            )
+            .unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        // Each instance is slower than the full device but both run in
+        // parallel; makespan is bounded by the smaller instance's slowdown.
+        assert!(r.makespan.value() > 2.0);
+        assert!(r.makespan.value() < 8.0);
+    }
+
+    #[test]
+    fn mig_board_power_includes_idle_instances() {
+        let runner = GpuRunner::new(dev());
+        let layout = MigLayout::new(&dev(), &[MigProfile::OneSlice, MigProfile::FourSlice])
+            .unwrap();
+        // Only instance 0 gets work; instance 1 and the 2 unused slices
+        // must still draw idle power.
+        let r = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0],
+                },
+                vec![program("a", 0, 1.0, 0.5)],
+            )
+            .unwrap();
+        // Board power strictly above the busy slice's own draw.
+        let one_slice_idle = dev().idle_power.watts() / 7.0;
+        assert!(r.telemetry.avg_power().watts() > one_slice_idle + 10.0);
+        // And at least the full board idle power.
+        assert!(r.telemetry.avg_power().watts() >= dev().idle_power.watts() - 1.0);
+    }
+
+    #[test]
+    fn mig_rejects_bad_assignments() {
+        let runner = GpuRunner::new(dev());
+        let layout = MigLayout::new(&dev(), &[MigProfile::SevenSlice]).unwrap();
+        let err = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout: layout.clone(),
+                    assignment: vec![1],
+                },
+                vec![program("a", 0, 1.0, 0.5)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+        let err = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0, 0],
+                },
+                vec![program("a", 0, 1.0, 0.5)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn mig_preserves_client_order() {
+        let runner = GpuRunner::new(dev());
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::ThreeSlice]).unwrap();
+        let r = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![1, 0, 1],
+                },
+                vec![
+                    program("first", 0, 0.5, 0.2),
+                    program("second", 1, 0.5, 0.2),
+                    program("third", 2, 0.5, 0.2),
+                ],
+            )
+            .unwrap();
+        let labels: Vec<&str> = r.clients.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn mig_slices_run_calibrated_kernels_proportionally_slower() {
+        // A kernel calibrated on the full A100X must not run at full
+        // speed on a 3/7th slice: its reference device is the whole GPU.
+        let runner = GpuRunner::new(dev());
+        let layout = MigLayout::new(&dev(), &[MigProfile::ThreeSlice]).unwrap();
+        let slice_sms = layout.instances()[0].device.num_sms;
+        let solo = runner
+            .run(&GpuSharing::mps_default(1), vec![program("a", 0, 10.0, 0.9)])
+            .unwrap();
+        let sliced = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0],
+                },
+                vec![program("a", 0, 10.0, 0.9)],
+            )
+            .unwrap();
+        let expected_slowdown = 108.0 / slice_sms as f64;
+        let actual = sliced.makespan.value() / solo.makespan.value();
+        assert!(
+            (actual - expected_slowdown).abs() / expected_slowdown < 0.05,
+            "slowdown {actual:.3} vs expected {expected_slowdown:.3}"
+        );
+    }
+
+    #[test]
+    fn merged_telemetry_covers_makespan() {
+        let runner = GpuRunner::new(dev());
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice]).unwrap();
+        let r = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0, 1],
+                },
+                vec![program("short", 0, 0.5, 0.5), program("long", 1, 3.0, 0.5)],
+            )
+            .unwrap();
+        assert!((r.telemetry.total_time().value() - r.makespan.value()).abs() < 1e-6);
+    }
+}

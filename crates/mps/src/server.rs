@@ -1,0 +1,404 @@
+//! The MPS server: one per GPU, admits client runtimes.
+//!
+//! Mirrors the semantics of `nvidia-cuda-mps-server`: up to 48 concurrent
+//! clients (post-Volta), each with an *active thread percentage* that
+//! provisions a logical SM partition. Partitions may oversubscribe the
+//! device (the sum may exceed 100 %) — MPS provides memory protection and
+//! logical partitions, but no performance isolation for memory bandwidth,
+//! caches, or scheduling hardware. Device memory is a hard resource: a
+//! client whose allocation does not fit is refused, exactly like a failing
+//! `cudaMalloc`.
+
+use mpshare_gpusim::{ClientProgram, DeviceSpec, RunResult};
+use mpshare_types::{ClientId, Error, Fraction, GpuId, MemBytes, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An MPS *active thread percentage*: the fraction of device threads (and
+/// hence SMs) a client may use. Real MPS accepts an integer percentage in
+/// `(0, 100]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActiveThreadPercentage(u8);
+
+impl ActiveThreadPercentage {
+    /// The MPS default: no restriction.
+    pub const FULL: ActiveThreadPercentage = ActiveThreadPercentage(100);
+
+    pub fn new(pct: u8) -> Result<Self> {
+        if pct == 0 || pct > 100 {
+            return Err(Error::InvalidConfig(format!(
+                "active thread percentage must be in (0, 100], got {pct}"
+            )));
+        }
+        Ok(ActiveThreadPercentage(pct))
+    }
+
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    pub fn fraction(self) -> Fraction {
+        Fraction::new(self.0 as f64 / 100.0)
+    }
+
+    /// Rounds a fraction up to the nearest whole percent (provisioning
+    /// granularity of `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`).
+    pub fn from_fraction_ceil(frac: Fraction) -> Result<Self> {
+        let pct = (frac.value() * 100.0).ceil() as u8;
+        ActiveThreadPercentage::new(pct.clamp(1, 100))
+    }
+}
+
+/// A connected client as the server sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientHandle {
+    pub id: ClientId,
+    pub partition: ActiveThreadPercentage,
+    /// Device memory currently reserved by this client.
+    pub memory: MemBytes,
+    /// Process label for diagnostics.
+    pub label: String,
+}
+
+/// The per-GPU MPS server.
+#[derive(Debug, Clone)]
+pub struct MpsServer {
+    gpu: GpuId,
+    device: DeviceSpec,
+    /// Default partition applied to clients that do not request one
+    /// (`CUDA_MPS_ACTIVE_THREAD_PERCENTAGE` on the server).
+    default_partition: ActiveThreadPercentage,
+    clients: BTreeMap<ClientId, ClientHandle>,
+    next_client: u64,
+}
+
+impl MpsServer {
+    pub fn new(gpu: GpuId, device: DeviceSpec) -> Self {
+        MpsServer {
+            gpu,
+            device,
+            default_partition: ActiveThreadPercentage::FULL,
+            clients: BTreeMap::new(),
+            next_client: 0,
+        }
+    }
+
+    pub fn gpu(&self) -> GpuId {
+        self.gpu
+    }
+
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Sets the server-wide default active thread percentage. Affects only
+    /// clients connected afterwards, like the real environment variable.
+    pub fn set_default_partition(&mut self, p: ActiveThreadPercentage) {
+        self.default_partition = p;
+    }
+
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    pub fn clients(&self) -> impl Iterator<Item = &ClientHandle> {
+        self.clients.values()
+    }
+
+    /// Free device memory (capacity minus all client reservations).
+    pub fn free_memory(&self) -> MemBytes {
+        let used: MemBytes = self.clients.values().map(|c| c.memory).sum();
+        self.device.memory_capacity.saturating_sub(used)
+    }
+
+    /// Connects a new client with the server default partition.
+    pub fn connect(&mut self, label: impl Into<String>, memory: MemBytes) -> Result<ClientId> {
+        let partition = self.default_partition;
+        self.connect_with_partition(label, memory, partition)
+    }
+
+    /// Connects a new client with an explicit partition. Enforces the
+    /// client limit and memory capacity.
+    pub fn connect_with_partition(
+        &mut self,
+        label: impl Into<String>,
+        memory: MemBytes,
+        partition: ActiveThreadPercentage,
+    ) -> Result<ClientId> {
+        if self.clients.len() >= self.device.max_mps_clients {
+            return Err(Error::ClientLimitExceeded {
+                gpu: self.gpu,
+                limit: self.device.max_mps_clients,
+            });
+        }
+        let free = self.free_memory();
+        if memory > free {
+            return Err(Error::OutOfMemory {
+                gpu: self.gpu,
+                requested: memory,
+                available: free,
+            });
+        }
+        let id = ClientId::new(self.next_client);
+        self.next_client += 1;
+        self.clients.insert(
+            id,
+            ClientHandle {
+                id,
+                partition,
+                memory,
+                label: label.into(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Disconnects a client, releasing its memory.
+    pub fn disconnect(&mut self, id: ClientId) -> Result<ClientHandle> {
+        self.clients.remove(&id).ok_or(Error::UnknownClient(id))
+    }
+
+    /// Grows or shrinks a client's memory reservation (models further
+    /// `cudaMalloc`/`cudaFree` calls after connect).
+    pub fn resize_memory(&mut self, id: ClientId, memory: MemBytes) -> Result<()> {
+        let current = self
+            .clients
+            .get(&id)
+            .ok_or(Error::UnknownClient(id))?
+            .memory;
+        let others: MemBytes = self
+            .clients
+            .values()
+            .filter(|c| c.id != id)
+            .map(|c| c.memory)
+            .sum();
+        let available = self.device.memory_capacity.saturating_sub(others);
+        if memory > available {
+            return Err(Error::OutOfMemory {
+                gpu: self.gpu,
+                requested: memory.saturating_sub(current),
+                available: available.saturating_sub(current),
+            });
+        }
+        self.clients
+            .get_mut(&id)
+            .expect("checked above")
+            .memory = memory;
+        Ok(())
+    }
+
+    /// Partition fractions of all connected clients, in client-id order —
+    /// the vector handed to the execution engine's MPS mode.
+    pub fn partition_vector(&self) -> Vec<Fraction> {
+        self.clients.values().map(|c| c.partition.fraction()).collect()
+    }
+
+    /// Sum of all partitions as a plain factor (may exceed 1.0:
+    /// oversubscription is legal under MPS).
+    pub fn total_provisioned(&self) -> f64 {
+        self.clients
+            .values()
+            .map(|c| c.partition.fraction().value())
+            .sum()
+    }
+
+    /// Executes one program per connected client (in client-id order)
+    /// under the clients' partitions — the data-plane counterpart of the
+    /// admission control above.
+    ///
+    /// Each program's peak memory must fit the owning client's
+    /// reservation: admission promised that memory, and a program that
+    /// exceeds it would be the real world's `cudaMalloc` failure.
+    pub fn run(&self, programs: Vec<ClientProgram>) -> Result<RunResult> {
+        if programs.len() != self.clients.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} programs for {} connected clients",
+                programs.len(),
+                self.clients.len()
+            )));
+        }
+        for (client, program) in self.clients.values().zip(&programs) {
+            if program.peak_memory() > client.memory {
+                return Err(Error::OutOfMemory {
+                    gpu: self.gpu,
+                    requested: program.peak_memory(),
+                    available: client.memory,
+                });
+            }
+        }
+        let runner = crate::runner::GpuRunner::new(self.device.clone());
+        runner.run(
+            &crate::runner::GpuSharing::Mps {
+                partitions: self.partition_vector(),
+            },
+            programs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> MpsServer {
+        MpsServer::new(GpuId::new(0), DeviceSpec::a100x())
+    }
+
+    #[test]
+    fn active_thread_percentage_validates_range() {
+        assert!(ActiveThreadPercentage::new(0).is_err());
+        assert!(ActiveThreadPercentage::new(101).is_err());
+        assert_eq!(ActiveThreadPercentage::new(100).unwrap(), ActiveThreadPercentage::FULL);
+        assert_eq!(ActiveThreadPercentage::new(37).unwrap().value(), 37);
+    }
+
+    #[test]
+    fn from_fraction_rounds_up_to_whole_percent() {
+        let p = ActiveThreadPercentage::from_fraction_ceil(Fraction::new(0.301)).unwrap();
+        assert_eq!(p.value(), 31);
+        let p = ActiveThreadPercentage::from_fraction_ceil(Fraction::new(0.0001)).unwrap();
+        assert_eq!(p.value(), 1);
+        let p = ActiveThreadPercentage::from_fraction_ceil(Fraction::ONE).unwrap();
+        assert_eq!(p.value(), 100);
+    }
+
+    #[test]
+    fn connect_assigns_unique_ids_and_tracks_memory() {
+        let mut s = server();
+        let a = s.connect("a", MemBytes::from_gib(10)).unwrap();
+        let b = s.connect("b", MemBytes::from_gib(20)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.client_count(), 2);
+        assert_eq!(s.free_memory(), MemBytes::from_gib(50));
+    }
+
+    #[test]
+    fn client_limit_is_48() {
+        let mut s = server();
+        for i in 0..48 {
+            s.connect(format!("c{i}"), MemBytes::from_mib(1)).unwrap();
+        }
+        let err = s.connect("one-too-many", MemBytes::from_mib(1)).unwrap_err();
+        assert!(matches!(err, Error::ClientLimitExceeded { limit: 48, .. }));
+    }
+
+    #[test]
+    fn memory_exhaustion_refuses_connection() {
+        let mut s = server();
+        s.connect("big", MemBytes::from_gib(70)).unwrap();
+        let err = s.connect("too-big", MemBytes::from_gib(20)).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+        // Disconnecting frees the space.
+        let id = s.clients().next().unwrap().id;
+        s.disconnect(id).unwrap();
+        s.connect("now-fits", MemBytes::from_gib(20)).unwrap();
+    }
+
+    #[test]
+    fn default_partition_applies_to_new_clients_only() {
+        let mut s = server();
+        let a = s.connect("a", MemBytes::ZERO).unwrap();
+        s.set_default_partition(ActiveThreadPercentage::new(25).unwrap());
+        let b = s.connect("b", MemBytes::ZERO).unwrap();
+        let parts: Vec<u8> = s.clients().map(|c| c.partition.value()).collect();
+        assert_eq!(parts, vec![100, 25]);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn partition_vector_matches_clients_in_order() {
+        let mut s = server();
+        s.connect_with_partition("a", MemBytes::ZERO, ActiveThreadPercentage::new(10).unwrap())
+            .unwrap();
+        s.connect_with_partition("b", MemBytes::ZERO, ActiveThreadPercentage::new(60).unwrap())
+            .unwrap();
+        let v = s.partition_vector();
+        assert_eq!(v.len(), 2);
+        assert!((v[0].value() - 0.10).abs() < 1e-12);
+        assert!((v[1].value() - 0.60).abs() < 1e-12);
+        assert!((s.total_provisioned() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscribed_partitions_are_legal() {
+        let mut s = server();
+        for i in 0..3 {
+            s.connect_with_partition(
+                format!("c{i}"),
+                MemBytes::ZERO,
+                ActiveThreadPercentage::new(50).unwrap(),
+            )
+            .unwrap();
+        }
+        assert!((s.total_provisioned() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resize_memory_respects_capacity() {
+        let mut s = server();
+        let a = s.connect("a", MemBytes::from_gib(10)).unwrap();
+        let _b = s.connect("b", MemBytes::from_gib(40)).unwrap();
+        s.resize_memory(a, MemBytes::from_gib(40)).unwrap();
+        assert!(s.resize_memory(a, MemBytes::from_gib(41)).is_err());
+        assert!(s
+            .resize_memory(ClientId::new(99), MemBytes::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn server_runs_admitted_clients_under_their_partitions() {
+        use mpshare_gpusim::{KernelSpec, LaunchConfig, TaskProgram};
+        use mpshare_types::{Seconds, TaskId};
+
+        let mut s = server();
+        s.connect_with_partition("a", MemBytes::from_gib(1), ActiveThreadPercentage::new(50).unwrap())
+            .unwrap();
+        s.connect_with_partition("b", MemBytes::from_gib(1), ActiveThreadPercentage::FULL)
+            .unwrap();
+
+        let program = |id: u64| {
+            let d = DeviceSpec::a100x();
+            let k = KernelSpec::from_launch(&d, LaunchConfig::dense(216 * 64, 1024), Seconds::new(1.0))
+                .with_sm_demand(Fraction::new(0.2));
+            let mut t = TaskProgram::new(TaskId::new(id), "t", MemBytes::from_mib(512));
+            t.push_kernel(k);
+            let mut c = mpshare_gpusim::ClientProgram::new("c");
+            c.push_task(t);
+            c
+        };
+        let result = s.run(vec![program(0), program(1)]).unwrap();
+        assert_eq!(result.tasks_completed, 2);
+        // Client a at a 50% partition runs its linear kernel ~2x slower.
+        assert!(result.clients[0].finished.value() > 1.9);
+        assert!(result.clients[1].finished.value() < 1.1);
+    }
+
+    #[test]
+    fn server_refuses_programs_exceeding_reservations() {
+        use mpshare_gpusim::{KernelSpec, LaunchConfig, TaskProgram};
+        use mpshare_types::{Seconds, TaskId};
+
+        let mut s = server();
+        s.connect("small", MemBytes::from_mib(256)).unwrap();
+        let d = DeviceSpec::a100x();
+        let k = KernelSpec::from_launch(&d, LaunchConfig::dense(216, 1024), Seconds::new(1.0));
+        let mut t = TaskProgram::new(TaskId::new(0), "big", MemBytes::from_gib(2));
+        t.push_kernel(k);
+        let mut c = mpshare_gpusim::ClientProgram::new("c");
+        c.push_task(t);
+        let err = s.run(vec![c]).unwrap_err();
+        assert!(matches!(err, Error::OutOfMemory { .. }));
+
+        // Wrong program count is rejected too.
+        assert!(s.run(vec![]).is_err());
+    }
+
+    #[test]
+    fn disconnect_unknown_client_errors() {
+        let mut s = server();
+        assert_eq!(
+            s.disconnect(ClientId::new(7)),
+            Err(Error::UnknownClient(ClientId::new(7)))
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! The profiling collector: runs a task solo and integrates telemetry.
+//!
+//! Matches the paper's offline profiling procedure: the task runs alone on
+//! an idle GPU (no partition restriction), Nsight/SMI-style metrics are
+//! gathered, and the result is one [`TaskProfile`]. "Offline profiling only
+//! requires the time it takes to run a workflow task" — here, one engine
+//! run.
+
+use crate::profile::{OccupancyProfile, TaskProfile};
+use mpshare_gpusim::{occupancy, ClientProgram, DeviceSpec, TaskProgram};
+use mpshare_mps::{GpuRunner, GpuSharing};
+use mpshare_types::{Fraction, Percent, Result};
+
+/// Throughput-retention threshold defining the saturation partition: the
+/// smallest partition keeping at least this share of full-partition
+/// throughput.
+pub const SATURATION_THRESHOLD: f64 = 0.95;
+
+/// Partition sweep points for saturation measurement (MPS active thread
+/// percentages 10 %…100 %, the granularity of the paper's Figure 1).
+pub const SWEEP_POINTS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Profiles a single task by running it solo.
+pub fn profile_task(device: &DeviceSpec, task: &TaskProgram) -> Result<TaskProfile> {
+    let mut program = ClientProgram::new(task.label.clone());
+    program.push_task(task.clone());
+    let mut p = profile_program(device, &program)?;
+    p.label = task.label.clone();
+    Ok(p)
+}
+
+/// Profiles a whole client program (several sequential tasks) as one unit.
+/// The occupancy summary is the duration-weighted average over all kernels
+/// of all tasks.
+pub fn profile_program(device: &DeviceSpec, program: &ClientProgram) -> Result<TaskProfile> {
+    let runner = GpuRunner::new(device.clone());
+    let result = runner.run(&GpuSharing::Sequential, vec![program.clone()])?;
+    let telemetry = &result.telemetry;
+
+    // Occupancy from the kernel specs (Nsight computes these per kernel
+    // launch; duration-weighting matches the paper's "average" columns).
+    let mut ach = 0.0;
+    let mut theo = 0.0;
+    let mut weight = 0.0;
+    for task in &program.tasks {
+        for kernel in &task.kernels {
+            let rep = occupancy::report(device, &kernel.launch);
+            let w = kernel.solo_duration.value();
+            ach += rep.achieved.value() * w;
+            theo += rep.theoretical.value() * w;
+            weight += w;
+        }
+    }
+    let occupancy = if weight > 0.0 {
+        OccupancyProfile {
+            achieved: Percent::clamped(ach / weight),
+            theoretical: Percent::clamped(theo / weight),
+        }
+    } else {
+        OccupancyProfile {
+            achieved: Percent::ZERO,
+            theoretical: Percent::ZERO,
+        }
+    };
+
+    let saturation_partition =
+        measure_saturation(&runner, program, result.makespan.value())?;
+
+    Ok(TaskProfile {
+        label: program.label.clone(),
+        max_memory: program.peak_memory(),
+        avg_bw_util: telemetry.avg_bw_util(),
+        avg_sm_util: telemetry.avg_sm_util(),
+        avg_power: telemetry.avg_power(),
+        energy: telemetry.total_energy(),
+        duration: result.makespan,
+        busy_fraction: telemetry.busy_fraction(),
+        occupancy,
+        saturation_partition,
+    })
+}
+
+/// Figure-1-style partition sweep: re-runs the program solo at each sweep
+/// point and returns the smallest partition retaining
+/// [`SATURATION_THRESHOLD`] of full-partition throughput.
+fn measure_saturation(
+    runner: &GpuRunner,
+    program: &ClientProgram,
+    full_makespan: f64,
+) -> Result<Fraction> {
+    for &p in &SWEEP_POINTS {
+        if (p - 1.0).abs() < 1e-12 {
+            break; // 100 % trivially saturates
+        }
+        let sharing = GpuSharing::Mps {
+            partitions: vec![Fraction::new(p)],
+        };
+        let result = runner.run(&sharing, vec![program.clone()])?;
+        // Throughput ratio = makespan_full / makespan_at_p.
+        if full_makespan / result.makespan.value() >= SATURATION_THRESHOLD {
+            return Ok(Fraction::new(p));
+        }
+    }
+    Ok(Fraction::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_types::TaskId;
+    use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100x()
+    }
+
+    /// The calibration loop closes: profiling a built benchmark task on the
+    /// simulator must reproduce the paper's Table II anchors.
+    #[test]
+    fn profiles_reproduce_table2_anchors() {
+        let d = dev();
+        for kind in BenchmarkKind::ALL {
+            let model = benchmark(kind);
+            for size in [ProblemSize::X1, ProblemSize::X4] {
+                if size == ProblemSize::X4 && model.anchor_4x.is_none() {
+                    continue;
+                }
+                let anchor = model.profile_at(size);
+                let task = build_task(&d, &model, size, TaskId::new(0)).unwrap();
+                let p = profile_task(&d, &task).unwrap();
+
+                let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+                assert!(
+                    rel(p.avg_sm_util.value(), anchor.avg_sm_util.value()) < 0.03,
+                    "{kind} {size}: SM {} vs anchor {}",
+                    p.avg_sm_util,
+                    anchor.avg_sm_util
+                );
+                assert!(
+                    rel(p.avg_power.watts(), anchor.avg_power.watts()) < 0.03,
+                    "{kind} {size}: power {} vs anchor {}",
+                    p.avg_power,
+                    anchor.avg_power
+                );
+                assert!(
+                    rel(p.energy.joules(), anchor.energy.joules()) < 0.05,
+                    "{kind} {size}: energy {} vs anchor {}",
+                    p.energy,
+                    anchor.energy
+                );
+                assert!(
+                    rel(p.duration.value(), anchor.duration().value()) < 0.03,
+                    "{kind} {size}: duration {} vs anchor {}",
+                    p.duration,
+                    anchor.duration()
+                );
+                if anchor.avg_bw_util.value() > 0.5 {
+                    assert!(
+                        rel(p.avg_bw_util.value(), anchor.avg_bw_util.value()) < 0.05,
+                        "{kind} {size}: BW {} vs anchor {}",
+                        p.avg_bw_util,
+                        anchor.avg_bw_util
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_reproduce_table1_occupancy() {
+        let d = dev();
+        for kind in BenchmarkKind::ALL {
+            let model = benchmark(kind);
+            let task = build_task(&d, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+            let p = profile_task(&d, &task).unwrap();
+            let rel = |a: f64, b: f64| (a - b).abs() / b;
+            assert!(
+                rel(
+                    p.occupancy.theoretical.value(),
+                    model.occupancy.theoretical.value()
+                ) < 0.03,
+                "{kind}: theoretical {} vs paper {}",
+                p.occupancy.theoretical,
+                model.occupancy.theoretical
+            );
+            assert!(
+                rel(
+                    p.occupancy.achieved.value(),
+                    model.occupancy.achieved.value()
+                ) < 0.10,
+                "{kind}: achieved {} vs paper {}",
+                p.occupancy.achieved,
+                model.occupancy.achieved
+            );
+        }
+    }
+
+    #[test]
+    fn busy_fraction_matches_duty_cycle() {
+        let d = dev();
+        let model = benchmark(BenchmarkKind::WarpX);
+        let task = build_task(&d, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+        let p = profile_task(&d, &task).unwrap();
+        assert!(
+            (p.busy_fraction - model.anchor_1x.duty_cycle).abs() < 0.02,
+            "busy {} vs duty {}",
+            p.busy_fraction,
+            model.anchor_1x.duty_cycle
+        );
+        assert!(p.idle_time().value() > 0.0);
+    }
+
+    #[test]
+    fn saturation_partition_tracks_grid_parallelism() {
+        use mpshare_gpusim::{KernelSpec, LaunchConfig};
+        use mpshare_types::{MemBytes, Seconds};
+        let d = dev();
+        // A single-wave 54-block kernel (2 blocks/SM) only needs 27 of the
+        // 108 SMs: saturation should land at the 30 % sweep point.
+        let k = KernelSpec::from_launch(&d, LaunchConfig::dense(54, 1024), Seconds::new(1.0));
+        let mut t = mpshare_gpusim::TaskProgram::new(TaskId::new(0), "small", MemBytes::from_mib(64));
+        t.repeat_kernel(k, 4);
+        let p = profile_task(&d, &t).unwrap();
+        assert!(
+            (p.saturation_partition.value() - 0.3).abs() < 1e-9,
+            "saturation {}",
+            p.saturation_partition
+        );
+    }
+
+    #[test]
+    fn benchmark_saturation_partitions_are_high_but_sub_full() {
+        // Real benchmark mixes carry a linear fill component, so their
+        // saturation sits near (but not above) the top of the sweep.
+        let d = dev();
+        let model = benchmark(BenchmarkKind::AthenaPk);
+        let task = build_task(&d, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+        let p = profile_task(&d, &task).unwrap();
+        assert!(p.saturation_partition.value() >= 0.5);
+        assert!(p.saturation_partition.value() <= 1.0);
+    }
+
+    #[test]
+    fn profile_program_spans_multiple_tasks() {
+        let d = dev();
+        let model = benchmark(BenchmarkKind::Kripke);
+        let mut program = ClientProgram::new("kripke×2");
+        for id in 0..2 {
+            program.push_task(build_task(&d, &model, ProblemSize::X1, TaskId::new(id)).unwrap());
+        }
+        let p = profile_program(&d, &program).unwrap();
+        let single = profile_task(&d, &program.tasks[0]).unwrap();
+        assert!((p.duration.value() - 2.0 * single.duration.value()).abs() < 0.1);
+        assert!((p.energy.joules() - 2.0 * single.energy.joules()).abs() / p.energy.joules() < 0.02);
+    }
+}

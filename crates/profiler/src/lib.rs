@@ -1,0 +1,34 @@
+//! `mpshare-profiler` — offline workload profiling (paper §IV-A).
+//!
+//! The first step of the paper's scheduling approach is offline profiling
+//! of individual workflow tasks with NVIDIA Nsight Systems and
+//! `nvidia-smi`: GPU compute, memory, and memory-bandwidth utilization,
+//! average power, and GPU idle time. This crate reproduces that workflow
+//! against the simulator:
+//!
+//! * [`collector`] runs one task solo on a GPU and integrates its
+//!   telemetry into a [`TaskProfile`] — one row of the paper's Table II,
+//!   plus the occupancy columns of Table I;
+//! * [`store`] is the profile database the scheduler consults, keyed by
+//!   benchmark and problem size;
+//! * [`scaling`] infers profiles at unmeasured problem sizes from two
+//!   measured ones ("scaling is well-understood for a vast majority of HPC
+//!   codes");
+//! * [`smi`] emulates the `nvidia-smi dmon` sampling path and
+//!   cross-validates it against the exact piecewise integrals;
+//! * [`trace`] exports run timelines as Chrome-tracing JSON — the
+//!   Nsight-Systems-style visualization of a co-scheduled run.
+
+pub mod collector;
+pub mod profile;
+pub mod scaling;
+pub mod smi;
+pub mod store;
+pub mod trace;
+
+pub use collector::{profile_program, profile_task};
+pub use profile::{OccupancyProfile, TaskProfile};
+pub use scaling::infer_profile;
+pub use smi::SmiLog;
+pub use store::{ProfileKey, ProfileStore};
+pub use trace::chrome_trace;

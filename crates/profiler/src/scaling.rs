@@ -1,0 +1,165 @@
+//! Scaling inference: profiles at unmeasured sizes from measured ones.
+//!
+//! The paper (§IV-A): "because scaling is well-understood for a vast
+//! majority of HPC codes, it is possible to infer the utilization
+//! characteristics of larger problem sizes from profiling information
+//! gathered with smaller workloads." Given two measured profiles of the
+//! same benchmark, this fits per-metric power laws and evaluates them at a
+//! target size — avoiding an expensive profiling run at the large size.
+
+use crate::profile::TaskProfile;
+use mpshare_types::{Energy, Error, MemBytes, Percent, Power, Result, Seconds};
+use mpshare_workloads::spec::power_law;
+use mpshare_workloads::ProblemSize;
+
+/// Infers a profile at `target` from measurements at two smaller sizes.
+///
+/// Utilizations, duration, and memory follow fitted power laws; power is
+/// re-derived from the fitted utilizations through the linear board model
+/// implied by the two measurements; busy fraction interpolates linearly in
+/// log-size and occupancy is carried from the larger measurement (grid
+/// geometry, not size-dependent in first order).
+pub fn infer_profile(
+    small: &TaskProfile,
+    small_size: ProblemSize,
+    large: &TaskProfile,
+    large_size: ProblemSize,
+    target: ProblemSize,
+) -> Result<TaskProfile> {
+    let (x1, x2, x) = (
+        small_size.factor(),
+        large_size.factor(),
+        target.factor(),
+    );
+    if x2 <= x1 {
+        return Err(Error::InvalidConfig(
+            "scaling inference needs two distinct sizes, small < large".into(),
+        ));
+    }
+
+    let fit = |y1: f64, y2: f64| power_law(x1, y1, x2, y2, x);
+
+    let sm = fit(small.avg_sm_util.value(), large.avg_sm_util.value()).clamp(0.0, 100.0);
+    let bw = fit(small.avg_bw_util.value(), large.avg_bw_util.value()).clamp(0.0, 100.0);
+    let duration = fit(small.duration.value(), large.duration.value()).max(0.0);
+    let mem = fit(small.max_memory.mib(), large.max_memory.mib()).max(0.0);
+
+    // Busy fraction: linear in ln(size), clamped.
+    let t = (x.ln() - x1.ln()) / (x2.ln() - x1.ln());
+    let busy = (small.busy_fraction + (large.busy_fraction - small.busy_fraction) * t)
+        .clamp(0.01, 1.0);
+
+    // Power: linear model fitted from the two measurements on (sm, bw).
+    // With two points we fit P = c0 + c1·(1.75·sm + bw) — the device's
+    // coefficient shape with a per-benchmark gain.
+    let u1 = 1.75 * small.avg_sm_util.value() + small.avg_bw_util.value();
+    let u2 = 1.75 * large.avg_sm_util.value() + large.avg_bw_util.value();
+    let power = if (u2 - u1).abs() < 1e-9 {
+        large.avg_power.watts()
+    } else {
+        let c1 = (large.avg_power.watts() - small.avg_power.watts()) / (u2 - u1);
+        let c0 = small.avg_power.watts() - c1 * u1;
+        (c0 + c1 * (1.75 * sm + bw)).clamp(30.0, 300.0)
+    };
+
+    Ok(TaskProfile {
+        label: format!("{} (inferred {target})", strip_size(&large.label)),
+        max_memory: MemBytes::from_mib(mem.round() as u64),
+        avg_bw_util: Percent::clamped(bw),
+        avg_sm_util: Percent::clamped(sm),
+        avg_power: Power::from_watts(power),
+        energy: Energy::from_joules(power * duration),
+        duration: Seconds::new(duration),
+        busy_fraction: busy,
+        occupancy: large.occupancy,
+        // Larger problems have more device-filling grids, so the larger
+        // measurement's saturation is the conservative carry-over.
+        saturation_partition: large.saturation_partition,
+    })
+}
+
+fn strip_size(label: &str) -> &str {
+    label
+        .rsplit_once(' ')
+        .map(|(head, tail)| if tail.ends_with('x') { head } else { label })
+        .unwrap_or(label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::profile_task;
+    use mpshare_gpusim::DeviceSpec;
+    use mpshare_types::TaskId;
+    use mpshare_workloads::{benchmark, build_task, BenchmarkKind};
+
+    fn measured(kind: BenchmarkKind, size: ProblemSize) -> TaskProfile {
+        let d = DeviceSpec::a100x();
+        let model = benchmark(kind);
+        let task = build_task(&d, &model, size, TaskId::new(0)).unwrap();
+        profile_task(&d, &task).unwrap()
+    }
+
+    #[test]
+    fn inference_interpolates_between_measurements() {
+        let p1 = measured(BenchmarkKind::Kripke, ProblemSize::X1);
+        let p4 = measured(BenchmarkKind::Kripke, ProblemSize::X4);
+        let p2 = infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X2)
+            .unwrap();
+        assert!(p2.avg_sm_util > p1.avg_sm_util && p2.avg_sm_util < p4.avg_sm_util);
+        assert!(p2.duration > p1.duration && p2.duration < p4.duration);
+        assert!(p2.max_memory > p1.max_memory && p2.max_memory < p4.max_memory);
+    }
+
+    #[test]
+    fn inferred_2x_matches_direct_measurement() {
+        // The real test of §IV-A: inference from {1x, 4x} should land close
+        // to actually profiling 2x.
+        let p1 = measured(BenchmarkKind::WarpX, ProblemSize::X1);
+        let p4 = measured(BenchmarkKind::WarpX, ProblemSize::X4);
+        let inferred =
+            infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X2).unwrap();
+        let direct = measured(BenchmarkKind::WarpX, ProblemSize::X2);
+        let rel = |a: f64, b: f64| (a - b).abs() / b.max(1e-9);
+        assert!(
+            rel(inferred.avg_sm_util.value(), direct.avg_sm_util.value()) < 0.10,
+            "sm {} vs {}",
+            inferred.avg_sm_util,
+            direct.avg_sm_util
+        );
+        assert!(
+            rel(inferred.duration.value(), direct.duration.value()) < 0.10,
+            "dur {} vs {}",
+            inferred.duration,
+            direct.duration
+        );
+        assert!(
+            rel(inferred.avg_power.watts(), direct.avg_power.watts()) < 0.15,
+            "power {} vs {}",
+            inferred.avg_power,
+            direct.avg_power
+        );
+    }
+
+    #[test]
+    fn extrapolation_grows_monotonically() {
+        let p1 = measured(BenchmarkKind::AthenaPk, ProblemSize::X1);
+        let p4 = measured(BenchmarkKind::AthenaPk, ProblemSize::X4);
+        let p8 = infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X8)
+            .unwrap();
+        assert!(p8.duration > p4.duration);
+        assert!(p8.avg_sm_util >= p4.avg_sm_util);
+        assert!(p8.avg_sm_util.value() <= 100.0);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_rejected() {
+        let p = measured(BenchmarkKind::Kripke, ProblemSize::X1);
+        assert!(
+            infer_profile(&p, ProblemSize::X4, &p, ProblemSize::X1, ProblemSize::X2).is_err()
+        );
+        assert!(
+            infer_profile(&p, ProblemSize::X1, &p, ProblemSize::X1, ProblemSize::X2).is_err()
+        );
+    }
+}

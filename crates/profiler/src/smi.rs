@@ -1,0 +1,153 @@
+//! `nvidia-smi dmon`-style sampling over simulator telemetry.
+//!
+//! The paper gathers power and utilization through the SMI query utility,
+//! which samples at a fixed interval. The simulator's telemetry is exact
+//! (piecewise integration), so this module exists to (a) emulate the real
+//! measurement path for users who want SMI-like logs and (b) cross-check
+//! that sampling converges to the exact integrals.
+
+use mpshare_gpusim::telemetry::SmiSample;
+use mpshare_gpusim::Telemetry;
+use mpshare_types::{Percent, Power, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-interval sample log, like `nvidia-smi dmon -s pu`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmiLog {
+    pub interval: Seconds,
+    pub samples: Vec<SmiSample>,
+}
+
+impl SmiLog {
+    /// Samples a telemetry trace at `interval`.
+    pub fn capture(telemetry: &Telemetry, interval: Seconds) -> Self {
+        SmiLog {
+            interval,
+            samples: telemetry.sample(interval),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean sampled power.
+    pub fn mean_power(&self) -> Power {
+        if self.samples.is_empty() {
+            return Power::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.power.watts()).sum();
+        Power::from_watts(sum / self.samples.len() as f64)
+    }
+
+    /// Mean sampled SM utilization.
+    pub fn mean_sm_util(&self) -> Percent {
+        if self.samples.is_empty() {
+            return Percent::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|s| s.sm_util.value()).sum();
+        Percent::clamped(sum / self.samples.len() as f64)
+    }
+
+    /// Fraction of samples observed with the SW power cap active — the
+    /// measurable proxy for capped time (Figure 3's metric as SMI sees it).
+    pub fn capped_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.capped).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Renders a `dmon`-style text log.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# time_s  sm%    bw%    power_w  capped\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:8.2} {:6.2} {:6.2} {:8.2}  {}\n",
+                s.time.value(),
+                s.sm_util.value(),
+                s.bw_util.value(),
+                s.power.watts(),
+                if s.capped { "yes" } else { "no" }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_gpusim::{
+        ClientProgram, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig, SharingMode,
+        TaskProgram,
+    };
+    use mpshare_types::{Fraction, MemBytes, TaskId};
+
+    fn run_trace() -> Telemetry {
+        let d = DeviceSpec::a100x();
+        let k = KernelSpec::from_launch(&d, LaunchConfig::dense(216, 1024), Seconds::new(2.0))
+            .with_sm_demand(Fraction::new(0.5))
+            .with_bw_demand(Fraction::new(0.2))
+            .with_host_gap(Seconds::new(1.0));
+        let mut t = TaskProgram::new(TaskId::new(0), "t", MemBytes::from_mib(64));
+        t.repeat_kernel(k, 3);
+        let mut c = ClientProgram::new("c");
+        c.push_task(t);
+        Engine::new(EngineConfig::new(d, SharingMode::mps_uniform(1)), vec![c])
+            .unwrap()
+            .run()
+            .unwrap()
+            .telemetry
+    }
+
+    #[test]
+    fn sampling_converges_to_exact_integrals() {
+        let telemetry = run_trace();
+        let log = SmiLog::capture(&telemetry, Seconds::from_millis(10.0));
+        assert!(!log.is_empty());
+        assert!(
+            (log.mean_power().watts() - telemetry.avg_power().watts()).abs() < 1.0,
+            "sampled {} vs exact {}",
+            log.mean_power(),
+            telemetry.avg_power()
+        );
+        assert!(
+            (log.mean_sm_util().value() - telemetry.avg_sm_util().value()).abs() < 1.0
+        );
+        assert!((log.capped_fraction() - telemetry.capped_fraction()).abs() < 0.02);
+    }
+
+    #[test]
+    fn coarse_sampling_is_less_accurate_but_bounded() {
+        let telemetry = run_trace();
+        let log = SmiLog::capture(&telemetry, Seconds::new(1.0));
+        // 9 s trace -> 9 samples.
+        assert_eq!(log.len(), 9);
+        assert!((log.mean_power().watts() - telemetry.avg_power().watts()).abs() < 30.0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_sample() {
+        let telemetry = run_trace();
+        let log = SmiLog::capture(&telemetry, Seconds::new(1.0));
+        let text = log.render();
+        assert_eq!(text.lines().count(), 1 + log.len());
+        assert!(text.contains("power_w"));
+    }
+
+    #[test]
+    fn empty_log_is_well_behaved() {
+        let log = SmiLog {
+            interval: Seconds::new(1.0),
+            samples: Vec::new(),
+        };
+        assert_eq!(log.mean_power(), Power::ZERO);
+        assert_eq!(log.mean_sm_util(), Percent::ZERO);
+        assert_eq!(log.capped_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Timeline export in the Chrome tracing (`chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev)) JSON format.
+//!
+//! Nsight Systems' main artifact is the timeline; this module produces the
+//! equivalent for simulator runs: one track per client with a span per
+//! workflow task, plus counter tracks for SM utilization, bandwidth
+//! utilization, and board power sampled from the exact piecewise segments.
+
+use mpshare_gpusim::RunResult;
+use serde::Serialize;
+
+/// One Chrome-tracing event (the subset of fields we emit).
+#[derive(Debug, Clone, Serialize)]
+struct TraceEvent {
+    name: String,
+    ph: &'static str,
+    /// Timestamp, microseconds.
+    ts: f64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dur: Option<f64>,
+    pid: u64,
+    tid: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<serde_json::Value>,
+}
+
+const SECONDS_TO_US: f64 = 1e6;
+
+/// Converts a run result into a Chrome-tracing JSON string.
+///
+/// * pid 0 carries the device counters (`sm_util`, `bw_util`, `power_w`,
+///   `clock`).
+/// * pid 1 carries one thread per client; each completed task is a span.
+/// * pid 2 carries kernel-level spans when the run recorded an event log
+///   (see `GpuRunner::with_event_log`).
+pub fn chrome_trace(result: &RunResult) -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+
+    // Thread/track names.
+    for (i, client) in result.clients.iter().enumerate() {
+        events.push(TraceEvent {
+            name: "thread_name".into(),
+            ph: "M",
+            ts: 0.0,
+            dur: None,
+            pid: 1,
+            tid: i as u64,
+            args: Some(serde_json::json!({ "name": client.label })),
+        });
+    }
+
+    // Task spans, reconstructed from completion times: a task occupies the
+    // client from its predecessor's completion (or the client's start).
+    for (i, client) in result.clients.iter().enumerate() {
+        let mut cursor = client.started;
+        for completion in &client.completions {
+            let start = cursor;
+            let end = completion.at;
+            events.push(TraceEvent {
+                name: completion.label.clone(),
+                ph: "X",
+                ts: start.value() * SECONDS_TO_US,
+                dur: Some((end.value() - start.value()).max(0.0) * SECONDS_TO_US),
+                pid: 1,
+                tid: i as u64,
+                args: Some(serde_json::json!({ "task": completion.task.to_string() })),
+            });
+            cursor = end;
+        }
+    }
+
+    // Kernel-level spans (pid 2) when the run carried an event log.
+    for (client, task, kernel_index, start, end) in result.events.kernel_spans() {
+        events.push(TraceEvent {
+            name: format!("kernel {kernel_index}"),
+            ph: "X",
+            ts: start.value() * SECONDS_TO_US,
+            dur: Some((end.value() - start.value()).max(0.0) * SECONDS_TO_US),
+            pid: 2,
+            tid: client as u64,
+            args: Some(serde_json::json!({ "task": task.to_string() })),
+        });
+    }
+
+    // Device counters from the exact segments.
+    for segment in result.telemetry.segments() {
+        let ts = segment.start.value() * SECONDS_TO_US;
+        let counters = [
+            ("sm_util", segment.sm_util * 100.0),
+            ("bw_util", segment.bw_util * 100.0),
+            ("power_w", segment.power.watts()),
+            ("clock", segment.clock_factor * 100.0),
+        ];
+        for (name, value) in counters {
+            events.push(TraceEvent {
+                name: name.into(),
+                ph: "C",
+                ts,
+                dur: None,
+                pid: 0,
+                tid: 0,
+                args: Some(serde_json::json!({ name: value })),
+            });
+        }
+    }
+
+    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+        .expect("trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpshare_gpusim::DeviceSpec;
+    use mpshare_mps::{GpuRunner, GpuSharing};
+    use mpshare_types::{IdAllocator, Result};
+    use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+    fn run_pair() -> Result<RunResult> {
+        let device = DeviceSpec::a100x();
+        let mut ids = IdAllocator::new();
+        let programs = vec![
+            WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 2)
+                .to_client_program(&device, &mut ids)?,
+            WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 3)
+                .to_client_program(&device, &mut ids)?,
+        ];
+        GpuRunner::new(device).run(&GpuSharing::mps_default(2), programs)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_structure() {
+        let result = run_pair().unwrap();
+        let trace = chrome_trace(&result);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+
+        let spans: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 5, "2 Kripke + 3 AthenaPK tasks");
+        // All spans have non-negative durations and land within the run.
+        let makespan_us = result.makespan.value() * 1e6;
+        for s in &spans {
+            let ts = s["ts"].as_f64().unwrap();
+            let dur = s["dur"].as_f64().unwrap();
+            assert!(dur >= 0.0);
+            assert!(ts + dur <= makespan_us + 1.0);
+        }
+
+        let counters = events.iter().filter(|e| e["ph"] == "C").count();
+        assert!(counters >= 4, "counter samples present");
+        let metas = events.iter().filter(|e| e["ph"] == "M").count();
+        assert_eq!(metas, 2, "one thread-name record per client");
+    }
+
+    #[test]
+    fn kernel_spans_appear_when_event_log_recorded() {
+        let device = DeviceSpec::a100x();
+        let mut ids = IdAllocator::new();
+        let program = WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 1)
+            .to_client_program(&device, &mut ids)
+            .unwrap();
+        let kernels = program.tasks[0].kernels.len();
+        let result = GpuRunner::new(device)
+            .with_event_log(true)
+            .run(&GpuSharing::mps_default(1), vec![program])
+            .unwrap();
+        let trace = chrome_trace(&result);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let kernel_spans = parsed["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["pid"] == 2)
+            .count();
+        assert_eq!(kernel_spans, kernels);
+    }
+
+    #[test]
+    fn task_spans_tile_each_client_timeline() {
+        let result = run_pair().unwrap();
+        for client in &result.clients {
+            let mut cursor = client.started;
+            for completion in &client.completions {
+                assert!(completion.at >= cursor);
+                cursor = completion.at;
+            }
+            assert_eq!(cursor, client.finished);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Workspace-wide error type.
+//!
+//! Hand-rolled rather than derived so the workspace stays within its
+//! declared dependency budget. The variants mirror the failure modes of the
+//! real stack: MPS admission failures, device-memory exhaustion, invalid
+//! configuration, and scheduler constraint violations.
+
+use crate::ids::{ClientId, GpuId, TaskId, WorkflowId};
+use crate::units::MemBytes;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for the simulator, MPS model, and scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An MPS server refused a new client connection (48-client limit).
+    ClientLimitExceeded { gpu: GpuId, limit: usize },
+    /// A client requested more device memory than is currently free.
+    OutOfMemory {
+        gpu: GpuId,
+        requested: MemBytes,
+        available: MemBytes,
+    },
+    /// A configuration value was outside its legal range.
+    InvalidConfig(String),
+    /// A sharing-mode operation was attempted in the wrong state
+    /// (e.g. reconfiguring MIG while the GPU is busy).
+    InvalidState(String),
+    /// The scheduler produced or was asked to execute a plan that violates
+    /// a hard constraint (memory capacity, client limit, dependency order).
+    PlanViolation(String),
+    /// A referenced entity does not exist.
+    UnknownClient(ClientId),
+    /// A referenced task does not exist in the queue/plan.
+    UnknownTask(TaskId),
+    /// A referenced workflow does not exist in the queue/plan.
+    UnknownWorkflow(WorkflowId),
+    /// The simulation failed to make progress (all runnable kernels have a
+    /// zero rate) — indicates an engine bug or an impossible allocation.
+    Stalled { at_seconds: f64, detail: String },
+    /// Profile data required by the scheduler is missing for a task kind.
+    MissingProfile(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ClientLimitExceeded { gpu, limit } => {
+                write!(f, "{gpu}: MPS client limit of {limit} exceeded")
+            }
+            Error::OutOfMemory {
+                gpu,
+                requested,
+                available,
+            } => write!(
+                f,
+                "{gpu}: out of device memory (requested {requested}, available {available})"
+            ),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::PlanViolation(msg) => write!(f, "schedule plan violates constraints: {msg}"),
+            Error::UnknownClient(id) => write!(f, "unknown client {id}"),
+            Error::UnknownTask(id) => write!(f, "unknown task {id}"),
+            Error::UnknownWorkflow(id) => write!(f, "unknown workflow {id}"),
+            Error::Stalled { at_seconds, detail } => {
+                write!(f, "simulation stalled at t={at_seconds:.6}s: {detail}")
+            }
+            Error::MissingProfile(kind) => {
+                write!(f, "no profile available for workload kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::OutOfMemory {
+            gpu: GpuId::new(0),
+            requested: MemBytes::from_mib(4096),
+            available: MemBytes::from_mib(1024),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("gpu0"));
+        assert!(msg.contains("4096MiB"));
+        assert!(msg.contains("1024MiB"));
+
+        let e = Error::ClientLimitExceeded {
+            gpu: GpuId::new(1),
+            limit: 48,
+        };
+        assert!(e.to_string().contains("48"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&Error::InvalidConfig("x".into()));
+    }
+
+    #[test]
+    fn errors_compare_equal_structurally() {
+        assert_eq!(
+            Error::UnknownClient(ClientId::new(2)),
+            Error::UnknownClient(ClientId::new(2))
+        );
+        assert_ne!(
+            Error::UnknownClient(ClientId::new(2)),
+            Error::UnknownClient(ClientId::new(3))
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! **AthenaPK** — astrophysical fluid dynamics (Athena++ hydro/MHD solvers
+//! on the Parthenon AMR framework, via Kokkos). Test problem: 3-D
+//! hydro linear wave convergence.
+//!
+//! The suite's *lightest* workload: 7.5 % average SM utilization at 1×,
+//! heavily bursty (block-structured AMR alternates short kernels with
+//! host-side mesh management), tiny memory footprint. The paper's go-to
+//! example of a collocation-friendly workflow — and, because its work
+//! arrives as many small launches, the most sensitive to MPS client
+//! pressure when oversubscribed.
+
+use crate::catalog::{anchor, occ, Benchmark};
+use crate::spec::{BenchmarkKind, ProblemSize};
+
+/// The AthenaPK model (Tables I & II anchors at 1×/4×).
+pub fn model() -> Benchmark {
+    Benchmark {
+        kind: BenchmarkKind::AthenaPk,
+        occupancy: occ(13.3, 51.32),
+        anchor_1x: anchor(ProblemSize::X1, 563, 0.01, 7.54, 90.09, 234.24, 0.35),
+        anchor_4x: Some(anchor(ProblemSize::X4, 2093, 1.78, 30.29, 88.86, 5407.36, 0.60)),
+        // 11 warps × 3 blocks = 33/64 warps -> 51.56 % theoretical.
+        threads_per_block: 352,
+        regs_per_thread: 56,
+        main_grid_1x: 97,  // ~0.3 of the 324-block wave: saturates early
+        fill_grid_1x: 324, // exactly one wave
+        main_weight: 0.7,
+        cache_sensitivity: 0.20,
+        client_sensitivity: 0.15, // many tiny AMR launches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_benchmarks;
+
+    #[test]
+    fn athenapk_is_the_lightest_benchmark() {
+        let m = model();
+        for other in all_benchmarks() {
+            assert!(m.anchor_1x.avg_sm_util <= other.anchor_1x.avg_sm_util);
+        }
+    }
+
+    #[test]
+    fn athenapk_is_the_burstiest_benchmark() {
+        let m = model();
+        assert!(m.anchor_1x.duty_cycle <= 0.4, "AMR codes idle the GPU");
+        assert!(m.client_sensitivity >= 0.1, "small launches suffer MPS pressure");
+    }
+
+    #[test]
+    fn athenapk_4x_draws_no_more_power_than_1x() {
+        // A quirk the paper's Table II records: 4x averages *less* power
+        // (88.86 W) than 1x (90.09 W) despite 4x the SM utilization.
+        let m = model();
+        assert!(m.anchor_4x.unwrap().avg_power < m.anchor_1x.avg_power);
+    }
+}

@@ -1,0 +1,50 @@
+//! **Kripke** — LLNL's deterministic Sₙ particle-transport mini-app (proxy
+//! for ARDRA); sweeps over a 3-D spatial grid across energy groups and
+//! directions.
+//!
+//! The paper's Figure 1b workload: moderate utilization (27 % at 1×,
+//! 63 % at 4×), compute-leaning, with a partition response that saturates
+//! around two thirds of the device at 1×.
+
+use crate::catalog::{anchor, occ, Benchmark};
+use crate::spec::{BenchmarkKind, ProblemSize};
+
+/// The Kripke model.
+pub fn model() -> Benchmark {
+    Benchmark {
+        kind: BenchmarkKind::Kripke,
+        occupancy: occ(32.61, 43.63),
+        anchor_1x: anchor(ProblemSize::X1, 621, 0.27, 26.56, 123.3, 382.24, 0.60),
+        anchor_4x: Some(anchor(ProblemSize::X4, 5481, 3.78, 63.21, 148.16, 12_467.54, 0.80)),
+        // 7 warps × 4 blocks = 28/64 -> 43.75 % theoretical.
+        threads_per_block: 224,
+        regs_per_thread: 64,
+        main_grid_1x: 281, // ~0.65 of the 432-block wave (Fig. 1b)
+        fill_grid_1x: 432,
+        main_weight: 0.7,
+        cache_sensitivity: 0.35,
+        client_sensitivity: 0.04,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSize;
+
+    #[test]
+    fn kripke_is_compute_leaning() {
+        let m = model();
+        // SM utilization dwarfs bandwidth utilization at both sizes.
+        assert!(m.anchor_1x.avg_sm_util.value() > 50.0 * m.anchor_1x.avg_bw_util.value());
+        assert!(m.anchor_4x.unwrap().avg_sm_util.value() > 10.0 * m.anchor_4x.unwrap().avg_bw_util.value());
+    }
+
+    #[test]
+    fn kripke_2x_interpolates_between_anchors() {
+        let m = model();
+        let p2 = m.profile_at(ProblemSize::X2);
+        assert!(p2.avg_sm_util > m.anchor_1x.avg_sm_util);
+        assert!(p2.avg_sm_util < m.anchor_4x.unwrap().avg_sm_util);
+    }
+}

@@ -1,0 +1,62 @@
+//! **Cholla-MHD** — the magnetohydrodynamics extension of Cholla; test
+//! problem: 3-D advecting field loop (Gardiner & Stone's unsplit Godunov
+//! constrained-transport scheme).
+//!
+//! The suite's *bandwidth monster*: 31–41 % of device memory bandwidth
+//! with the highest average power (234–262 W, brushing the 300 W cap).
+//! Its low theoretical occupancy (19 %) is register-bound — big stencil
+//! kernels — yet it achieves 92 % of it: a streaming code. Most
+//! cache-sensitive benchmark in the suite, and the main ingredient of the
+//! combinations where MPS co-scheduling backfires (7 and 10).
+
+use crate::catalog::{anchor, occ, Benchmark};
+use crate::spec::{BenchmarkKind, ProblemSize};
+
+/// The Cholla-MHD model.
+pub fn model() -> Benchmark {
+    Benchmark {
+        kind: BenchmarkKind::ChollaMhd,
+        occupancy: occ(17.72, 19.32),
+        anchor_1x: anchor(ProblemSize::X1, 2175, 31.01, 72.58, 234.24, 9849.99, 0.85),
+        anchor_4x: Some(anchor(ProblemSize::X4, 6753, 41.29, 88.58, 261.64, 127_249.21, 0.92)),
+        // 12 warps × 1 block = 12/64 -> 18.75 % theoretical.
+        threads_per_block: 384,
+        regs_per_thread: 88,
+        main_grid_1x: 97,  // of a 108-block wave: streams nearly linearly
+        fill_grid_1x: 432, // four waves
+        main_weight: 0.7,
+        cache_sensitivity: 1.20, // bandwidth-heavy: most cache-sensitive
+        client_sensitivity: 0.02,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_benchmarks;
+
+    #[test]
+    fn mhd_is_the_bandwidth_and_power_leader() {
+        let m = model();
+        for other in all_benchmarks() {
+            assert!(m.anchor_1x.avg_bw_util >= other.anchor_1x.avg_bw_util);
+            assert!(m.anchor_1x.avg_power >= other.anchor_1x.avg_power);
+        }
+    }
+
+    #[test]
+    fn mhd_has_the_lowest_theoretical_occupancy() {
+        let m = model();
+        for other in all_benchmarks() {
+            assert!(m.occupancy.theoretical <= other.occupancy.theoretical);
+        }
+    }
+
+    #[test]
+    fn mhd_is_the_most_cache_sensitive() {
+        let m = model();
+        for other in all_benchmarks() {
+            assert!(m.cache_sensitivity >= other.cache_sensitivity);
+        }
+    }
+}

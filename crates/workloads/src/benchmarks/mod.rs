@@ -1,0 +1,13 @@
+//! One module per benchmark — the paper's §V-A suite, each with its model
+//! definition, the paper's description, and benchmark-specific tests.
+//!
+//! The shared [`crate::catalog::Benchmark`] struct carries the anchors and
+//! model parameters; these modules own the numbers and the rationale.
+
+pub mod athenapk;
+pub mod epsilon;
+pub mod gravity;
+pub mod kripke;
+pub mod lammps;
+pub mod mhd;
+pub mod warpx;

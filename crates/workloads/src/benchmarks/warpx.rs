@@ -1,0 +1,57 @@
+//! **WarpX** — electromagnetic/electrostatic particle-in-cell code for
+//! advanced particle-accelerator design; test problem: a beam-driven
+//! plasma-wakefield accelerator stage.
+//!
+//! Two signatures make it special in the suite: a 60 GiB memory footprint
+//! that is *independent of problem size* (the particle buffers are
+//! preallocated), which makes any WarpX pair memory-infeasible on an
+//! 80 GiB device; and the largest gap between theoretical (92.6 %) and
+//! achieved (24.8 %) occupancy — particle scatter/gather stalls.
+
+use crate::catalog::{anchor, occ, Benchmark};
+use crate::spec::{BenchmarkKind, ProblemSize};
+
+/// The WarpX model.
+pub fn model() -> Benchmark {
+    Benchmark {
+        kind: BenchmarkKind::WarpX,
+        occupancy: occ(24.81, 92.55),
+        anchor_1x: anchor(ProblemSize::X1, 61_453, 0.04, 33.29, 117.14, 2588.8, 0.60),
+        anchor_4x: Some(anchor(ProblemSize::X4, 61_453, 19.75, 77.28, 244.32, 85_756.49, 0.85)),
+        // 10 warps × 6 blocks = 60/64 -> 93.75 % theoretical.
+        threads_per_block: 320,
+        regs_per_thread: 32,
+        main_grid_1x: 324, // half of the 648-block wave (Fig. 1c)
+        fill_grid_1x: 648,
+        main_weight: 0.7,
+        cache_sensitivity: 0.60,
+        client_sensitivity: 0.04,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::all_benchmarks;
+    use mpshare_types::MemBytes;
+
+    #[test]
+    fn warpx_memory_is_size_independent_and_huge() {
+        let m = model();
+        assert_eq!(m.anchor_1x.max_memory, m.anchor_4x.unwrap().max_memory);
+        assert!(m.anchor_1x.max_memory > MemBytes::from_gib(59));
+        // Two WarpX instances cannot share an 80 GiB device.
+        assert!(m.anchor_1x.max_memory + m.anchor_1x.max_memory > MemBytes::from_gib(80));
+    }
+
+    #[test]
+    fn warpx_has_the_widest_occupancy_gap() {
+        let m = model();
+        for other in all_benchmarks() {
+            let gap = |b: &crate::catalog::Benchmark| {
+                b.occupancy.theoretical.value() - b.occupancy.achieved.value()
+            };
+            assert!(gap(&m) >= gap(&other));
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The benchmark catalog: all seven codes with their published anchors.
+//!
+//! Table I (occupancy) and Table II (utilization/power/energy at 1× and 4×)
+//! of the paper are encoded verbatim as anchors. The remaining fields are
+//! model design parameters:
+//!
+//! * the launch geometry (`threads_per_block`, `regs_per_thread`) is chosen
+//!   so the CUDA occupancy calculator lands on the benchmark's Table I
+//!   *theoretical* occupancy;
+//! * `main_grid_1x` sizes the dominant kernel's grid so that its
+//!   throughput-vs-partition curve saturates where the paper's Figure 1
+//!   shows it saturating (the "granularity" effect);
+//! * `duty_cycle` in the anchors splits average utilization into
+//!   burst-utilization × busy-fraction (bursty AMR codes vs. streaming
+//!   stencils);
+//! * `cache_sensitivity` sets how strongly the benchmark suffers from
+//!   co-runner memory/cache pressure under MPS.
+
+use crate::spec::{log_lerp, power_law, AnchorProfile, BenchmarkKind, OccupancyTargets, ProblemSize};
+use mpshare_types::{Energy, MemBytes, Percent, Power};
+use serde::{Deserialize, Serialize};
+
+/// A fully specified benchmark model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    pub kind: BenchmarkKind,
+    /// Table I occupancy targets (at 1×).
+    pub occupancy: OccupancyTargets,
+    /// Table II anchor at 1× (always present).
+    pub anchor_1x: AnchorProfile,
+    /// Table II anchor at 4× (absent for BerkeleyGW-Epsilon, which the
+    /// paper could not scale on its evaluation hardware).
+    pub anchor_4x: Option<AnchorProfile>,
+    /// Threads per block of the model kernels.
+    pub threads_per_block: u32,
+    /// Registers per thread of the model kernels.
+    pub regs_per_thread: u32,
+    /// Grid of the dominant ("main") kernel at 1×. Sized below one full
+    /// device wave so the kernel saturates at a partial MPS partition.
+    pub main_grid_1x: u32,
+    /// Grid of the dense ("fill") kernel at 1× — an exact multiple of the
+    /// device wave capacity.
+    pub fill_grid_1x: u32,
+    /// Share of GPU-busy time spent in the main kernel.
+    pub main_weight: f64,
+    /// Co-runner cache/memory-pressure sensitivity.
+    pub cache_sensitivity: f64,
+    /// Per-co-runner MPS client-pressure sensitivity (shared launch path /
+    /// scheduling hardware). High for codes that issue many small kernels
+    /// (AMR, short tasks), low for long streaming kernels.
+    pub client_sensitivity: f64,
+}
+
+impl Benchmark {
+    /// Interpolated/extrapolated Table II profile at an arbitrary size.
+    ///
+    /// With both anchors, utilizations and duration follow fitted power
+    /// laws, memory interpolates linearly, and duty cycle interpolates in
+    /// log-size. With only the 1× anchor (Epsilon), the paper's published
+    /// O(N⁴) complexity drives duration and near-linear laws drive the
+    /// rest.
+    pub fn profile_at(&self, size: ProblemSize) -> AnchorProfile {
+        let s = size.factor();
+        if (s - 1.0).abs() < 1e-9 {
+            return self.anchor_1x;
+        }
+        let a1 = &self.anchor_1x;
+        match &self.anchor_4x {
+            Some(a4) if (s - 4.0).abs() < 1e-9 => *a4,
+            Some(a4) => {
+                let sm = power_law(1.0, a1.avg_sm_util.value(), 4.0, a4.avg_sm_util.value(), s)
+                    .clamp(0.0, 98.0);
+                let bw = power_law(1.0, a1.avg_bw_util.value(), 4.0, a4.avg_bw_util.value(), s)
+                    .clamp(0.0, 98.0);
+                let duration =
+                    power_law(1.0, a1.duration().value(), 4.0, a4.duration().value(), s);
+                let duty = log_lerp(1.0, a1.duty_cycle, 4.0, a4.duty_cycle, s)
+                    .clamp(0.05, 0.98);
+                let mem_mib = (a1.max_memory.mib()
+                    + (a4.max_memory.mib() - a1.max_memory.mib()) * (s - 1.0) / 3.0)
+                    .max(a1.max_memory.mib().min(a4.max_memory.mib()));
+                let power = log_lerp(
+                    1.0,
+                    a1.avg_power.watts(),
+                    4.0,
+                    a4.avg_power.watts(),
+                    s,
+                )
+                .clamp(50.0, 300.0);
+                AnchorProfile {
+                    size,
+                    max_memory: MemBytes::from_mib(mem_mib.round() as u64),
+                    avg_bw_util: Percent::clamped(bw),
+                    avg_sm_util: Percent::clamped(sm),
+                    avg_power: Power::from_watts(power),
+                    energy: Energy::from_joules(power * duration),
+                    duty_cycle: duty,
+                }
+            }
+            None => {
+                // Single anchor: Epsilon's O(N⁴) compute with near-linear
+                // utilization and memory growth.
+                let duration = a1.duration().value() * s.powf(4.0);
+                let sm = (a1.avg_sm_util.value() * s.powf(0.8)).clamp(0.0, 98.0);
+                let bw = (a1.avg_bw_util.value() * s.powf(0.8)).clamp(0.0, 98.0);
+                let mem_mib = a1.max_memory.mib() * s;
+                let power = (a1.avg_power.watts()
+                    + 1.75 * (sm - a1.avg_sm_util.value())
+                    + (bw - a1.avg_bw_util.value()))
+                .clamp(50.0, 300.0);
+                AnchorProfile {
+                    size,
+                    max_memory: MemBytes::from_mib(mem_mib.round() as u64),
+                    avg_bw_util: Percent::clamped(bw),
+                    avg_sm_util: Percent::clamped(sm),
+                    avg_power: Power::from_watts(power),
+                    energy: Energy::from_joules(power * duration),
+                    duty_cycle: a1.duty_cycle,
+                }
+            }
+        }
+    }
+}
+
+/// Builds a Table II anchor row (helper for the benchmark modules).
+pub(crate) fn anchor(
+    size: ProblemSize,
+    mem_mib: u64,
+    bw: f64,
+    sm: f64,
+    power: f64,
+    energy: f64,
+    duty: f64,
+) -> AnchorProfile {
+    AnchorProfile {
+        size,
+        max_memory: MemBytes::from_mib(mem_mib),
+        avg_bw_util: Percent::new(bw),
+        avg_sm_util: Percent::new(sm),
+        avg_power: Power::from_watts(power),
+        energy: Energy::from_joules(energy),
+        duty_cycle: duty,
+    }
+}
+
+/// Builds a Table I occupancy target (helper for the benchmark modules).
+pub(crate) fn occ(achieved: f64, theoretical: f64) -> OccupancyTargets {
+    OccupancyTargets {
+        achieved: Percent::new(achieved),
+        theoretical: Percent::new(theoretical),
+    }
+}
+
+/// Returns the model for one benchmark. The definitions (anchors from the
+/// paper's Tables I & II, plus the model parameters and their rationale)
+/// live in [`crate::benchmarks`], one module per code.
+pub fn benchmark(kind: BenchmarkKind) -> Benchmark {
+    use crate::benchmarks::*;
+    match kind {
+        BenchmarkKind::AthenaPk => athenapk::model(),
+        BenchmarkKind::BerkeleyGwEpsilon => epsilon::model(),
+        BenchmarkKind::ChollaGravity => gravity::model(),
+        BenchmarkKind::ChollaMhd => mhd::model(),
+        BenchmarkKind::Kripke => kripke::model(),
+        BenchmarkKind::Lammps => lammps::model(),
+        BenchmarkKind::WarpX => warpx::model(),
+    }
+}
+
+/// All seven benchmarks, in the paper's Table I order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    BenchmarkKind::ALL.iter().map(|&k| benchmark(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 7);
+        for b in &all {
+            assert!(b.anchor_1x.duty_cycle > 0.0 && b.anchor_1x.duty_cycle <= 1.0);
+            assert!(b.main_weight > 0.0 && b.main_weight < 1.0);
+            // Active (burst) utilization must be a valid fraction.
+            assert!(
+                b.anchor_1x.active_sm_util() <= 1.0,
+                "{}: active SM util {} > 1",
+                b.kind,
+                b.anchor_1x.active_sm_util()
+            );
+            if let Some(a4) = &b.anchor_4x {
+                assert!(a4.active_sm_util() <= 1.0);
+                assert!(a4.duration() > b.anchor_1x.duration());
+            }
+        }
+    }
+
+    #[test]
+    fn anchors_match_table2_rows() {
+        let l = benchmark(BenchmarkKind::Lammps);
+        assert_eq!(l.anchor_1x.max_memory, MemBytes::from_mib(2321));
+        assert_eq!(l.anchor_1x.avg_sm_util.value(), 63.0);
+        assert_eq!(l.anchor_4x.unwrap().energy.joules(), 29_390.48);
+
+        let w = benchmark(BenchmarkKind::WarpX);
+        assert_eq!(w.anchor_1x.max_memory, w.anchor_4x.unwrap().max_memory);
+
+        let e = benchmark(BenchmarkKind::BerkeleyGwEpsilon);
+        assert!(e.anchor_4x.is_none());
+        assert!(e.anchor_1x.duration().value() > 3000.0); // ~56 minutes
+    }
+
+    #[test]
+    fn profile_at_returns_exact_anchors() {
+        for b in all_benchmarks() {
+            let p1 = b.profile_at(ProblemSize::X1);
+            assert_eq!(p1, b.anchor_1x);
+            if let Some(a4) = b.anchor_4x {
+                assert_eq!(b.profile_at(ProblemSize::X4), a4);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolated_2x_sits_between_anchors() {
+        let k = benchmark(BenchmarkKind::Kripke);
+        let p2 = k.profile_at(ProblemSize::X2);
+        assert!(p2.avg_sm_util > k.anchor_1x.avg_sm_util);
+        assert!(p2.avg_sm_util < k.anchor_4x.unwrap().avg_sm_util);
+        assert!(p2.duration() > k.anchor_1x.duration());
+        assert!(p2.duration() < k.anchor_4x.unwrap().duration());
+        assert!(p2.max_memory > k.anchor_1x.max_memory);
+        assert!(p2.max_memory < k.anchor_4x.unwrap().max_memory);
+    }
+
+    #[test]
+    fn extrapolated_8x_grows_but_stays_bounded() {
+        let a = benchmark(BenchmarkKind::AthenaPk);
+        let p8 = a.profile_at(ProblemSize::X8);
+        assert!(p8.avg_sm_util > a.anchor_4x.unwrap().avg_sm_util);
+        assert!(p8.avg_sm_util.value() <= 98.0);
+        assert!(p8.duty_cycle <= 0.98);
+        assert!(p8.duration() > a.anchor_4x.unwrap().duration());
+        assert!(p8.avg_power.watts() <= 300.0);
+    }
+
+    #[test]
+    fn epsilon_scales_with_n4_complexity() {
+        let e = benchmark(BenchmarkKind::BerkeleyGwEpsilon);
+        let p2 = e.profile_at(ProblemSize::X2);
+        let ratio = p2.duration().value() / e.anchor_1x.duration().value();
+        assert!((ratio - 16.0).abs() < 0.5, "O(N^4): 2x should be ~16x longer, got {ratio}");
+    }
+
+    #[test]
+    fn warpx_memory_is_flat_across_sizes() {
+        let w = benchmark(BenchmarkKind::WarpX);
+        let p2 = w.profile_at(ProblemSize::X2);
+        assert_eq!(p2.max_memory, w.anchor_1x.max_memory);
+    }
+
+    #[test]
+    fn lammps_is_the_hottest_1x_benchmark_after_mhd() {
+        // Sanity on relative intensity used throughout the paper's
+        // narrative: LAMMPS and MHD are the heavy hitters.
+        let mut by_sm: Vec<(f64, BenchmarkKind)> = all_benchmarks()
+            .iter()
+            .map(|b| (b.anchor_1x.avg_sm_util.value(), b.kind))
+            .collect();
+        by_sm.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        assert_eq!(by_sm[0].1, BenchmarkKind::ChollaMhd);
+        assert_eq!(by_sm[1].1, BenchmarkKind::Lammps);
+        assert_eq!(by_sm[6].1, BenchmarkKind::AthenaPk);
+    }
+}

@@ -1,0 +1,129 @@
+//! Queue generation: seeded, NERSC-flavoured mixes of the seven
+//! benchmarks.
+//!
+//! The paper motivates its scheduler with NERSC workload analysis — many
+//! codes, few algorithmic families, wildly varying utilization. This
+//! generator produces realistic mixed queues for examples, benches, and
+//! stress tests: each workflow draws a benchmark from a weighted
+//! population, a problem size, and an iteration count scaled so workflow
+//! durations land in a target band.
+
+use crate::catalog::benchmark;
+use crate::spec::{BenchmarkKind, ProblemSize};
+use crate::workflow::WorkflowSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the queue generator.
+#[derive(Debug, Clone)]
+pub struct QueueGenerator {
+    rng: StdRng,
+    /// Sampling weights per benchmark (paper's suite order). Defaults
+    /// favour the lighter codes, like a real shared queue.
+    pub weights: [f64; 7],
+    /// Candidate problem sizes.
+    pub sizes: Vec<ProblemSize>,
+    /// Target solo duration band for one workflow, seconds.
+    pub duration_band: (f64, f64),
+}
+
+impl QueueGenerator {
+    pub fn new(seed: u64) -> Self {
+        QueueGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            // AthenaPK, Epsilon, Gravity, MHD, Kripke, LAMMPS, WarpX.
+            weights: [3.0, 0.3, 2.0, 1.0, 3.0, 1.5, 1.0],
+            sizes: vec![ProblemSize::X1, ProblemSize::X2, ProblemSize::X4],
+            duration_band: (60.0, 600.0),
+        }
+    }
+
+    fn sample_kind(&mut self) -> BenchmarkKind {
+        let total: f64 = self.weights.iter().sum();
+        let mut draw = self.rng.random_range(0.0..total);
+        for (kind, w) in BenchmarkKind::ALL.iter().zip(self.weights) {
+            if draw < w {
+                return *kind;
+            }
+            draw -= w;
+        }
+        BenchmarkKind::ALL[6]
+    }
+
+    /// Draws one workflow: a benchmark, a size, and enough iterations to
+    /// land the solo duration inside the band (at least one).
+    pub fn sample_workflow(&mut self) -> WorkflowSpec {
+        let kind = self.sample_kind();
+        let size = self.sizes[self.rng.random_range(0..self.sizes.len())];
+        let task_duration = benchmark(kind).profile_at(size).duration().value();
+        let target = self
+            .rng
+            .random_range(self.duration_band.0..=self.duration_band.1);
+        let iterations = ((target / task_duration).round() as usize).max(1);
+        WorkflowSpec::uniform(kind, size, iterations)
+    }
+
+    /// Draws a queue of `n` workflows.
+    pub fn sample_queue(&mut self, n: usize) -> Vec<WorkflowSpec> {
+        (0..n).map(|_| self.sample_workflow()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let a = QueueGenerator::new(11).sample_queue(10);
+        let b = QueueGenerator::new(11).sample_queue(10);
+        assert_eq!(a, b);
+        let c = QueueGenerator::new(12).sample_queue(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workflow_durations_land_near_the_band() {
+        use crate::workflow::TaskSource;
+        let mut generator = QueueGenerator::new(7);
+        for w in generator.sample_queue(30) {
+            let entry = &w.entries[0];
+            let TaskSource::Benchmark { kind, size } = entry.source else {
+                panic!("generator only draws benchmarks");
+            };
+            let task = benchmark(kind).profile_at(size).duration().value();
+            let total = task * entry.iterations as f64;
+            // One task can overshoot the band (iterations >= 1), but the
+            // total should never exceed band-top + one task.
+            assert!(total <= 600.0 + task + 1e-6, "{}: {total}", w.label());
+            assert!(entry.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let mut generator = QueueGenerator::new(3);
+        let kinds: BTreeSet<BenchmarkKind> = generator
+            .sample_queue(60)
+            .iter()
+            .map(|w| match w.entries[0].source {
+                crate::workflow::TaskSource::Benchmark { kind, .. } => kind,
+                _ => unreachable!("generator only draws benchmarks"),
+            })
+            .collect();
+        assert!(kinds.len() >= 5, "only {} kinds drawn", kinds.len());
+    }
+
+    #[test]
+    fn generated_queues_are_materializable() {
+        use mpshare_gpusim::DeviceSpec;
+        use mpshare_types::IdAllocator;
+        let device = DeviceSpec::a100x();
+        let mut ids = IdAllocator::new();
+        let mut generator = QueueGenerator::new(99);
+        for w in generator.sample_queue(10) {
+            w.to_client_program(&device, &mut ids).unwrap();
+        }
+    }
+}

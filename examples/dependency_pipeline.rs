@@ -1,0 +1,76 @@
+//! A dependent simulation campaign: workflows feed each other, so the
+//! planner must respect data dependencies (paper §IV-B: "an entire queue
+//! of workflow tasks as well as data dependencies between them is known
+//! before workflow execution").
+//!
+//! The campaign: two molecular-dynamics runs (LAMMPS) produce structures;
+//! a BerkeleyGW-Epsilon run consumes them; independent astro workflows
+//! (AthenaPK, Kripke, Cholla-Gravity) fill the gaps wherever the
+//! dependency structure leaves room.
+//!
+//! ```text
+//! cargo run --release --example dependency_pipeline
+//! ```
+
+use mpshare::core::{
+    advise, plan_with_dependencies, validate_dependencies, workflow_profile, Dependency,
+    Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+};
+use mpshare::gpusim::DeviceSpec;
+use mpshare::profiler::ProfileStore;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn main() -> mpshare::types::Result<()> {
+    let device = DeviceSpec::a100x();
+
+    // The queue (indices matter for the dependency edges below).
+    let queue = vec![
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 40), // 0: MD stage A
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 40), // 1: MD stage B
+        WorkflowSpec::uniform(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 1), // 2: GW
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 10), // 3: filler
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X2, 20),   // 4: filler
+        WorkflowSpec::uniform(BenchmarkKind::ChollaGravity, ProblemSize::X4, 3), // 5: filler
+    ];
+    // Epsilon (2) consumes both MD outputs (0, 1).
+    let deps = vec![Dependency::new(0, 2), Dependency::new(1, 2)];
+
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&device, &queue)?;
+    let profiles: Vec<_> = queue
+        .iter()
+        .map(|w| workflow_profile(&store, w))
+        .collect::<mpshare::types::Result<Vec<_>>>()?;
+
+    println!("advice for this queue:");
+    for item in advise(&device, &profiles) {
+        println!("  - {item}");
+    }
+
+    let planner = Planner::new(device.clone(), MetricPriority::balanced_product());
+    let plan = plan_with_dependencies(&planner, &profiles, &deps, PlannerStrategy::Auto)?;
+    validate_dependencies(&plan, &deps)?;
+
+    println!("\ndependency-respecting plan:");
+    for (i, g) in plan.groups.iter().enumerate() {
+        let members: Vec<&str> = g
+            .workflow_indices
+            .iter()
+            .map(|&w| profiles[w].label.as_str())
+            .collect();
+        println!("  phase {}: {}", i + 1, members.join("  |  "));
+    }
+
+    let executor = Executor::new(ExecutorConfig::new(device));
+    let report = executor.evaluate_plan(&queue, &plan)?;
+    println!(
+        "\nvs sequential: throughput {:.2}x, energy efficiency {:.2}x",
+        report.metrics.throughput_gain, report.metrics.energy_efficiency_gain
+    );
+    println!(
+        "worst per-workflow slowdown {:.2}x (mean {:.2}x) — the latency cost of sharing",
+        report.max_slowdown(),
+        report.mean_slowdown()
+    );
+    Ok(())
+}

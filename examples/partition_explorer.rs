@@ -1,0 +1,95 @@
+//! Partition explorer: the paper's Figure 1 for any benchmark and size.
+//!
+//! Sweeps the MPS active-thread-percentage from 10 % to 100 %, prints the
+//! throughput curve as an ASCII plot, and marks the saturation partition
+//! (the paper's "green circle" — the smallest partition that keeps ≥ 95 %
+//! of full-partition throughput).
+//!
+//! ```text
+//! cargo run --release --example partition_explorer -- kripke 4
+//! cargo run --release --example partition_explorer            # all benchmarks, 1x
+//! ```
+
+use mpshare::gpusim::{ClientProgram, DeviceSpec};
+use mpshare::mps::{GpuRunner, GpuSharing};
+use mpshare::profiler::profile_task;
+use mpshare::types::{Fraction, TaskId};
+use mpshare::workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
+
+fn parse_kind(name: &str) -> Option<BenchmarkKind> {
+    BenchmarkKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_lowercase().contains(&name.to_lowercase()))
+}
+
+fn explore(device: &DeviceSpec, kind: BenchmarkKind, size: ProblemSize) -> mpshare::types::Result<()> {
+    let model = benchmark(kind);
+    let task = build_task(device, &model, size, TaskId::new(0))?;
+    let profile = profile_task(device, &task)?;
+
+    println!("\n== {} {} ==", kind, size);
+    println!(
+        "solo: duration {}  SM {}  BW {}  saturation partition {}%",
+        profile.duration,
+        profile.avg_sm_util,
+        profile.avg_bw_util,
+        (profile.saturation_partition.value() * 100.0).round()
+    );
+
+    let runner = GpuRunner::new(device.clone());
+    let full = {
+        let mut p = ClientProgram::new(task.label.clone());
+        p.push_task(task.clone());
+        runner
+            .run(&GpuSharing::mps_default(1), vec![p])?
+            .makespan
+            .value()
+    };
+
+    println!("partition  rel-throughput");
+    for pct in (10..=100).step_by(10) {
+        let mut program = ClientProgram::new(task.label.clone());
+        program.push_task(task.clone());
+        let sharing = GpuSharing::Mps {
+            partitions: vec![Fraction::new(pct as f64 / 100.0)],
+        };
+        let makespan = runner.run(&sharing, vec![program])?.makespan.value();
+        let rel = full / makespan;
+        let bar = "#".repeat((rel * 40.0).round() as usize);
+        let marker = if (profile.saturation_partition.value() * 100.0 - pct as f64).abs() < 5.0 {
+            "  <- saturation"
+        } else {
+            ""
+        };
+        println!("{pct:>8}%  {rel:>6.3} {bar}{marker}");
+    }
+    Ok(())
+}
+
+fn main() -> mpshare::types::Result<()> {
+    let device = DeviceSpec::a100x();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    match args.first() {
+        Some(name) => {
+            let Some(kind) = parse_kind(name) else {
+                eprintln!("unknown benchmark {name:?}; one of:");
+                for k in BenchmarkKind::ALL {
+                    eprintln!("  {k}");
+                }
+                std::process::exit(2);
+            };
+            let size = args
+                .get(1)
+                .map(|s| ProblemSize::new(s.parse::<f64>().expect("numeric size factor")))
+                .unwrap_or(ProblemSize::X1);
+            explore(&device, kind, size)
+        }
+        None => {
+            for kind in BenchmarkKind::ALL {
+                explore(&device, kind, ProblemSize::X1)?;
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: profile a queue of workflows, plan an interference-aware
+//! collocation, execute it, and compare against sequential scheduling.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpshare::core::{
+    workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+};
+use mpshare::gpusim::DeviceSpec;
+use mpshare::profiler::ProfileStore;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn main() -> mpshare::types::Result<()> {
+    let device = DeviceSpec::a100x();
+    println!("device: {} ({} SMs, {} memory)", device.name, device.num_sms, device.memory_capacity);
+
+    // A queue of four workflows with mixed utilization profiles.
+    let queue = vec![
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 3),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 40),
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::ChollaGravity, ProblemSize::X4, 2),
+    ];
+
+    // 1. Offline profiling (paper §IV-A): one solo run per distinct task.
+    let mut store = ProfileStore::new();
+    let runs = store.profile_workflows(&device, &queue)?;
+    println!("profiled {runs} distinct (benchmark, size) pairs\n");
+
+    let profiles: Vec<_> = queue
+        .iter()
+        .map(|w| workflow_profile(&store, w))
+        .collect::<mpshare::types::Result<Vec<_>>>()?;
+    for p in &profiles {
+        println!(
+            "  {:<28} SM {:>6}  BW {:>6}  mem {:>9}  solo {:>9}",
+            p.label, p.avg_sm_util, p.avg_bw_util, p.max_memory, p.duration
+        );
+    }
+
+    // 2. Plan (paper §IV-B): lowest-utilization-first greedy grouping under
+    //    the interference rule, partitions right-sized to saturation.
+    let planner = Planner::new(device.clone(), MetricPriority::Throughput);
+    let plan = planner.plan(&profiles, PlannerStrategy::Greedy)?;
+    println!("\nplan ({} groups):", plan.groups.len());
+    for (i, g) in plan.groups.iter().enumerate() {
+        let members: Vec<String> = g
+            .workflow_indices
+            .iter()
+            .zip(&g.partitions)
+            .map(|(&w, p)| format!("{} @{}%", profiles[w].label, (p.value() * 100.0).round()))
+            .collect();
+        println!("  group {}: {}", i + 1, members.join("  |  "));
+    }
+
+    // 3. Execute and evaluate against the sequential baseline (§IV-C).
+    let executor = Executor::new(ExecutorConfig::new(device));
+    let report = executor.evaluate_plan(&queue, &plan)?;
+    println!("\nsequential: makespan {}  energy {}", report.sequential.makespan, report.sequential.energy);
+    println!("planned MPS: makespan {}  energy {}", report.shared.makespan, report.shared.energy);
+    println!(
+        "\nthroughput gain: {:.2}x   energy-efficiency gain: {:.2}x",
+        report.metrics.throughput_gain, report.metrics.energy_efficiency_gain
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Compares every GPU sharing mechanism the paper describes (§II-B) on the
+//! same pair of workloads: sequential, the default time-sliced scheduler,
+//! CUDA Streams (fused process), CUDA MPS (default and right-sized
+//! partitions), and MIG.
+//!
+//! ```text
+//! cargo run --release --example sharing_mechanisms
+//! ```
+
+use mpshare::gpusim::DeviceSpec;
+use mpshare::mps::{GpuRunner, GpuSharing, MigLayout, MigProfile, TimeSliceConfig};
+use mpshare::types::{Fraction, IdAllocator};
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn main() -> mpshare::types::Result<()> {
+    let device = DeviceSpec::a100x();
+    let runner = GpuRunner::new(device.clone());
+
+    // Two medium-utilization workflows of comparable length.
+    let workflows = [
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::ChollaGravity, ProblemSize::X4, 1),
+    ];
+    let programs = || -> mpshare::types::Result<Vec<_>> {
+        let mut ids = IdAllocator::new();
+        workflows
+            .iter()
+            .map(|w| w.to_client_program(&device, &mut ids))
+            .collect()
+    };
+
+    let mechanisms: Vec<(&str, GpuSharing)> = vec![
+        ("sequential", GpuSharing::Sequential),
+        (
+            "time-sliced",
+            GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+        ),
+        ("CUDA streams", GpuSharing::Streams),
+        ("MPS (100%/100%)", GpuSharing::mps_default(2)),
+        (
+            "MPS (70%/40%)",
+            GpuSharing::Mps {
+                partitions: vec![Fraction::new(0.70), Fraction::new(0.40)],
+            },
+        ),
+        (
+            "MIG (4g + 3g)",
+            GpuSharing::Mig {
+                layout: MigLayout::new(&device, &[MigProfile::FourSlice, MigProfile::ThreeSlice])?,
+                assignment: vec![0, 1],
+            },
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>9} {:>8}",
+        "mechanism", "makespan", "energy", "avg power", "SM util", "capped"
+    );
+    let mut baseline: Option<(f64, f64)> = None;
+    for (name, sharing) in mechanisms {
+        let result = runner.run(&sharing, programs()?)?;
+        let t = &result.telemetry;
+        let (seq_time, seq_energy) =
+            *baseline.get_or_insert((result.makespan.value(), result.total_energy.joules()));
+        println!(
+            "{:<18} {:>9.1}s {:>11.0}J {:>9.1}W {:>9} {:>7.1}%   (T {:.2}x, E {:.2}x)",
+            name,
+            result.makespan.value(),
+            result.total_energy.joules(),
+            t.avg_power().watts(),
+            t.avg_sm_util().to_string(),
+            t.capped_fraction() * 100.0,
+            seq_time / result.makespan.value(),
+            seq_energy / result.total_energy.joules(),
+        );
+    }
+    println!("\n(T/E = throughput and energy-efficiency gains over sequential)");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # mpshare
+//!
+//! Granularity- and interference-aware GPU sharing with CUDA MPS — a Rust
+//! reproduction of the SC'24 paper of the same name, built on a calibrated
+//! discrete-event GPU/MPS simulator.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`types`] — shared units ([`types::Seconds`], [`types::Energy`], …),
+//!   ids, and errors;
+//! * [`gpusim`] — the GPU simulator: occupancy calculator, contention
+//!   solver, power/DVFS model, piecewise-exact execution engine;
+//! * [`mps`] — CUDA MPS / time-slicing / MIG control-plane models and the
+//!   uniform [`mps::GpuRunner`];
+//! * [`workloads`] — the seven calibrated HPC benchmark models
+//!   (Tables I & II of the paper), workflow combinations (Table III), and
+//!   a synthetic workload generator;
+//! * [`profiler`] — the offline profiling pass (§IV-A), including the
+//!   Figure-1-style saturation-partition sweep;
+//! * [`core`] — the contribution: the interference predictor, collocation
+//!   planner, partition right-sizing, plan executor, and metrics (§IV);
+//! * [`harness`] — experiment runners regenerating every table and figure.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mpshare::core::{Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy};
+//! use mpshare::core::workflow_profile;
+//! use mpshare::gpusim::DeviceSpec;
+//! use mpshare::profiler::ProfileStore;
+//! use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+//!
+//! let device = DeviceSpec::a100x();
+//!
+//! // A queue of two workflows to schedule.
+//! let queue = vec![
+//!     WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+//!     WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 10),
+//! ];
+//!
+//! // Offline profiling pass (runs each distinct task solo on the simulator).
+//! let mut store = ProfileStore::new();
+//! store.profile_workflows(&device, &queue).unwrap();
+//! let profiles: Vec<_> = queue
+//!     .iter()
+//!     .map(|w| workflow_profile(&store, w).unwrap())
+//!     .collect();
+//!
+//! // Plan and execute.
+//! let planner = Planner::new(device.clone(), MetricPriority::Throughput);
+//! let plan = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+//! let executor = Executor::new(ExecutorConfig::new(device));
+//! let report = executor.evaluate_plan(&queue, &plan).unwrap();
+//! assert!(report.metrics.throughput_gain > 1.0);
+//! ```
+
+pub use mpshare_core as core;
+pub use mpshare_gpusim as gpusim;
+pub use mpshare_harness as harness;
+pub use mpshare_mps as mps;
+pub use mpshare_profiler as profiler;
+pub use mpshare_types as types;
+pub use mpshare_workloads as workloads;

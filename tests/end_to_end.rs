@@ -1,0 +1,157 @@
+//! End-to-end integration: offline profiling → workflow aggregation →
+//! planning → execution → evaluation, across crates.
+
+use mpshare::core::{
+    workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+};
+use mpshare::gpusim::DeviceSpec;
+use mpshare::profiler::ProfileStore;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec, WorkflowTask};
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+fn profiles_for(
+    device: &DeviceSpec,
+    queue: &[WorkflowSpec],
+) -> Vec<mpshare::core::WorkflowProfile> {
+    let mut store = ProfileStore::new();
+    store.profile_workflows(device, queue).unwrap();
+    queue
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect()
+}
+
+/// A mixed queue exercising every planner path.
+fn mixed_queue() -> Vec<WorkflowSpec> {
+    vec![
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 25),
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 20),
+        WorkflowSpec::new(vec![
+            WorkflowTask::new(BenchmarkKind::ChollaGravity, ProblemSize::X1, 10),
+            WorkflowTask::new(BenchmarkKind::Kripke, ProblemSize::X2, 2),
+        ]),
+    ]
+}
+
+#[test]
+fn every_priority_and_strategy_produces_a_valid_executable_plan() {
+    let device = device();
+    let queue = mixed_queue();
+    let profiles = profiles_for(&device, &queue);
+    let executor = Executor::new(ExecutorConfig::new(device.clone()));
+    let total_tasks: usize = profiles.iter().map(|p| p.task_count).sum();
+
+    for priority in [
+        MetricPriority::Throughput,
+        MetricPriority::Energy,
+        MetricPriority::balanced_product(),
+    ] {
+        for strategy in [
+            PlannerStrategy::Greedy,
+            PlannerStrategy::BestFit,
+            PlannerStrategy::Auto,
+            PlannerStrategy::Exhaustive,
+        ] {
+            let planner = Planner::new(device.clone(), priority);
+            let plan = planner.plan(&profiles, strategy).unwrap();
+            plan.validate(&device, &profiles).unwrap();
+            let report = executor.evaluate_plan(&queue, &plan).unwrap();
+            assert_eq!(
+                report.shared.tasks, total_tasks,
+                "{priority:?}/{strategy:?} lost tasks"
+            );
+            assert_eq!(report.sequential.tasks, total_tasks);
+            assert!(
+                report.metrics.throughput_gain > 0.5,
+                "{priority:?}/{strategy:?}: gain {}",
+                report.metrics.throughput_gain
+            );
+        }
+    }
+}
+
+#[test]
+fn throughput_cap_two_vs_energy_cap_wide() {
+    let device = device();
+    // Six tiny workflows that would all fit in one group.
+    let queue: Vec<WorkflowSpec> = (0..6)
+        .map(|_| WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 5))
+        .collect();
+    let profiles = profiles_for(&device, &queue);
+
+    let tp_plan = Planner::new(device.clone(), MetricPriority::Throughput)
+        .plan(&profiles, PlannerStrategy::Greedy)
+        .unwrap();
+    assert!(tp_plan.max_cardinality() <= 2);
+
+    let e_plan = Planner::new(device.clone(), MetricPriority::Energy)
+        .plan(&profiles, PlannerStrategy::Greedy)
+        .unwrap();
+    assert!(e_plan.max_cardinality() >= 4, "energy plan should pack wide");
+}
+
+#[test]
+fn planned_schedule_beats_sequential_and_interference_blind_packing() {
+    let device = device();
+    let queue = mixed_queue();
+    let profiles = profiles_for(&device, &queue);
+    let executor = Executor::new(ExecutorConfig::new(device.clone()));
+
+    let plan = Planner::new(device.clone(), MetricPriority::balanced_product())
+        .plan(&profiles, PlannerStrategy::Auto)
+        .unwrap();
+    let planned = executor.evaluate_plan(&queue, &plan).unwrap();
+    assert!(
+        planned.metrics.throughput_gain > 1.1,
+        "planned gain {}",
+        planned.metrics.throughput_gain
+    );
+    assert!(planned.metrics.energy_efficiency_gain > 1.0);
+
+    // Everything in one naive MPS group: interference-blind.
+    let naive = executor.run_mps_naive(&queue).unwrap();
+    let naive_report = executor.report(naive, planned.sequential);
+    let planned_score = planned.metrics.throughput_gain * planned.metrics.energy_efficiency_gain;
+    let naive_score =
+        naive_report.metrics.throughput_gain * naive_report.metrics.energy_efficiency_gain;
+    assert!(
+        planned_score >= naive_score - 0.05,
+        "planned {planned_score:.3} vs naive {naive_score:.3}"
+    );
+}
+
+#[test]
+fn scheduling_is_deterministic() {
+    let device = device();
+    let queue = mixed_queue();
+    let profiles = profiles_for(&device, &queue);
+    let planner = Planner::new(device.clone(), MetricPriority::Throughput);
+    let plan_a = planner.plan(&profiles, PlannerStrategy::Auto).unwrap();
+    let plan_b = planner.plan(&profiles, PlannerStrategy::Auto).unwrap();
+    assert_eq!(plan_a, plan_b);
+
+    let executor = Executor::new(ExecutorConfig::new(device));
+    let a = executor.run_plan(&queue, &plan_a).unwrap();
+    let b = executor.run_plan(&queue, &plan_b).unwrap();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.energy, b.energy);
+}
+
+#[test]
+fn profile_store_reuse_across_queues() {
+    let device = device();
+    let mut store = ProfileStore::new();
+    let q1 = vec![WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 2)];
+    let q2 = vec![
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 9),
+        WorkflowSpec::uniform(BenchmarkKind::WarpX, ProblemSize::X1, 1),
+    ];
+    assert_eq!(store.profile_workflows(&device, &q1).unwrap(), 1);
+    // Kripke 1x is already profiled; only WarpX should run.
+    assert_eq!(store.profile_workflows(&device, &q2).unwrap(), 1);
+    assert_eq!(store.len(), 2);
+}

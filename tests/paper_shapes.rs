@@ -1,0 +1,170 @@
+//! End-to-end checks that the paper's headline qualitative results hold —
+//! the "shape" criteria recorded in EXPERIMENTS.md, exercised through the
+//! public API rather than the harness internals.
+
+use mpshare::core::{Executor, ExecutorConfig};
+use mpshare::gpusim::{ClientProgram, DeviceSpec};
+use mpshare::mps::{GpuRunner, GpuSharing};
+use mpshare::profiler::profile_task;
+use mpshare::types::{Fraction, TaskId};
+use mpshare::workloads::{benchmark, build_task, BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+/// Paper abstract: "choosing the right arrangement of workflows to
+/// collocate can increase throughput by as much as 2x and energy
+/// efficiency by 1.6x".
+#[test]
+fn headline_gains_are_reachable() {
+    let d = device();
+    let executor = Executor::new(ExecutorConfig::new(d.clone()));
+    // Low-utilization pairs are the paper's best case.
+    let queue: Vec<WorkflowSpec> = (0..2)
+        .map(|_| WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 4))
+        .collect();
+    let seq = executor.run_sequential(&queue).unwrap();
+    let mps = executor.run_mps_naive(&queue).unwrap();
+    let report = executor.report(mps, seq);
+    assert!(
+        report.metrics.throughput_gain > 1.7,
+        "throughput gain {}",
+        report.metrics.throughput_gain
+    );
+    assert!(
+        report.metrics.energy_efficiency_gain > 1.4,
+        "efficiency gain {}",
+        report.metrics.energy_efficiency_gain
+    );
+}
+
+/// Paper takeaway 1: sharing between low-utilization applications yields
+/// greater benefit than between high-utilization applications.
+#[test]
+fn low_utilization_pairs_benefit_more_than_high() {
+    let d = device();
+    let executor = Executor::new(ExecutorConfig::new(d.clone()));
+    let gain_for = |kind: BenchmarkKind| {
+        let queue: Vec<WorkflowSpec> = (0..2)
+            .map(|_| WorkflowSpec::uniform(kind, ProblemSize::X4, 2))
+            .collect();
+        let seq = executor.run_sequential(&queue).unwrap();
+        let mps = executor.run_mps_naive(&queue).unwrap();
+        executor.report(mps, seq).metrics.throughput_gain
+    };
+    let low = gain_for(BenchmarkKind::AthenaPk);
+    let high = gain_for(BenchmarkKind::Lammps);
+    assert!(
+        low > high + 0.5,
+        "low-util gain {low} should far exceed high-util gain {high}"
+    );
+    assert!(high < 1.1, "LAMMPS-with-LAMMPS must not pay: {high}");
+}
+
+/// §III / Table I: LAMMPS uses >90% of its theoretical warps and is
+/// "unsuited to GPU sharing with MPS".
+#[test]
+fn lammps_occupancy_marks_it_unsuited_to_sharing() {
+    let d = device();
+    let model = benchmark(BenchmarkKind::Lammps);
+    let task = build_task(&d, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+    let p = profile_task(&d, &task).unwrap();
+    assert!(p.occupancy.achieved_ratio() > 0.9);
+}
+
+/// Figure 1's granularity insight through the public API: a partition at
+/// the measured saturation point keeps ~full throughput, and a much
+/// smaller one costs real performance.
+#[test]
+fn saturation_partition_is_the_granularity_sweet_spot() {
+    let d = device();
+    let model = benchmark(BenchmarkKind::BerkeleyGwEpsilon);
+    let task = build_task(&d, &model, ProblemSize::X1, TaskId::new(0)).unwrap();
+    let profile = profile_task(&d, &task).unwrap();
+    let saturation = profile.saturation_partition;
+    assert!(saturation.value() < 1.0, "Epsilon must saturate below 100%");
+
+    let runner = GpuRunner::new(d.clone());
+    let run_at = |partition: Fraction| {
+        let mut program = ClientProgram::new("eps");
+        program.push_task(task.clone());
+        runner
+            .run(
+                &GpuSharing::Mps {
+                    partitions: vec![partition],
+                },
+                vec![program],
+            )
+            .unwrap()
+            .makespan
+            .value()
+    };
+    let full = run_at(Fraction::ONE);
+    let at_saturation = run_at(saturation);
+    let starved = run_at(Fraction::new(0.10));
+    assert!(full / at_saturation >= 0.95 - 1e-9);
+    assert!(full / starved < 0.5, "a 10% partition must hurt badly");
+}
+
+/// §V-C: power capping engages under MPS co-scheduling of hot workloads,
+/// and throughput is not simply anti-correlated with capping time.
+#[test]
+fn hot_coscheduling_trips_the_power_cap() {
+    let d = device();
+    let executor = Executor::new(ExecutorConfig::new(d.clone()));
+    let queue = vec![
+        WorkflowSpec::uniform(BenchmarkKind::ChollaMhd, ProblemSize::X4, 1),
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X4, 2),
+    ];
+    let seq = executor.run_sequential(&queue).unwrap();
+    let mps = executor.run_mps_naive(&queue).unwrap();
+    assert_eq!(seq.capped_fraction, 0.0, "solo runs stay under the cap");
+    assert!(
+        mps.capped_fraction > 0.3,
+        "concurrent MHD+LAMMPS must cap ({})",
+        mps.capped_fraction
+    );
+    // Capped power never exceeds the device limit.
+    assert!(mps.avg_power.watts() <= 300.0);
+}
+
+/// Table II's per-benchmark energy spread survives end-to-end: Epsilon is
+/// the most energy-hungry task, AthenaPK 1x the least.
+#[test]
+fn energy_ordering_matches_table2() {
+    let d = device();
+    let energy_of = |kind: BenchmarkKind, size: ProblemSize| {
+        let model = benchmark(kind);
+        let task = build_task(&d, &model, size, TaskId::new(0)).unwrap();
+        profile_task(&d, &task).unwrap().energy.joules()
+    };
+    let athena = energy_of(BenchmarkKind::AthenaPk, ProblemSize::X1);
+    let kripke = energy_of(BenchmarkKind::Kripke, ProblemSize::X1);
+    let epsilon = energy_of(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1);
+    assert!(athena < kripke && kripke < epsilon);
+    assert!(epsilon / athena > 1000.0, "Epsilon dwarfs AthenaPK by 3 orders");
+}
+
+/// The scheduler's cardinality recommendation (conclusions, item 1):
+/// groups of 2-3 low-utilization workflows maximize throughput; going very
+/// wide costs throughput relative to the small-group peak.
+#[test]
+fn small_groups_beat_wide_groups_for_throughput() {
+    let d = device();
+    let executor = Executor::new(ExecutorConfig::new(d.clone()));
+    let gain_at = |n: usize| {
+        let queue: Vec<WorkflowSpec> = (0..n)
+            .map(|_| WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2))
+            .collect();
+        let seq = executor.run_sequential(&queue).unwrap();
+        let mps = executor.run_mps_naive(&queue).unwrap();
+        executor.report(mps, seq).metrics.throughput_gain
+    };
+    let small = gain_at(2).max(gain_at(3));
+    let wide = gain_at(12);
+    assert!(
+        small > wide,
+        "small-group gain {small} should beat 12-wide gain {wide}"
+    );
+}

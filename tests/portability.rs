@@ -1,0 +1,118 @@
+//! Device portability: the whole pipeline runs unmodified on a non-NVIDIA
+//! -shaped device (the paper's "AMD architectures" future work).
+//!
+//! The MI250X-GCD preset has 64-wide wavefronts, different CU residency
+//! limits, less memory, a lower power cap, and a smaller MPS-like client
+//! limit. Absolute results differ from the A100X — that is the point —
+//! but every invariant must hold and the scheduler must still find gains.
+
+use mpshare::core::{
+    workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+};
+use mpshare::gpusim::{occupancy, DeviceSpec, LaunchConfig};
+use mpshare::profiler::ProfileStore;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn amd() -> DeviceSpec {
+    DeviceSpec::mi250x_gcd()
+}
+
+#[test]
+fn occupancy_calculator_handles_wavefronts() {
+    let d = amd();
+    // 256-thread blocks are 4 wavefronts of 64 on AMD (8 warps on NVIDIA).
+    let launch = LaunchConfig::dense(10_000, 256);
+    let rep = occupancy::report(&d, &launch);
+    assert_eq!(rep.warps_per_block, 4);
+    assert!(rep.theoretical.value() > 0.0 && rep.theoretical.value() <= 100.0);
+    assert!(rep.achieved.value() <= rep.theoretical.value() + 1e-9);
+}
+
+#[test]
+fn full_pipeline_runs_on_the_amd_preset() {
+    let d = amd();
+    let queue = vec![
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 6),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 6),
+        WorkflowSpec::uniform(BenchmarkKind::ChollaGravity, ProblemSize::X1, 4),
+    ];
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&d, &queue).unwrap();
+    let profiles: Vec<_> = queue
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect();
+    // Profiles are sane on the different device.
+    for p in &profiles {
+        assert!(p.avg_sm_util.value() > 0.0 && p.avg_sm_util.value() <= 100.0);
+        assert!(p.avg_power.watts() >= d.idle_power.watts());
+        assert!(p.avg_power.watts() <= d.power_cap.watts() + 1e-9);
+    }
+
+    let planner = Planner::new(d.clone(), MetricPriority::balanced_product());
+    let plan = planner.plan(&profiles, PlannerStrategy::Auto).unwrap();
+    plan.validate(&d, &profiles).unwrap();
+    // The AMD preset allows at most 16 concurrent clients.
+    assert!(plan.max_cardinality() <= d.max_mps_clients);
+
+    let executor = Executor::new(ExecutorConfig::new(d));
+    let report = executor.evaluate_plan(&queue, &plan).unwrap();
+    assert_eq!(report.shared.tasks, 16);
+    assert!(
+        report.metrics.throughput_gain > 1.0,
+        "no gain on AMD preset: {}",
+        report.metrics.throughput_gain
+    );
+}
+
+#[test]
+fn a100_calibrated_programs_port_to_the_amd_preset() {
+    // Programs built (and demand-calibrated) against the A100X carry a
+    // reference device; executing them on the MI250X GCD rescales demands
+    // instead of silently treating the smaller device as equally capable.
+    use mpshare::mps::{GpuRunner, GpuSharing};
+    use mpshare::types::IdAllocator;
+
+    let a100 = DeviceSpec::a100x();
+    let d = amd();
+    let mut ids = IdAllocator::new();
+    // Two bandwidth-hungry MHD instances, built for the A100X.
+    let programs: Vec<_> = (0..2)
+        .map(|_| {
+            WorkflowSpec::uniform(BenchmarkKind::ChollaMhd, ProblemSize::X1, 1)
+                .to_client_program(&a100, &mut ids)
+                .unwrap()
+        })
+        .collect();
+    // Demands rescale: an A100X bandwidth fraction is a *larger* fraction
+    // of the GCD's 1.6 TB/s bus.
+    let kernel = &programs[0].tasks[0].kernels[0];
+    assert!(kernel.bw_demand_on(&d) > kernel.bw_demand.value() * 1.15);
+
+    let result = GpuRunner::new(d.clone())
+        .run(&GpuSharing::mps_default(2), programs)
+        .unwrap();
+    assert_eq!(result.tasks_completed, 2);
+    // The GCD's 280 W cap holds.
+    for s in result.telemetry.segments() {
+        assert!(s.power.watts() <= d.power_cap.watts() + 1e-9);
+    }
+    // Co-running two MHDs on the GCD is slower than on the bigger A100X.
+    let mut ids = IdAllocator::new();
+    let programs_a100: Vec<_> = (0..2)
+        .map(|_| {
+            WorkflowSpec::uniform(BenchmarkKind::ChollaMhd, ProblemSize::X1, 1)
+                .to_client_program(&a100, &mut ids)
+                .unwrap()
+        })
+        .collect();
+    let on_a100 = GpuRunner::new(a100)
+        .run(&GpuSharing::mps_default(2), programs_a100)
+        .unwrap();
+    assert!(
+        result.makespan.value() > on_a100.makespan.value() * 1.01,
+        "co-run on GCD {} vs A100X {}",
+        result.makespan,
+        on_a100.makespan
+    );
+}

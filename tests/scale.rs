@@ -1,0 +1,109 @@
+//! Scale smoke tests: the engine and scheduler at the limits the paper's
+//! hardware imposes (48 MPS clients, hundreds of tasks), within a time
+//! budget that keeps CI honest.
+
+use mpshare::core::{
+    workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+};
+use mpshare::gpusim::DeviceSpec;
+use mpshare::mps::{GpuRunner, GpuSharing};
+use mpshare::profiler::ProfileStore;
+use mpshare::types::IdAllocator;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+use std::time::Instant;
+
+#[test]
+fn forty_eight_clients_with_hundreds_of_tasks() {
+    let device = DeviceSpec::a100x();
+    // 48 AthenaPK 1x clients × 10 tasks = 480 tasks, ~3840 kernels.
+    let specs: Vec<WorkflowSpec> = (0..48)
+        .map(|_| WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 10))
+        .collect();
+    let mut ids = IdAllocator::new();
+    let programs: Vec<_> = specs
+        .iter()
+        .map(|w| w.to_client_program(&device, &mut ids).unwrap())
+        .collect();
+
+    let started = Instant::now();
+    let result = GpuRunner::new(device)
+        .run(&GpuSharing::mps_default(48), programs)
+        .unwrap();
+    let elapsed = started.elapsed();
+
+    assert_eq!(result.tasks_completed, 480);
+    // Deep oversubscription must still finish *far* faster than 48 solo
+    // runs back to back.
+    let seq_estimate = 48.0 * 10.0 * 2.6;
+    assert!(result.makespan.value() < seq_estimate);
+    // And the simulation itself stays fast (piecewise-exact, not stepped).
+    assert!(
+        elapsed.as_secs() < 30,
+        "48-client simulation took {elapsed:?}"
+    );
+}
+
+#[test]
+fn planner_scales_to_a_large_queue() {
+    let device = DeviceSpec::a100x();
+    // 64 mixed workflows; greedy + best-fit are O(n²)·estimator and must
+    // stay interactive.
+    let kinds = [
+        BenchmarkKind::AthenaPk,
+        BenchmarkKind::Kripke,
+        BenchmarkKind::ChollaGravity,
+        BenchmarkKind::Lammps,
+    ];
+    let specs: Vec<WorkflowSpec> = (0..64)
+        .map(|i| WorkflowSpec::uniform(kinds[i % kinds.len()], ProblemSize::X1, 5))
+        .collect();
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&device, &specs).unwrap();
+    let profiles: Vec<_> = specs
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect();
+
+    let started = Instant::now();
+    let planner = Planner::new(device.clone(), MetricPriority::balanced_product());
+    let plan = planner.plan(&profiles, PlannerStrategy::Auto).unwrap();
+    assert!(
+        started.elapsed().as_millis() < 2_000,
+        "planning 64 workflows took {:?}",
+        started.elapsed()
+    );
+    plan.validate(&device, &profiles).unwrap();
+    assert_eq!(plan.workflow_count(), 64);
+    // No group may exceed the MPS client limit.
+    assert!(plan.max_cardinality() <= 48);
+
+    // The plan executes end to end.
+    let executor = Executor::new(ExecutorConfig::new(device));
+    let outcome = executor.run_plan(&specs, &plan).unwrap();
+    assert_eq!(outcome.tasks, 64 * 5);
+}
+
+#[test]
+fn long_timesliced_run_stays_bounded() {
+    // Time slicing generates a quantum event every 2 ms of overlapped GPU
+    // time; a multi-minute simulated run must complete without tripping
+    // the engine's event guard.
+    let device = DeviceSpec::a100x();
+    let specs: Vec<WorkflowSpec> = (0..4)
+        .map(|_| WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 20))
+        .collect();
+    let mut ids = IdAllocator::new();
+    let programs: Vec<_> = specs
+        .iter()
+        .map(|w| w.to_client_program(&device, &mut ids).unwrap())
+        .collect();
+    let result = GpuRunner::new(device)
+        .run(
+            &GpuSharing::TimeSliced(mpshare::mps::TimeSliceConfig::driver_default()),
+            programs,
+        )
+        .unwrap();
+    assert_eq!(result.tasks_completed, 80);
+    // GPU work serializes: makespan is at least the summed busy time.
+    assert!(result.makespan.value() >= 4.0 * 20.0 * 3.1 * 0.55);
+}
