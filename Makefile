@@ -1,0 +1,32 @@
+# Offline quality gate for the mpshare workspace.
+#
+# Everything here runs without network access: all external crates are
+# vendored as API-compatible stand-ins under vendor/ and wired in via
+# workspace path dependencies. Do NOT `cargo add` registry dependencies.
+
+CARGO ?= cargo
+
+.PHONY: check build test test-all fmt clippy clean
+
+# The full tier-1 gate: release build, tests, formatting, lints.
+check: build test fmt clippy
+
+build:
+	$(CARGO) build --release
+
+# Tier-1 tests: the root package's suites (lib, integration, doc-tests).
+test:
+	$(CARGO) test -q
+
+# Every crate in the workspace, including the vendored-stand-in consumers.
+test-all:
+	$(CARGO) test -q --workspace
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+clean:
+	$(CARGO) clean

@@ -39,7 +39,9 @@ fn profiles(device: &DeviceSpec, q: &[WorkflowSpec]) -> Vec<WorkflowProfile> {
         s.profile_workflows(device, q).unwrap();
         s
     });
-    q.iter().map(|w| workflow_profile(store, w).unwrap()).collect()
+    q.iter()
+        .map(|w| workflow_profile(store, w).unwrap())
+        .collect()
 }
 
 fn report_once(name: &str, t: f64, e: f64) {
@@ -97,7 +99,11 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     let blind = single_group_plan(q.len());
     c.bench_function("ablation/interference_rule_on", |b| {
-        b.iter(|| executor.run_plan(black_box(&q), black_box(&planned)).unwrap())
+        b.iter(|| {
+            executor
+                .run_plan(black_box(&q), black_box(&planned))
+                .unwrap()
+        })
     });
     c.bench_function("ablation/interference_rule_off", |b| {
         b.iter(|| executor.run_plan(black_box(&q), black_box(&blind)).unwrap())
@@ -107,7 +113,10 @@ fn bench(c: &mut Criterion) {
     for (name, strategy) in [
         ("uniform", PartitionStrategy::Uniform),
         ("demand_based", PartitionStrategy::default_rightsized()),
-        ("saturation_aware", PartitionStrategy::default_saturation_aware()),
+        (
+            "saturation_aware",
+            PartitionStrategy::default_saturation_aware(),
+        ),
     ] {
         let plan = Planner::new(device.clone(), MetricPriority::Energy)
             .with_partition_strategy(strategy)
@@ -146,7 +155,9 @@ fn bench(c: &mut Criterion) {
     // --- annealed refinement -----------------------------------------------
     {
         let planner = Planner::new(device.clone(), MetricPriority::balanced_product());
-        let plan = planner.plan_annealed(&profs, AnnealConfig::default()).unwrap();
+        let plan = planner
+            .plan_annealed(&profs, AnnealConfig::default())
+            .unwrap();
         let report = executor.evaluate_plan(&q, &plan).unwrap();
         report_once(
             "planner: annealed (auto seed)",
@@ -154,7 +165,11 @@ fn bench(c: &mut Criterion) {
             report.metrics.energy_efficiency_gain,
         );
         c.bench_function("ablation/planner_annealed", |b| {
-            b.iter(|| planner.plan_annealed(black_box(&profs), AnnealConfig::default()).unwrap())
+            b.iter(|| {
+                planner
+                    .plan_annealed(black_box(&profs), AnnealConfig::default())
+                    .unwrap()
+            })
         });
     }
 

@@ -2,19 +2,23 @@
 //! and end-to-end engine event throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpshare_gpusim::contention::Contender;
 use mpshare_gpusim::{
     ClientProgram, ContentionSolver, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig,
     SharingMode, TaskProgram,
 };
-use mpshare_gpusim::contention::Contender;
 use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
 use std::hint::black_box;
 
 fn kernel(device: &DeviceSpec, dur: f64) -> KernelSpec {
-    KernelSpec::from_launch(device, LaunchConfig::dense(216 * 8, 1024), Seconds::new(dur))
-        .with_sm_demand(Fraction::new(0.05))
-        .with_bw_demand(Fraction::new(0.02))
-        .with_host_gap(Seconds::new(dur * 0.3))
+    KernelSpec::from_launch(
+        device,
+        LaunchConfig::dense(216 * 8, 1024),
+        Seconds::new(dur),
+    )
+    .with_sm_demand(Fraction::new(0.05))
+    .with_bw_demand(Fraction::new(0.02))
+    .with_host_gap(Seconds::new(dur * 0.3))
 }
 
 fn client(device: &DeviceSpec, id: u64, kernels: usize) -> ClientProgram {
@@ -60,10 +64,8 @@ fn bench_engine(c: &mut Criterion) {
                     let programs: Vec<ClientProgram> = (0..clients)
                         .map(|i| client(&device, i as u64, kernels_per_client))
                         .collect();
-                    let config = EngineConfig::new(
-                        device.clone(),
-                        SharingMode::mps_uniform(clients),
-                    );
+                    let config =
+                        EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
                     black_box(Engine::new(config, programs).unwrap().run().unwrap())
                 })
             },

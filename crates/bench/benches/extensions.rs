@@ -73,10 +73,18 @@ fn bench_online(c: &mut Criterion) {
         PlannerStrategy::Auto,
     );
     c.bench_function("ext/online_dispatch", |b| {
-        b.iter(|| scheduler.run(black_box(&arrivals), black_box(&store)).unwrap())
+        b.iter(|| {
+            scheduler
+                .run(black_box(&arrivals), black_box(&store))
+                .unwrap()
+        })
     });
     c.bench_function("ext/online_fifo_baseline", |b| {
-        b.iter(|| scheduler.run_fifo(black_box(&arrivals), black_box(&store)).unwrap())
+        b.iter(|| {
+            scheduler
+                .run_fifo(black_box(&arrivals), black_box(&store))
+                .unwrap()
+        })
     });
 }
 

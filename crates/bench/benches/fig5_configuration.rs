@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
 
     for (s, p) in fig5::CONFIGS {
         c.bench_function(&format!("fig5/athena_{s}x{p}"), |b| {
-            b.iter(|| {
-                fig5::run_config(black_box(&device), BenchmarkKind::AthenaPk, s, p).unwrap()
-            })
+            b.iter(|| fig5::run_config(black_box(&device), BenchmarkKind::AthenaPk, s, p).unwrap())
         });
     }
 }

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mpshare_bench::experiment_criterion;
 use mpshare_gpusim::{occupancy, DeviceSpec};
 use mpshare_harness::experiments::table1;
-use mpshare_workloads::{all_benchmarks, build_task, ProblemSize};
 use mpshare_types::TaskId;
+use mpshare_workloads::{all_benchmarks, build_task, ProblemSize};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -95,24 +95,51 @@ pub fn anneal(
     let mut best_score = current_score;
     let mut temperature = (config.initial_temperature * current_score).max(1e-6);
 
-    for _ in 0..config.iterations {
-        let mut candidate = current.clone();
-        if !propose_move(&mut candidate, profiles, device, &mut rng) {
-            temperature *= config.cooling;
-            continue;
+    // Speculative neighbor evaluation: each round proposes a fixed-size
+    // batch of moves from the current state (all RNG draws happen here, on
+    // one thread, in a fixed order), scores the feasible candidates on
+    // worker threads, then walks the batch in proposal order applying the
+    // usual Metropolis rule. The first accepted candidate advances the
+    // chain and invalidates the rest of the batch (they were proposed from
+    // the pre-move state); only examined proposals consume iterations, so
+    // the chain explores exactly `config.iterations` neighbors. The batch
+    // size is a constant — not the machine's core count — so results are
+    // identical for any worker count, including the serial escape hatch.
+    const SPECULATION: usize = 8;
+
+    let mut iterations_left = config.iterations;
+    while iterations_left > 0 {
+        let batch = SPECULATION.min(iterations_left as usize);
+        let mut proposals = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let mut candidate = current.clone();
+            let feasible = propose_move(&mut candidate, profiles, device, &mut rng);
+            let uniform = rng.random::<f64>();
+            proposals.push((feasible, candidate, uniform));
         }
-        let score = planner.score_plan(&materialize(&candidate), profiles);
-        let delta = score - current_score;
-        let accept = delta >= 0.0 || rng.random::<f64>() < (delta / temperature).exp();
-        if accept {
-            current = candidate;
-            current_score = score;
-            if score > best_score {
-                best = current.clone();
-                best_score = score;
+
+        let scores = mpshare_par::par_map(&proposals, |(feasible, candidate, _)| {
+            feasible.then(|| planner.score_plan(&materialize(candidate), profiles))
+        });
+
+        for ((feasible, candidate, uniform), score) in proposals.iter().zip(&scores) {
+            iterations_left -= 1;
+            temperature *= config.cooling;
+            if !*feasible {
+                continue;
+            }
+            let score = score.expect("feasible proposals are scored");
+            let delta = score - current_score;
+            if delta >= 0.0 || *uniform < (delta / temperature).exp() {
+                current = candidate.clone();
+                current_score = score;
+                if score > best_score {
+                    best = current.clone();
+                    best_score = score;
+                }
+                break;
             }
         }
-        temperature *= config.cooling;
     }
     materialize(&best)
 }
@@ -238,7 +265,10 @@ mod tests {
         refined.validate(&d, &profiles).unwrap();
         let before = planner.score_plan(&seed, &profiles);
         let after = planner.score_plan(&refined, &profiles);
-        assert!(after >= before - 1e-12, "anneal worsened: {before} -> {after}");
+        assert!(
+            after >= before - 1e-12,
+            "anneal worsened: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -248,7 +278,9 @@ mod tests {
         let planner = Planner::new(d.clone(), MetricPriority::balanced_product());
         let seed = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
         let refined = anneal(&planner, &d, &profiles, &seed, AnnealConfig::default());
-        let optimal = planner.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        let optimal = planner
+            .plan(&profiles, PlannerStrategy::Exhaustive)
+            .unwrap();
         let refined_score = planner.score_plan(&refined, &profiles);
         let optimal_score = planner.score_plan(&optimal, &profiles);
         assert!(

@@ -184,8 +184,8 @@ mod tests {
     fn independent_queue_reduces_to_plain_planning() {
         let profiles: Vec<WorkflowProfile> = (0..4).map(|i| profile(10.0 + i as f64)).collect();
         let planner = Planner::new(dev(), MetricPriority::Energy);
-        let with = plan_with_dependencies(&planner, &profiles, &[], PlannerStrategy::Greedy)
-            .unwrap();
+        let with =
+            plan_with_dependencies(&planner, &profiles, &[], PlannerStrategy::Greedy).unwrap();
         let without = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
         assert_eq!(with.workflow_count(), without.workflow_count());
         assert_eq!(with.max_cardinality(), without.max_cardinality());

@@ -141,9 +141,7 @@ mod tests {
         assert!(shared.energy < seq.energy);
         // Savings equal one makespan's worth of idle power.
         let expected_saving = 75.0 * 10.0;
-        assert!(
-            ((seq.energy.joules() - shared.energy.joules()) - expected_saving).abs() < 1e-6
-        );
+        assert!(((seq.energy.joules() - shared.energy.joules()) - expected_saving).abs() < 1e-6);
     }
 
     #[test]

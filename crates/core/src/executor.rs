@@ -87,6 +87,11 @@ impl RunOutcome {
 
     /// Combines sequential phases (groups run back to back): times and
     /// energies add; fractions weight by time.
+    ///
+    /// A chain of zero total duration (no phases, or all phases empty)
+    /// yields neutral zeros for the time-weighted fields — never NaN —
+    /// and the downstream ratio metrics treat that zero makespan as
+    /// trivially fast, not infinitely slow (see [`Metrics::relative`]).
     fn chain(outcomes: &[RunOutcome]) -> RunOutcome {
         let total_time: f64 = outcomes.iter().map(|o| o.makespan.value()).sum();
         let energy: f64 = outcomes.iter().map(|o| o.energy.joules()).sum();
@@ -102,14 +107,22 @@ impl RunOutcome {
         RunOutcome {
             makespan: Seconds::new(total_time),
             energy: Energy::from_joules(energy),
-            capped_fraction: if total_time > 0.0 { capped / total_time } else { 0.0 },
+            capped_fraction: if total_time > 0.0 {
+                capped / total_time
+            } else {
+                0.0
+            },
             tasks,
             avg_power: if total_time > 0.0 {
                 Power::from_watts(energy / total_time)
             } else {
                 Power::ZERO
             },
-            avg_sm_util: Percent::clamped(if total_time > 0.0 { sm / total_time } else { 0.0 }),
+            avg_sm_util: Percent::clamped(if total_time > 0.0 {
+                sm / total_time
+            } else {
+                0.0
+            }),
         }
     }
 }
@@ -132,11 +145,19 @@ pub struct WorkflowLatency {
 impl WorkflowLatency {
     /// Normalized turnaround: how many times its solo duration the
     /// workflow waited+ran under the shared schedule.
+    ///
+    /// Degenerate denominators follow the workspace-wide convention (see
+    /// [`Metrics::relative`]): a zero-duration solo run that also finished
+    /// instantly under sharing has slowdown `1.0` (trivially unchanged),
+    /// while any positive turnaround against a zero solo time is
+    /// `f64::INFINITY` — never `0.0`, which would read as a speedup.
     pub fn slowdown(&self) -> f64 {
         if self.solo.value() > 0.0 {
             self.turnaround.value() / self.solo.value()
+        } else if self.turnaround.value() > 0.0 {
+            f64::INFINITY
         } else {
-            0.0
+            1.0
         }
     }
 }
@@ -195,7 +216,10 @@ impl Executor {
             .with_sharing_overhead(self.config.sharing_overhead)
     }
 
-    fn materialize(&self, workflows: &[WorkflowSpec]) -> Result<Vec<mpshare_gpusim::ClientProgram>> {
+    fn materialize(
+        &self,
+        workflows: &[WorkflowSpec],
+    ) -> Result<Vec<mpshare_gpusim::ClientProgram>> {
         let mut ids = IdAllocator::new();
         workflows
             .iter()
@@ -251,11 +275,7 @@ impl Executor {
 
     /// Runs a schedule plan: each group concurrently under MPS with its
     /// partitions, groups back to back.
-    pub fn run_plan(
-        &self,
-        workflows: &[WorkflowSpec],
-        plan: &SchedulePlan,
-    ) -> Result<RunOutcome> {
+    pub fn run_plan(&self, workflows: &[WorkflowSpec], plan: &SchedulePlan) -> Result<RunOutcome> {
         Ok(self.run_plan_with_latencies(workflows, plan)?.0)
     }
 
@@ -289,17 +309,50 @@ impl Executor {
         Ok((RunOutcome::chain(&outcomes), latencies))
     }
 
-    /// Evaluates a plan against the sequential baseline.
+    /// Evaluates a plan against the sequential baseline. The shared and
+    /// sequential legs are independent simulations, so they run in
+    /// parallel (see [`mpshare_par::join`]); results are bit-identical to
+    /// the serial path.
     pub fn evaluate_plan(
         &self,
         workflows: &[WorkflowSpec],
         plan: &SchedulePlan,
     ) -> Result<EvaluationReport> {
-        let (shared, latencies) = self.run_plan_with_latencies(workflows, plan)?;
-        let sequential = self.run_sequential(workflows)?;
-        let mut report = self.report(shared, sequential);
+        let (shared_leg, sequential_leg) = mpshare_par::join(
+            || self.run_plan_with_latencies(workflows, plan),
+            || self.run_sequential(workflows),
+        );
+        let (shared, latencies) = shared_leg?;
+        let mut report = self.report(shared, sequential_leg?);
         report.latencies = latencies;
         Ok(report)
+    }
+
+    /// Batch evaluation: runs the sequential baseline once and evaluates
+    /// every plan against it, fanning the per-plan simulations out across
+    /// worker threads. Reports are returned in input order and are
+    /// bit-identical to calling [`Executor::evaluate_plan`] per plan
+    /// (the baseline simulation is deterministic, so deduplicating it is
+    /// observationally free).
+    pub fn evaluate_plans(
+        &self,
+        workflows: &[WorkflowSpec],
+        plans: &[SchedulePlan],
+    ) -> Result<Vec<EvaluationReport>> {
+        if plans.is_empty() {
+            return Ok(Vec::new());
+        }
+        let sequential = self.run_sequential(workflows)?;
+        let legs =
+            mpshare_par::try_par_map(plans, |plan| self.run_plan_with_latencies(workflows, plan))?;
+        Ok(legs
+            .into_iter()
+            .map(|(shared, latencies)| {
+                let mut report = self.report(shared, sequential);
+                report.latencies = latencies;
+                report
+            })
+            .collect())
     }
 
     /// Evaluates an arbitrary shared outcome against the baseline.
@@ -447,9 +500,7 @@ mod tests {
         let seq = ex.run_sequential(&wfs).unwrap();
         // One workflow per group = sequential execution.
         assert!((chained.makespan.value() - seq.makespan.value()).abs() < 0.5);
-        assert!(
-            (chained.energy.joules() - seq.energy.joules()).abs() / seq.energy.joules() < 0.02
-        );
+        assert!((chained.energy.joules() - seq.energy.joules()).abs() / seq.energy.joules() < 0.02);
     }
 
     #[test]
@@ -493,12 +544,65 @@ mod tests {
     }
 
     #[test]
+    fn chain_of_nothing_is_neutral() {
+        let chained = RunOutcome::chain(&[]);
+        assert_eq!(chained.makespan, Seconds::ZERO);
+        assert_eq!(chained.capped_fraction, 0.0);
+        assert_eq!(chained.tasks, 0);
+        assert!(!chained.avg_sm_util.value().is_nan());
+    }
+
+    #[test]
+    fn degenerate_slowdowns_are_neutral_or_infinite() {
+        let trivial = WorkflowLatency {
+            workflow: 0,
+            turnaround: Seconds::ZERO,
+            solo: Seconds::ZERO,
+        };
+        assert_eq!(trivial.slowdown(), 1.0);
+        let stalled = WorkflowLatency {
+            workflow: 0,
+            turnaround: Seconds::new(1.0),
+            solo: Seconds::ZERO,
+        };
+        assert_eq!(stalled.slowdown(), f64::INFINITY);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_per_plan_evaluation() {
+        let wfs = light_pair();
+        let plans = vec![
+            plan_for(&wfs, MetricPriority::Throughput),
+            plan_for(&wfs, MetricPriority::Energy),
+            SchedulePlan {
+                groups: vec![
+                    PlanGroup {
+                        workflow_indices: vec![0],
+                        partitions: vec![Fraction::ONE],
+                    },
+                    PlanGroup {
+                        workflow_indices: vec![1],
+                        partitions: vec![Fraction::ONE],
+                    },
+                ],
+            },
+        ];
+        let ex = executor();
+        let batch = ex.evaluate_plans(&wfs, &plans).unwrap();
+        assert_eq!(batch.len(), plans.len());
+        for (plan, report) in plans.iter().zip(&batch) {
+            let single = ex.evaluate_plan(&wfs, plan).unwrap();
+            assert_eq!(report, &single);
+        }
+        assert!(ex.evaluate_plans(&wfs, &[]).unwrap().is_empty());
+    }
+
+    #[test]
     fn report_metrics_match_outcome_ratios() {
         let wfs = light_pair();
         let plan = plan_for(&wfs, MetricPriority::Throughput);
         let report = executor().evaluate_plan(&wfs, &plan).unwrap();
-        let expected_tp =
-            report.sequential.makespan.value() / report.shared.makespan.value();
+        let expected_tp = report.sequential.makespan.value() / report.shared.makespan.value();
         assert!((report.metrics.throughput_gain - expected_tp).abs() < 1e-12);
     }
 }

@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn group_rule_generalizes_beyond_pairs() {
-        let profiles: Vec<WorkflowProfile> =
-            (0..4).map(|_| profile(30.0, 10.0, 10)).collect();
+        let profiles: Vec<WorkflowProfile> = (0..4).map(|_| profile(30.0, 10.0, 10)).collect();
         let refs: Vec<&WorkflowProfile> = profiles.iter().collect();
         let r = predict(&dev(), &refs);
         assert_eq!(r.sm_sum, 120.0);

@@ -29,6 +29,21 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Baseline-over-shared ratio with consistent degenerate semantics:
+    /// a zero-cost shared run is trivially *at least as good* as the
+    /// baseline, so the gain is `+inf` when the baseline cost is positive
+    /// and `1.0` when both costs are zero (identical trivial work). It is
+    /// never `0.0`, which would read as infinitely *worse*.
+    fn ratio_gain(baseline: f64, shared: f64) -> f64 {
+        if shared > 0.0 {
+            baseline / shared
+        } else if baseline > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
     /// Computes relative metrics from raw shared and sequential outcomes.
     /// Both runs must complete the same task set.
     pub fn relative(
@@ -39,16 +54,9 @@ impl Metrics {
         seq_energy: Energy,
         tasks: usize,
     ) -> Metrics {
-        let throughput_gain = if shared_makespan.value() > 0.0 {
-            seq_makespan.value() / shared_makespan.value()
-        } else {
-            0.0
-        };
-        let energy_efficiency_gain = if shared_energy.joules() > 0.0 {
-            seq_energy.joules() / shared_energy.joules()
-        } else {
-            0.0
-        };
+        let throughput_gain = Metrics::ratio_gain(seq_makespan.value(), shared_makespan.value());
+        let energy_efficiency_gain =
+            Metrics::ratio_gain(seq_energy.joules(), shared_energy.joules());
         Metrics {
             throughput_gain,
             energy_efficiency_gain,
@@ -125,7 +133,9 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_inputs_do_not_divide_by_zero() {
+    fn zero_cost_shared_run_is_trivially_better_not_worse() {
+        // A shared run that takes no time and no energy against a real
+        // baseline: infinitely better, not (the old bug) infinitely worse.
         let m = Metrics::relative(
             Seconds::ZERO,
             Energy::ZERO,
@@ -134,8 +144,24 @@ mod tests {
             Energy::from_joules(100.0),
             0,
         );
-        assert_eq!(m.throughput_gain, 0.0);
-        assert_eq!(m.energy_efficiency_gain, 0.0);
+        assert_eq!(m.throughput_gain, f64::INFINITY);
+        assert_eq!(m.energy_efficiency_gain, f64::INFINITY);
+    }
+
+    #[test]
+    fn doubly_degenerate_inputs_are_neutral() {
+        // Both runs cost nothing: equal trivial work, ratio 1.0, no NaN.
+        let m = Metrics::relative(
+            Seconds::ZERO,
+            Energy::ZERO,
+            0.0,
+            Seconds::ZERO,
+            Energy::ZERO,
+            0,
+        );
+        assert_eq!(m.throughput_gain, 1.0);
+        assert_eq!(m.energy_efficiency_gain, 1.0);
+        assert!(!m.throughput_gain.is_nan());
     }
 
     #[test]

@@ -21,7 +21,6 @@ use crate::wprofile::WorkflowProfile;
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::{Energy, Error, Power, Result, Seconds};
 use mpshare_workloads::WorkflowSpec;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A schedule for a whole node: one [`SchedulePlan`] per GPU.
@@ -164,8 +163,7 @@ pub fn distribute_plan_heterogeneous(
         .collect();
     estimated.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite estimates"));
     let mut loads = vec![0.0f64; devices.len()];
-    let mut per_gpu: Vec<SchedulePlan> =
-        vec![SchedulePlan { groups: Vec::new() }; devices.len()];
+    let mut per_gpu: Vec<SchedulePlan> = vec![SchedulePlan { groups: Vec::new() }; devices.len()];
     for (makespan, idx) in estimated {
         let gpu = (0..devices.len())
             .min_by(|&a, &b| {
@@ -251,12 +249,14 @@ impl NodeExecutor {
     /// Runs a node plan: each GPU's group sequence executes independently
     /// (in parallel here, since simulated GPUs are independent).
     pub fn run_plan(&self, workflows: &[WorkflowSpec], plan: &NodePlan) -> Result<NodeOutcome> {
-        let outcomes: Vec<RunOutcome> = plan
+        let non_empty: Vec<&SchedulePlan> = plan
             .per_gpu
-            .par_iter()
+            .iter()
             .filter(|p| !p.groups.is_empty())
-            .map(|gpu_plan| self.executor.run_plan(workflows, gpu_plan))
-            .collect::<Result<Vec<_>>>()?;
+            .collect();
+        let outcomes: Vec<RunOutcome> = mpshare_par::try_par_map(&non_empty, |gpu_plan| {
+            self.executor.run_plan(workflows, gpu_plan)
+        })?;
         Ok(self.merge(&outcomes))
     }
 
@@ -286,15 +286,12 @@ impl NodeExecutor {
             loads[gpu] += p.duration.value();
             assignment[gpu].push(i);
         }
-        let outcomes: Vec<RunOutcome> = assignment
-            .par_iter()
-            .filter(|idxs| !idxs.is_empty())
-            .map(|idxs| {
-                let subset: Vec<WorkflowSpec> =
-                    idxs.iter().map(|&i| workflows[i].clone()).collect();
-                self.executor.run_sequential(&subset)
-            })
-            .collect::<Result<Vec<_>>>()?;
+        let non_empty: Vec<&Vec<usize>> =
+            assignment.iter().filter(|idxs| !idxs.is_empty()).collect();
+        let outcomes: Vec<RunOutcome> = mpshare_par::try_par_map(&non_empty, |idxs| {
+            let subset: Vec<WorkflowSpec> = idxs.iter().map(|&i| workflows[i].clone()).collect();
+            self.executor.run_sequential(&subset)
+        })?;
         Ok(self.merge(&outcomes))
     }
 
@@ -356,13 +353,16 @@ impl HeteroNodeExecutor {
                 self.devices.len()
             )));
         }
-        let outcomes: Vec<(usize, RunOutcome)> = plan
+        let indexed: Vec<(usize, &SchedulePlan)> = plan
             .per_gpu
-            .par_iter()
+            .iter()
             .enumerate()
             .filter(|(_, p)| !p.groups.is_empty())
-            .map(|(gpu, gpu_plan)| Ok((gpu, self.executors[gpu].run_plan(workflows, gpu_plan)?)))
-            .collect::<Result<Vec<_>>>()?;
+            .collect();
+        let outcomes: Vec<(usize, RunOutcome)> =
+            mpshare_par::try_par_map(&indexed, |&(gpu, gpu_plan)| {
+                Ok((gpu, self.executors[gpu].run_plan(workflows, gpu_plan)?))
+            })?;
 
         let makespan = outcomes
             .iter()
@@ -463,13 +463,22 @@ mod tests {
         let r2 = two.run_plan(&q, &node2).unwrap();
 
         assert_eq!(r1.tasks, r2.tasks);
-        assert!(r2.makespan < r1.makespan, "2 GPUs {} !< 1 GPU {}", r2.makespan, r1.makespan);
+        assert!(
+            r2.makespan < r1.makespan,
+            "2 GPUs {} !< 1 GPU {}",
+            r2.makespan,
+            r1.makespan
+        );
     }
 
     #[test]
     fn node_energy_charges_idle_gpus() {
         let d = device();
-        let q = vec![WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 5)];
+        let q = vec![WorkflowSpec::uniform(
+            BenchmarkKind::Kripke,
+            ProblemSize::X1,
+            5,
+        )];
         let profiles = setup(&q);
         let plan = Planner::new(d.clone(), MetricPriority::Throughput)
             .plan(&profiles, PlannerStrategy::Greedy)
@@ -542,8 +551,8 @@ mod tests {
         // The A100X is the faster device for A100X-calibrated work.
         assert!(super::relative_throughput(&amd, &a100) < 1.0);
         let devices = vec![a100.clone(), amd];
-        let node = super::distribute_plan_heterogeneous(&a100, &devices, &plan, &profiles, 0.0)
-            .unwrap();
+        let node =
+            super::distribute_plan_heterogeneous(&a100, &devices, &plan, &profiles, 0.0).unwrap();
         node.validate(&a100, &profiles).unwrap();
         assert_eq!(node.per_gpu.len(), 2);
 

@@ -63,11 +63,7 @@ pub struct OnlineScheduler {
 }
 
 impl OnlineScheduler {
-    pub fn new(
-        config: ExecutorConfig,
-        planner: Planner,
-        strategy: PlannerStrategy,
-    ) -> Self {
+    pub fn new(config: ExecutorConfig, planner: Planner, strategy: PlannerStrategy) -> Self {
         OnlineScheduler {
             device: config.device.clone(),
             planner,
@@ -126,8 +122,7 @@ impl OnlineScheduler {
             let plan = self.planner.plan(&pending_profiles, self.strategy)?;
             let group = &plan.groups[0];
             // Map local plan indices back to arrival indices.
-            let members: Vec<usize> =
-                group.workflow_indices.iter().map(|&l| pending[l]).collect();
+            let members: Vec<usize> = group.workflow_indices.iter().map(|&l| pending[l]).collect();
             let local_group = crate::planner::PlanGroup {
                 workflow_indices: members.clone(),
                 partitions: group.partitions.clone(),

@@ -59,11 +59,7 @@ impl SchedulePlan {
     /// Checks structural validity against a queue of `n` workflows:
     /// every index covered exactly once, group sizes within the client
     /// limit, and no group violating the hard memory constraint.
-    pub fn validate(
-        &self,
-        device: &DeviceSpec,
-        profiles: &[WorkflowProfile],
-    ) -> Result<()> {
+    pub fn validate(&self, device: &DeviceSpec, profiles: &[WorkflowProfile]) -> Result<()> {
         let n = profiles.len();
         let mut seen = vec![false; n];
         for g in &self.groups {
@@ -194,8 +190,10 @@ impl Planner {
             PlannerStrategy::Greedy => self.plan_greedy(profiles),
             PlannerStrategy::BestFit => self.plan_bestfit(profiles),
             PlannerStrategy::Auto => {
-                let greedy = self.plan_greedy(profiles);
-                let bestfit = self.plan_bestfit(profiles);
+                let (greedy, bestfit) = mpshare_par::join(
+                    || self.plan_greedy(profiles),
+                    || self.plan_bestfit(profiles),
+                );
                 if self.score_plan(&bestfit, profiles) > self.score_plan(&greedy, profiles) {
                     bestfit
                 } else {
@@ -209,32 +207,42 @@ impl Planner {
     }
 
     /// The paper's greedy algorithm, sweeping cardinality caps when the
-    /// priority calls for it.
+    /// priority calls for it. Caps are independent candidates, so they are
+    /// built and scored on worker threads; the in-order strictly-greater
+    /// reduction keeps the earliest maximum, matching the serial sweep
+    /// bit for bit.
     fn plan_greedy(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
         let caps = self.priority.candidate_caps(&self.device);
-        let mut best: Option<(f64, SchedulePlan)> = None;
-        for cap in caps {
+        let scored = mpshare_par::par_map(&caps, |&cap| {
             let plan = self.greedy_with_cap(profiles, cap);
             let score = self.score_plan(&plan, profiles);
-            if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                best = Some((score, plan));
-            }
-        }
-        best.expect("at least one cap candidate").1
+            (score, plan)
+        });
+        Self::first_best(scored).expect("at least one cap candidate")
     }
 
-    /// Estimator-guided best-fit packing, sweeping the priority's caps.
+    /// Estimator-guided best-fit packing, sweeping the priority's caps in
+    /// parallel like [`Planner::plan_greedy`].
     fn plan_bestfit(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
         let caps = self.priority.candidate_caps(&self.device);
-        let mut best: Option<(f64, SchedulePlan)> = None;
-        for cap in caps {
+        let scored = mpshare_par::par_map(&caps, |&cap| {
             let plan = self.bestfit_with_cap(profiles, cap);
             let score = self.score_plan(&plan, profiles);
+            (score, plan)
+        });
+        Self::first_best(scored).expect("at least one cap candidate")
+    }
+
+    /// In-order reduction keeping the first candidate with the maximal
+    /// score — the same winner a serial strictly-greater sweep selects.
+    fn first_best<P>(scored: impl IntoIterator<Item = (f64, P)>) -> Option<P> {
+        let mut best: Option<(f64, P)> = None;
+        for (score, plan) in scored {
             if best.as_ref().is_none_or(|(s, _)| score > *s) {
                 best = Some((score, plan));
             }
         }
-        best.expect("at least one cap candidate").1
+        best.map(|(_, plan)| plan)
     }
 
     /// Best-fit packing with an explicit cardinality cap: seeds each group
@@ -268,8 +276,7 @@ impl Planner {
                 }
                 let member_profiles: Vec<&WorkflowProfile> =
                     members.iter().map(|&i| &profiles[i]).collect();
-                let current =
-                    estimate_group(&self.device, &member_profiles, self.sharing_overhead);
+                let current = estimate_group(&self.device, &member_profiles, self.sharing_overhead);
                 let group_memory: mpshare_types::MemBytes =
                     members.iter().map(|&i| profiles[i].max_memory).sum();
 
@@ -283,15 +290,12 @@ impl Planner {
                     }
                     let mut trial = member_profiles.clone();
                     trial.push(&profiles[cand]);
-                    let with =
-                        estimate_group(&self.device, &trial, self.sharing_overhead);
+                    let with = estimate_group(&self.device, &trial, self.sharing_overhead);
                     // Saving = sequential cost of the candidate minus the
                     // growth it causes in the group's makespan.
                     let saving = profiles[cand].duration.value()
                         - (with.makespan.value() - current.makespan.value());
-                    if saving > 0.0
-                        && best_candidate.is_none_or(|(best, _)| saving > best)
-                    {
+                    if saving > 0.0 && best_candidate.is_none_or(|(best, _)| saving > best) {
                         best_candidate = Some((saving, cand));
                     }
                 }
@@ -363,40 +367,62 @@ impl Planner {
     }
 
     /// Exhaustive set-partition search, scored by the analytic estimator.
+    ///
+    /// The restricted-growth-string enumeration is split by fixed-length
+    /// prefixes: every prefix roots an independent sub-enumeration, and the
+    /// sub-trees are searched on worker threads. Prefixes are generated in
+    /// the serial recursion's visit order and reduced in that order with a
+    /// strictly-greater comparison, so the winning partition is exactly the
+    /// one the serial search returns.
     fn plan_exhaustive(&self, profiles: &[WorkflowProfile]) -> Result<SchedulePlan> {
         const MAX_N: usize = 12;
+        // 4 fixed positions → 15 independent sub-enumerations (Bell(4)).
+        const PREFIX_LEN: usize = 4;
         let n = profiles.len();
         if n > MAX_N {
             return Err(Error::InvalidConfig(format!(
                 "exhaustive planning supports ≤ {MAX_N} workflows, got {n}"
             )));
         }
-        let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
-        let mut assignment = vec![0usize; n];
-        enumerate_partitions(&mut assignment, 0, 0, &mut |assign, k| {
-            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
-            for (i, &g) in assign.iter().enumerate() {
-                groups[g].push(i);
-            }
-            // Hard constraints: memory and client limit.
-            for g in &groups {
-                if g.len() > self.device.max_mps_clients {
-                    return;
-                }
-                let mem: mpshare_types::MemBytes =
-                    g.iter().map(|&i| profiles[i].max_memory).sum();
-                if mem > self.device.memory_capacity {
-                    return;
-                }
-            }
-            let plan = self.materialize(&groups, profiles);
-            let score = self.score_plan(&plan, profiles);
-            if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                best = Some((score, groups));
-            }
+
+        let prefix_len = PREFIX_LEN.min(n);
+        let mut prefixes: Vec<(Vec<usize>, usize)> = Vec::new();
+        let mut prefix = vec![0usize; prefix_len];
+        enumerate_prefixes(&mut prefix, 0, 0, &mut |assign, max_used| {
+            prefixes.push((assign.to_vec(), max_used));
         });
-        let (_, groups) =
-            best.ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
+
+        let local_bests = mpshare_par::par_map(&prefixes, |(prefix, max_used)| {
+            let mut assignment = vec![0usize; n];
+            assignment[..prefix_len].copy_from_slice(prefix);
+            let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+            enumerate_partitions(&mut assignment, prefix_len, *max_used, &mut |assign, k| {
+                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+                for (i, &g) in assign.iter().enumerate() {
+                    groups[g].push(i);
+                }
+                // Hard constraints: memory and client limit.
+                for g in &groups {
+                    if g.len() > self.device.max_mps_clients {
+                        return;
+                    }
+                    let mem: mpshare_types::MemBytes =
+                        g.iter().map(|&i| profiles[i].max_memory).sum();
+                    if mem > self.device.memory_capacity {
+                        return;
+                    }
+                }
+                let plan = self.materialize(&groups, profiles);
+                let score = self.score_plan(&plan, profiles);
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, groups));
+                }
+            });
+            best
+        });
+
+        let groups = Self::first_best(local_bests.into_iter().flatten())
+            .ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
         Ok(self.materialize(&groups, profiles))
     }
 
@@ -435,6 +461,27 @@ impl Planner {
         let throughput = seq.makespan.value() / makespan;
         let efficiency = seq.energy.joules() / energy;
         self.priority.score(throughput, efficiency)
+    }
+}
+
+/// Enumerates restricted-growth-string prefixes: like
+/// [`enumerate_partitions`] but visits every *partial* assignment of the
+/// buffer's length together with its `max_used` watermark, letting the
+/// exhaustive search split the full enumeration into independent sub-trees.
+fn enumerate_prefixes(
+    prefix: &mut Vec<usize>,
+    pos: usize,
+    max_used: usize,
+    visit: &mut impl FnMut(&[usize], usize),
+) {
+    if pos == prefix.len() {
+        visit(prefix, max_used);
+        return;
+    }
+    for g in 0..=max_used {
+        prefix[pos] = g;
+        let next_max = max_used.max(g + 1);
+        enumerate_prefixes(prefix, pos + 1, next_max, visit);
     }
 }
 
@@ -674,8 +721,14 @@ mod tests {
         ];
         let p = planner(MetricPriority::balanced_product());
         let auto = p.plan(&profiles, PlannerStrategy::Auto).unwrap();
-        let gs = p.score_plan(&p.plan(&profiles, PlannerStrategy::Greedy).unwrap(), &profiles);
-        let bs = p.score_plan(&p.plan(&profiles, PlannerStrategy::BestFit).unwrap(), &profiles);
+        let gs = p.score_plan(
+            &p.plan(&profiles, PlannerStrategy::Greedy).unwrap(),
+            &profiles,
+        );
+        let bs = p.score_plan(
+            &p.plan(&profiles, PlannerStrategy::BestFit).unwrap(),
+            &profiles,
+        );
         let auto_score = p.score_plan(&auto, &profiles);
         assert!(auto_score >= gs - 1e-12);
         assert!(auto_score >= bs - 1e-12);

@@ -16,7 +16,10 @@ pub enum MetricPriority {
     Energy,
     /// Optimize a `throughputᵃ × efficiencyᵇ` product (§IV-C): the planner
     /// sweeps cardinality and keeps the best estimated product.
-    Product { throughput_weight: u32, energy_weight: u32 },
+    Product {
+        throughput_weight: u32,
+        energy_weight: u32,
+    },
 }
 
 impl MetricPriority {
@@ -72,7 +75,9 @@ impl MetricPriority {
             MetricPriority::Product {
                 throughput_weight,
                 energy_weight,
-            } => throughput.powi(*throughput_weight as i32) * efficiency.powi(*energy_weight as i32),
+            } => {
+                throughput.powi(*throughput_weight as i32) * efficiency.powi(*energy_weight as i32)
+            }
         }
     }
 }

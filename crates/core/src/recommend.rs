@@ -31,7 +31,11 @@ pub const HIGH_UTILIZATION: Percent = Percent::new_const(70.0);
 pub enum Advice {
     /// These workflows are good collocation candidates (rec. 1): both
     /// low-utilization and mutually compatible.
-    PairForThroughput { a: usize, b: usize, combined_sm: f64 },
+    PairForThroughput {
+        a: usize,
+        b: usize,
+        combined_sm: f64,
+    },
     /// This workflow should not be collocated with other heavy work
     /// (rec. 1's warning; the LAMMPS case).
     KeepExclusive { workflow: usize, avg_sm: f64 },
@@ -159,8 +163,7 @@ pub fn advise(device: &DeviceSpec, profiles: &[WorkflowProfile]) -> Vec<Advice> 
         let max = (0..n)
             .max_by(|&a, &b| cmp_power(&profiles[a], &profiles[b]))
             .expect("non-empty");
-        let spread =
-            profiles[max].avg_power.watts() - profiles[min].avg_power.watts();
+        let spread = profiles[max].avg_power.watts() - profiles[min].avg_power.watts();
         if min != max
             && spread > 50.0
             && predict(device, &[&profiles[min], &profiles[max]]).is_compatible()
@@ -222,10 +225,9 @@ mod tests {
     fn low_pairs_and_heavy_exclusives_are_found() {
         let profiles = vec![profile(10.0, 2), profile(20.0, 2), profile(90.0, 4)];
         let advice = advise(&dev(), &profiles);
-        assert!(advice.iter().any(|a| matches!(
-            a,
-            Advice::PairForThroughput { a: 0, b: 1, .. }
-        )));
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::PairForThroughput { a: 0, b: 1, .. })));
         assert!(advice
             .iter()
             .any(|a| matches!(a, Advice::KeepExclusive { workflow: 2, .. })));

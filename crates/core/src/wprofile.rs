@@ -143,11 +143,9 @@ mod tests {
             WorkflowTask::new(BenchmarkKind::AthenaPk, ProblemSize::X1, 1),
             WorkflowTask::new(BenchmarkKind::Lammps, ProblemSize::X4, 1),
         ]);
-        let store = store_for(&[mixed.clone()]);
+        let store = store_for(std::slice::from_ref(&mixed));
         let p = workflow_profile(&store, &mixed).unwrap();
-        let athena = store
-            .get(BenchmarkKind::AthenaPk, ProblemSize::X1)
-            .unwrap();
+        let athena = store.get(BenchmarkKind::AthenaPk, ProblemSize::X1).unwrap();
         let lammps = store.get(BenchmarkKind::Lammps, ProblemSize::X4).unwrap();
         // LAMMPS 4x is ~44x longer, so the average leans hard toward it.
         assert!(p.avg_sm_util > athena.avg_sm_util);
@@ -159,7 +157,7 @@ mod tests {
     #[test]
     fn burst_utils_divide_by_busy_fraction() {
         let w = WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 1);
-        let store = store_for(&[w.clone()]);
+        let store = store_for(std::slice::from_ref(&w));
         let p = workflow_profile(&store, &w).unwrap();
         assert!(p.burst_sm_util() > p.avg_sm_util.value() / 100.0);
         assert!(p.burst_sm_util() <= 1.0);
@@ -168,17 +166,14 @@ mod tests {
     #[test]
     fn dynamic_energy_subtracts_idle_floor() {
         let w = WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 2);
-        let store = store_for(&[w.clone()]);
+        let store = store_for(std::slice::from_ref(&w));
         let p = workflow_profile(&store, &w).unwrap();
         let idle = Power::from_watts(75.0);
         let dynamic = p.dynamic_energy(idle);
         assert!(dynamic.joules() > 0.0);
         assert!(dynamic.joules() < p.energy.joules());
         // Never negative, even with an absurd idle power.
-        assert_eq!(
-            p.dynamic_energy(Power::from_watts(10_000.0)),
-            Energy::ZERO
-        );
+        assert_eq!(p.dynamic_energy(Power::from_watts(10_000.0)), Energy::ZERO);
     }
 
     #[test]

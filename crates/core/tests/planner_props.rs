@@ -16,13 +16,13 @@ fn device() -> DeviceSpec {
 
 fn profile_strategy() -> impl Strategy<Value = WorkflowProfile> {
     (
-        1.0f64..=99.0,   // sm
-        0.0f64..=60.0,   // bw
-        1u64..=70,       // memory GiB
-        1.0f64..=500.0,  // duration
-        0.2f64..=1.0,    // busy fraction
-        0.1f64..=1.0,    // saturation partition
-        1usize..=20,     // tasks
+        1.0f64..=99.0,  // sm
+        0.0f64..=60.0,  // bw
+        1u64..=70,      // memory GiB
+        1.0f64..=500.0, // duration
+        0.2f64..=1.0,   // busy fraction
+        0.1f64..=1.0,   // saturation partition
+        1usize..=20,    // tasks
     )
         .prop_map(|(sm, bw, mem, duration, busy, saturation, tasks)| {
             let power = 75.0 + 1.75 * sm + bw;

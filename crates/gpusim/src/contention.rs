@@ -120,11 +120,7 @@ impl ContentionSolver {
             .iter()
             .map(|c| c.kernel.bw_demand_on(&self.device))
             .collect();
-        let total_sm_demand: f64 = sm_demands
-            .iter()
-            .zip(&speed_cap)
-            .map(|(d, s)| d * s)
-            .sum();
+        let total_sm_demand: f64 = sm_demands.iter().zip(&speed_cap).map(|(d, s)| d * s).sum();
         let compute_scale = if total_sm_demand > 1.0 {
             1.0 / total_sm_demand
         } else {
@@ -133,31 +129,25 @@ impl ContentionSolver {
         let r1: Vec<f64> = speed_cap.iter().map(|s| s * compute_scale).collect();
 
         // Step 3: max-min fair bandwidth. wanted_i = bw_demand_i · r1_i.
-        let wanted: Vec<f64> = bw_demands
-            .iter()
-            .zip(&r1)
-            .map(|(d, r)| d * r)
-            .collect();
+        let wanted: Vec<f64> = bw_demands.iter().zip(&r1).map(|(d, r)| d * r).collect();
         let granted = max_min_share(&wanted, 1.0);
         let r2: Vec<f64> = r1
             .iter()
             .zip(wanted.iter().zip(&granted))
-            .map(|(r, (w, g))| {
-                if *w > 0.0 {
-                    r * (g / w).min(1.0)
-                } else {
-                    *r
-                }
-            })
+            .map(
+                |(r, (w, g))| {
+                    if *w > 0.0 {
+                        r * (g / w).min(1.0)
+                    } else {
+                        *r
+                    }
+                },
+            )
             .collect();
 
         // Step 4: cache/sharing pressure. Pressure on kernel i is the BW
         // consumption of everyone else plus a flat per-co-runner term.
-        let bw_used: Vec<f64> = bw_demands
-            .iter()
-            .zip(&r2)
-            .map(|(d, r)| d * r)
-            .collect();
+        let bw_used: Vec<f64> = bw_demands.iter().zip(&r2).map(|(d, r)| d * r).collect();
         let total_bw_used: f64 = bw_used.iter().sum();
         let rates: Vec<f64> = contenders
             .iter()
@@ -346,7 +336,11 @@ mod tests {
         let shared = solve(&[victim.clone(), aggressor]);
         assert!((solo[0].rate - 1.0).abs() < 1e-9);
         // Pressure ≈ 0.5 -> slowdown ≈ 1.5.
-        assert!(shared[0].rate < 0.72 && shared[0].rate > 0.6, "rate {}", shared[0].rate);
+        assert!(
+            shared[0].rate < 0.72 && shared[0].rate > 0.6,
+            "rate {}",
+            shared[0].rate
+        );
     }
 
     #[test]

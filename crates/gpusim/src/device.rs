@@ -154,7 +154,9 @@ impl DeviceSpec {
     /// can be chained in builders.
     pub fn validated(self) -> Result<Self> {
         if self.num_sms == 0 {
-            return Err(Error::InvalidConfig("device must have at least one SM".into()));
+            return Err(Error::InvalidConfig(
+                "device must have at least one SM".into(),
+            ));
         }
         if self.warp_size == 0 || self.max_warps_per_sm == 0 || self.max_blocks_per_sm == 0 {
             return Err(Error::InvalidConfig(
@@ -184,7 +186,9 @@ impl DeviceSpec {
             ));
         }
         if self.max_mps_clients == 0 {
-            return Err(Error::InvalidConfig("MPS client limit must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "MPS client limit must be positive".into(),
+            ));
         }
         Ok(self)
     }

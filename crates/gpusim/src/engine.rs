@@ -459,7 +459,13 @@ impl Engine {
             let remaining = task.kernels[client.kernel_idx].solo_duration.value();
             let (id, kernel_index) = (task.id, client.kernel_idx);
             client.phase = Phase::Running { remaining };
-            self.record(i, EventKind::KernelStart { task: id, kernel_index });
+            self.record(
+                i,
+                EventKind::KernelStart {
+                    task: id,
+                    kernel_index,
+                },
+            );
         } else {
             // Task complete: free memory, record, move on.
             let completion = TaskCompletion {
@@ -480,7 +486,12 @@ impl Engine {
                 client.phase = Phase::Done;
                 client.finished = Some(Seconds::new(self.now));
             }
-            self.record(i, EventKind::TaskEnd { task: finished_task });
+            self.record(
+                i,
+                EventKind::TaskEnd {
+                    task: finished_task,
+                },
+            );
         }
     }
 
@@ -491,7 +502,13 @@ impl Engine {
         let task = &client.program.tasks[client.task_idx];
         let gap = task.kernels[client.kernel_idx].host_gap.value();
         let (id, kernel_index) = (task.id, client.kernel_idx);
-        self.record(i, EventKind::KernelEnd { task: id, kernel_index });
+        self.record(
+            i,
+            EventKind::KernelEnd {
+                task: id,
+                kernel_index,
+            },
+        );
         let client = &mut self.clients[i];
         if gap > EPS {
             client.phase = Phase::Gap { remaining: gap };
@@ -536,9 +553,7 @@ impl Engine {
         };
         let quantum = quantum.value();
         let switch = switch_overhead.value();
-        let still_valid = self
-            .active
-            .is_some_and(|a| self.clients[a].is_running());
+        let still_valid = self.active.is_some_and(|a| self.clients[a].is_running());
         if still_valid {
             return;
         }
@@ -549,7 +564,8 @@ impl Engine {
             .find(|&i| self.clients[i].is_running());
         match next {
             Some(i) => {
-                let switching_from_other = self.active.is_some_and(|a| a != i) || self.active.is_none() && self.now > 0.0;
+                let switching_from_other =
+                    self.active.is_some_and(|a| a != i) || self.active.is_none() && self.now > 0.0;
                 self.active = Some(i);
                 self.next_rr = (i + 1) % n;
                 self.quantum_remaining = quantum;
@@ -597,11 +613,11 @@ impl Engine {
     /// Returns the indices of clients whose kernels are on the GPU now.
     fn scheduled_running(&self) -> Vec<usize> {
         match &self.config.mode {
-            SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => (0..self
-                .clients
-                .len())
-                .filter(|&i| self.clients[i].is_running())
-                .collect(),
+            SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => {
+                (0..self.clients.len())
+                    .filter(|&i| self.clients[i].is_running())
+                    .collect()
+            }
             SharingMode::TimeSliced { .. } => {
                 if self.switch_remaining > EPS {
                     Vec::new() // context switch in progress: GPU drained
@@ -685,11 +701,7 @@ impl Engine {
             if self.switch_remaining > EPS {
                 dt = dt.min(self.switch_remaining);
             } else if !scheduled.is_empty() {
-                let runnable = self
-                    .clients
-                    .iter()
-                    .filter(|c| c.is_running())
-                    .count();
+                let runnable = self.clients.iter().filter(|c| c.is_running()).count();
                 if runnable > 1 && self.quantum_remaining > EPS {
                     if self.quantum_remaining <= dt {
                         quantum_event = true;
@@ -811,7 +823,11 @@ mod tests {
         let c = one_task_client("solo", 0, vec![kernel(2.0, 0.5, 0.1, 0.5)]);
         let r = run(SharingMode::mps_uniform(1), vec![c]);
         // 2.0s kernel + 0.5s gap after it.
-        assert!((r.makespan.value() - 2.5).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 2.5).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
         assert_eq!(r.tasks_completed, 1);
         assert_eq!(r.clients[0].completions.len(), 1);
     }
@@ -821,7 +837,11 @@ mod tests {
         let a = one_task_client("a", 0, vec![kernel(4.0, 0.3, 0.1, 0.0)]);
         let b = one_task_client("b", 1, vec![kernel(4.0, 0.3, 0.1, 0.0)]);
         let r = run(SharingMode::mps_uniform(2), vec![a, b]);
-        assert!((r.makespan.value() - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 4.0).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -830,7 +850,11 @@ mod tests {
         let b = one_task_client("b", 1, vec![kernel(4.0, 0.8, 0.0, 0.0)]);
         let r = run(SharingMode::mps_uniform(2), vec![a, b]);
         // Σ demand = 1.6 -> rate 1/1.6 -> 6.4 s.
-        assert!((r.makespan.value() - 6.4).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 6.4).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -838,7 +862,11 @@ mod tests {
         let a = one_task_client("a", 0, vec![kernel(3.0, 0.3, 0.0, 1.0)]);
         let b = one_task_client("b", 1, vec![kernel(3.0, 0.3, 0.0, 1.0)]);
         let r = run(SharingMode::Sequential, vec![a, b]);
-        assert!((r.makespan.value() - 8.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 8.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
         // Client b must start only after a finishes.
         assert!(r.clients[1].started >= r.clients[0].finished);
     }
@@ -910,7 +938,12 @@ mod tests {
         assert!((seq.makespan.value() - 8.0).abs() < 1e-6);
         // Time slicing overlaps one client's gaps with the other's kernels:
         // strictly better than sequential, worse than (or equal to) MPS.
-        assert!(ts.makespan < seq.makespan, "ts {} seq {}", ts.makespan, seq.makespan);
+        assert!(
+            ts.makespan < seq.makespan,
+            "ts {} seq {}",
+            ts.makespan,
+            seq.makespan
+        );
         assert!(mps.makespan.value() <= ts.makespan.value() + 1e-6);
     }
 
@@ -922,7 +955,11 @@ mod tests {
         big2.tasks[0].memory = MemBytes::from_gib(60);
         let r = run(SharingMode::mps_uniform(2), vec![big, big2]);
         // Second can only start after first frees its 60 GiB.
-        assert!((r.makespan.value() - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 4.0).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
         assert_eq!(r.tasks_completed, 2);
     }
 
@@ -1043,7 +1080,11 @@ mod tests {
         };
         let mps = run(SharingMode::mps_uniform(2), vec![mk(0), mk(1)]);
         let streams = run(SharingMode::Streams, vec![mk(2), mk(3)]);
-        assert!((streams.makespan.value() - 2.0).abs() < 1e-6, "streams {}", streams.makespan);
+        assert!(
+            (streams.makespan.value() - 2.0).abs() < 1e-6,
+            "streams {}",
+            streams.makespan
+        );
         assert!(mps.makespan.value() > 2.2, "mps {}", mps.makespan);
     }
 
@@ -1052,7 +1093,11 @@ mod tests {
         let mk = |id| one_task_client("s", id, vec![kernel(2.0, 0.8, 0.0, 0.0)]);
         let r = run(SharingMode::Streams, vec![mk(0), mk(1)]);
         // Σ demand 1.6 -> both slow to 1/1.6.
-        assert!((r.makespan.value() - 3.2).abs() < 1e-6, "makespan {}", r.makespan);
+        assert!(
+            (r.makespan.value() - 3.2).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -1069,7 +1114,11 @@ mod tests {
 
     #[test]
     fn event_log_records_task_and_kernel_boundaries() {
-        let c = one_task_client("solo", 0, vec![kernel(1.0, 0.4, 0.0, 0.5), kernel(1.0, 0.4, 0.0, 0.0)]);
+        let c = one_task_client(
+            "solo",
+            0,
+            vec![kernel(1.0, 0.4, 0.0, 0.5), kernel(1.0, 0.4, 0.0, 0.0)],
+        );
         let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(1)).with_event_log(true);
         let r = Engine::new(cfg, vec![c]).unwrap().run().unwrap();
         let spans = r.events.kernel_spans();
@@ -1080,8 +1129,16 @@ mod tests {
         assert!((spans[1].3.value() - 1.5).abs() < 1e-9);
         // Task start/end present.
         use crate::events::EventKind;
-        assert!(r.events.events().iter().any(|e| matches!(e.kind, EventKind::TaskStart { .. })));
-        assert!(r.events.events().iter().any(|e| matches!(e.kind, EventKind::TaskEnd { .. })));
+        assert!(r
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TaskStart { .. })));
+        assert!(r
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TaskEnd { .. })));
     }
 
     #[test]
@@ -1092,7 +1149,10 @@ mod tests {
         let logged = r.events.throttled_time().value();
         let integrated = r.telemetry.capped_time().value();
         assert!(logged > 0.0);
-        assert!((logged - integrated).abs() < 1e-6, "log {logged} vs telemetry {integrated}");
+        assert!(
+            (logged - integrated).abs() < 1e-6,
+            "log {logged} vs telemetry {integrated}"
+        );
     }
 
     #[test]

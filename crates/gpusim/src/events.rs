@@ -112,9 +112,10 @@ impl EventLog {
                     open.push((e.client, *task, *kernel_index, e.at));
                 }
                 EventKind::KernelEnd { task, kernel_index } => {
-                    if let Some(pos) = open.iter().position(|(c, t, k, _)| {
-                        *c == e.client && t == task && k == kernel_index
-                    }) {
+                    if let Some(pos) = open
+                        .iter()
+                        .position(|(c, t, k, _)| *c == e.client && t == task && k == kernel_index)
+                    {
                         let (c, t, k, start) = open.swap_remove(pos);
                         spans.push((c, t, k, start, e.at));
                     }
@@ -157,9 +158,29 @@ mod tests {
     #[test]
     fn records_and_filters_by_client() {
         let mut log = EventLog::new();
-        log.record(t(0.0), 0, EventKind::TaskStart { task: TaskId::new(1), label: "a".into() });
-        log.record(t(1.0), 1, EventKind::TaskStart { task: TaskId::new(2), label: "b".into() });
-        log.record(t(2.0), 0, EventKind::TaskEnd { task: TaskId::new(1) });
+        log.record(
+            t(0.0),
+            0,
+            EventKind::TaskStart {
+                task: TaskId::new(1),
+                label: "a".into(),
+            },
+        );
+        log.record(
+            t(1.0),
+            1,
+            EventKind::TaskStart {
+                task: TaskId::new(2),
+                label: "b".into(),
+            },
+        );
+        log.record(
+            t(2.0),
+            0,
+            EventKind::TaskEnd {
+                task: TaskId::new(1),
+            },
+        );
         assert_eq!(log.len(), 3);
         assert_eq!(log.for_client(0).count(), 2);
         assert_eq!(log.for_client(1).count(), 1);
@@ -179,10 +200,38 @@ mod tests {
     fn kernel_spans_pair_start_and_end() {
         let mut log = EventLog::new();
         let task = TaskId::new(7);
-        log.record(t(1.0), 0, EventKind::KernelStart { task, kernel_index: 0 });
-        log.record(t(2.0), 1, EventKind::KernelStart { task: TaskId::new(8), kernel_index: 0 });
-        log.record(t(3.0), 0, EventKind::KernelEnd { task, kernel_index: 0 });
-        log.record(t(4.0), 1, EventKind::KernelEnd { task: TaskId::new(8), kernel_index: 0 });
+        log.record(
+            t(1.0),
+            0,
+            EventKind::KernelStart {
+                task,
+                kernel_index: 0,
+            },
+        );
+        log.record(
+            t(2.0),
+            1,
+            EventKind::KernelStart {
+                task: TaskId::new(8),
+                kernel_index: 0,
+            },
+        );
+        log.record(
+            t(3.0),
+            0,
+            EventKind::KernelEnd {
+                task,
+                kernel_index: 0,
+            },
+        );
+        log.record(
+            t(4.0),
+            1,
+            EventKind::KernelEnd {
+                task: TaskId::new(8),
+                kernel_index: 0,
+            },
+        );
         let spans = log.kernel_spans();
         assert_eq!(spans.len(), 2);
         assert_eq!(spans[0], (0, task, 0, t(1.0), t(3.0)));

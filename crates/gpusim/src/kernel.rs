@@ -163,7 +163,9 @@ impl KernelSpec {
             return Err(Error::InvalidConfig("kernel grid must be non-empty".into()));
         }
         if self.launch.threads_per_block == 0 {
-            return Err(Error::InvalidConfig("threads per block must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "threads per block must be positive".into(),
+            ));
         }
         let lims = occupancy::limits(device, &self.launch);
         if lims.blocks_per_sm() == 0 {

@@ -170,9 +170,8 @@ pub fn report(device: &DeviceSpec, launch: &LaunchConfig) -> OccupancyReport {
     // Issue efficiency models intra-kernel stalls (dependencies, memory
     // latency) that keep achieved occupancy below the resident-warp bound
     // even for perfectly balanced grids.
-    let achieved = Percent::clamped(
-        theoretical.value() * efficiency * launch.issue_efficiency.value(),
-    );
+    let achieved =
+        Percent::clamped(theoretical.value() * efficiency * launch.issue_efficiency.value());
 
     OccupancyReport {
         limits: lims,

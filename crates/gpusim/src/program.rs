@@ -52,8 +52,7 @@ impl TaskProgram {
 
     /// Appends `count` copies of `kernel`.
     pub fn repeat_kernel(&mut self, kernel: KernelSpec, count: usize) -> &mut Self {
-        self.kernels
-            .extend(std::iter::repeat_n(kernel, count));
+        self.kernels.extend(std::iter::repeat_n(kernel, count));
         self
     }
 
@@ -177,8 +176,12 @@ mod tests {
     }
 
     fn task(id: u64, n_kernels: usize) -> TaskProgram {
-        let mut t = TaskProgram::new(TaskId::new(id), format!("task-{id}"), MemBytes::from_mib(512))
-            .with_setup(Seconds::new(1.0));
+        let mut t = TaskProgram::new(
+            TaskId::new(id),
+            format!("task-{id}"),
+            MemBytes::from_mib(512),
+        )
+        .with_setup(Seconds::new(1.0));
         t.repeat_kernel(kernel(2.0, 0.5), n_kernels);
         t
     }

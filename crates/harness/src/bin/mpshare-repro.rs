@@ -2,11 +2,15 @@
 //!
 //! Usage:
 //! ```text
-//! mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|all> [--out DIR]
+//! mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|all> [--out DIR] [--serial]
 //! ```
 //!
 //! Each experiment prints its table to stdout and writes `.txt`, `.csv`,
 //! and `.json` artifacts under the output directory (default `results/`).
+//!
+//! Sweep points fan out across worker threads by default; `--serial` (or
+//! `MPSHARE_SERIAL=1`) forces single-threaded execution. Both modes
+//! produce bit-identical results — the flag only trades wall-clock time.
 
 use mpshare_gpusim::DeviceSpec;
 use mpshare_harness::experiments;
@@ -17,7 +21,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|all> [--out DIR]"
+        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|all> [--out DIR] [--serial]"
     );
     std::process::exit(2);
 }
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => usage(),
             },
+            "--serial" => mpshare_par::set_serial(true),
             "-h" | "--help" => usage(),
             other if which.is_none() => which = Some(other.to_string()),
             _ => usage(),

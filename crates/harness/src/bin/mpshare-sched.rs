@@ -8,8 +8,12 @@
 //! ```text
 //! mpshare-sched queue.json [--priority throughput|energy|product]
 //!                          [--strategy greedy|bestfit|auto|exhaustive]
-//!                          [--gpus N] [--trace PREFIX] [--json]
+//!                          [--gpus N] [--trace PREFIX] [--json] [--serial]
 //! ```
+//!
+//! Planning and evaluation fan out across worker threads by default;
+//! `--serial` (or `MPSHARE_SERIAL=1`) forces single-threaded execution
+//! with bit-identical results.
 //!
 //! Queue spec format (see `configs/example_queue.json`):
 //! ```json
@@ -47,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mpshare-sched QUEUE.json [--priority throughput|energy|product] \
          [--strategy greedy|bestfit|auto|exhaustive] [--gpus N] [--trace PREFIX] \
-         [--advise] [--json]"
+         [--advise] [--json] [--serial]"
     );
     std::process::exit(2);
 }
@@ -103,6 +107,7 @@ fn parse_args() -> Args {
             }
             "--trace" => trace_prefix = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--json" => json = true,
+            "--serial" => mpshare_par::set_serial(true),
             "--advise" => want_advice = true,
             "--gantt" => want_gantt = true,
             "--store" => store_path = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
@@ -174,7 +179,9 @@ fn run(args: Args) -> Result<(), String> {
         .map(|&[b, a]| Dependency::new(b, a))
         .collect();
     let plan = if deps.is_empty() {
-        planner.plan(&profiles, args.strategy).map_err(|e| e.to_string())?
+        planner
+            .plan(&profiles, args.strategy)
+            .map_err(|e| e.to_string())?
     } else {
         let plan = plan_with_dependencies(&planner, &profiles, &deps, args.strategy)
             .map_err(|e| e.to_string())?;
@@ -237,7 +244,10 @@ fn run(args: Args) -> Result<(), String> {
             "plan": plan,
             "metrics": metrics,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
     } else {
         println!("plan:\n{group_summary}");
         println!(
@@ -260,9 +270,7 @@ fn describe_groups(
             .workflow_indices
             .iter()
             .zip(&g.partitions)
-            .map(|(&w, p)| {
-                format!("{} @{:.0}%", profiles[w].label, p.value() * 100.0)
-            })
+            .map(|(&w, p)| format!("{} @{:.0}%", profiles[w].label, p.value() * 100.0))
             .collect();
         out.push_str(&format!("  group {}: {}\n", i + 1, members.join("  |  ")));
     }

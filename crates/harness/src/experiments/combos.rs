@@ -8,7 +8,6 @@ use mpshare_core::{Executor, ExecutorConfig, Metrics};
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::Result;
 use mpshare_workloads::{table3_combinations, Combination};
-use rayon::prelude::*;
 
 /// Outcome of one combination under all three scheduling mechanisms.
 #[derive(Debug, Clone)]
@@ -48,10 +47,8 @@ pub fn run_combination(device: &DeviceSpec, combo: &Combination) -> Result<Combo
 /// Runs all ten Table III combinations (in parallel across combinations).
 pub fn run_all(device: &DeviceSpec) -> Result<Vec<ComboResult>> {
     let combos = table3_combinations();
-    let mut results: Vec<ComboResult> = combos
-        .par_iter()
-        .map(|c| run_combination(device, c))
-        .collect::<Result<Vec<_>>>()?;
+    let mut results: Vec<ComboResult> =
+        mpshare_par::try_par_map(&combos, |c| run_combination(device, c))?;
     results.sort_by_key(|r| r.number);
     Ok(results)
 }

@@ -42,9 +42,15 @@ pub struct Row {
 pub fn rows(reference: &DeviceSpec) -> Result<Vec<Row>> {
     let amd = DeviceSpec::mi250x_gcd();
     let shapes: Vec<(String, Vec<DeviceSpec>)> = vec![
-        ("2x A100X".into(), vec![reference.clone(), reference.clone()]),
+        (
+            "2x A100X".into(),
+            vec![reference.clone(), reference.clone()],
+        ),
         ("2x MI250X-GCD".into(), vec![amd.clone(), amd.clone()]),
-        ("A100X + MI250X-GCD".into(), vec![reference.clone(), amd.clone()]),
+        (
+            "A100X + MI250X-GCD".into(),
+            vec![reference.clone(), amd.clone()],
+        ),
     ];
 
     let q = queue();
@@ -126,8 +132,18 @@ mod tests {
         // Energy separates the shapes cleanly: the GCD idles at 90 W vs
         // the A100X's 75 W, so the all-GCD node costs the most and the
         // mixed node sits between.
-        assert!(a100.energy_j < mixed.energy_j, "{} !< {}", a100.energy_j, mixed.energy_j);
-        assert!(mixed.energy_j < amd.energy_j, "{} !< {}", mixed.energy_j, amd.energy_j);
+        assert!(
+            a100.energy_j < mixed.energy_j,
+            "{} !< {}",
+            a100.energy_j,
+            mixed.energy_j
+        );
+        assert!(
+            mixed.energy_j < amd.energy_j,
+            "{} !< {}",
+            mixed.energy_j,
+            amd.energy_j
+        );
         // Aggregate speeds reflect the bandwidth-bound rescaling.
         assert!(a100.relative_speed > mixed.relative_speed);
         assert!(mixed.relative_speed > amd.relative_speed);

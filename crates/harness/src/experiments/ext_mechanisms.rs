@@ -69,7 +69,10 @@ pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
     let mut out = Vec::new();
     for (pair_name, specs) in pairs() {
         let programs = |ids: &mut IdAllocator| -> Result<Vec<_>> {
-            specs.iter().map(|w| w.to_client_program(device, ids)).collect()
+            specs
+                .iter()
+                .map(|w| w.to_client_program(device, ids))
+                .collect()
         };
         let seq = {
             let mut ids = IdAllocator::new();

@@ -8,7 +8,7 @@
 
 use crate::table::{fmt, Experiment, TextTable};
 use mpshare_core::{
-    distribute_plan, workflow_profile, ExecutorConfig, Metrics, MetricPriority, NodeExecutor,
+    distribute_plan, workflow_profile, ExecutorConfig, MetricPriority, Metrics, NodeExecutor,
     Planner, PlannerStrategy,
 };
 use mpshare_gpusim::DeviceSpec;

@@ -17,7 +17,6 @@ use mpshare_types::{Result, Seconds};
 use mpshare_workloads::{QueueGenerator, WorkflowSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Arrival-process seeds swept (one row per seed).
 pub const SEEDS: [u64; 4] = [11, 23, 42, 77];
@@ -82,10 +81,7 @@ pub fn run_seed(device: &DeviceSpec, seed: u64) -> Result<Row> {
 
 /// The full sweep.
 pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
-    let mut rows: Vec<Row> = SEEDS
-        .par_iter()
-        .map(|&seed| run_seed(device, seed))
-        .collect::<Result<Vec<_>>>()?;
+    let mut rows: Vec<Row> = mpshare_par::try_par_map(&SEEDS, |&seed| run_seed(device, seed))?;
     rows.sort_by_key(|r| r.seed);
     Ok(rows)
 }
@@ -138,7 +134,12 @@ mod tests {
                 r.seed,
                 r.throughput_gain
             );
-            assert!(r.wait_ratio >= 1.0, "seed {}: wait {}", r.seed, r.wait_ratio);
+            assert!(
+                r.wait_ratio >= 1.0,
+                "seed {}: wait {}",
+                r.seed,
+                r.wait_ratio
+            );
         }
         // At least one bursty process shows a substantial win.
         assert!(rows.iter().any(|r| r.throughput_gain > 1.3));

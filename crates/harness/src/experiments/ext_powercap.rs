@@ -13,7 +13,6 @@ use mpshare_core::{Executor, ExecutorConfig};
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::{Power, Result};
 use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
-use rayon::prelude::*;
 
 /// Power-cap thresholds swept, watts.
 pub const THRESHOLDS: [f64; 6] = [200.0, 220.0, 240.0, 260.0, 280.0, 300.0];
@@ -36,21 +35,18 @@ fn workloads() -> Vec<WorkflowSpec> {
 
 /// Runs the sweep.
 pub fn points(base_device: &DeviceSpec) -> Result<Vec<Point>> {
-    THRESHOLDS
-        .par_iter()
-        .map(|&cap| {
-            let mut device = base_device.clone();
-            device.power_cap = Power::from_watts(cap);
-            let executor = Executor::new(ExecutorConfig::new(device));
-            let outcome = executor.run_mps_naive(&workloads())?;
-            Ok(Point {
-                cap_watts: cap,
-                makespan_s: outcome.makespan.value(),
-                energy_j: outcome.energy.joules(),
-                capped_fraction: outcome.capped_fraction,
-            })
+    mpshare_par::try_par_map(&THRESHOLDS, |&cap| {
+        let mut device = base_device.clone();
+        device.power_cap = Power::from_watts(cap);
+        let executor = Executor::new(ExecutorConfig::new(device));
+        let outcome = executor.run_mps_naive(&workloads())?;
+        Ok(Point {
+            cap_watts: cap,
+            makespan_s: outcome.makespan.value(),
+            energy_j: outcome.energy.joules(),
+            capped_fraction: outcome.capped_fraction,
         })
-        .collect()
+    })
 }
 
 /// Full experiment.

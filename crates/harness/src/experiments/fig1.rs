@@ -10,7 +10,6 @@ use mpshare_gpusim::DeviceSpec;
 use mpshare_mps::{GpuRunner, GpuSharing};
 use mpshare_types::{Fraction, Result, TaskId};
 use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize};
-use rayon::prelude::*;
 
 /// Partition sweep points (percent).
 pub const PARTITIONS: [u8; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
@@ -47,9 +46,8 @@ pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
         .into_iter()
         .flat_map(|(kind, size)| PARTITIONS.iter().map(move |&p| (kind, size, p)))
         .collect();
-    let raw: Vec<(BenchmarkKind, ProblemSize, u8, f64)> = jobs
-        .par_iter()
-        .map(|&(kind, size, partition)| {
+    let raw: Vec<(BenchmarkKind, ProblemSize, u8, f64)> =
+        mpshare_par::try_par_map(&jobs, |&(kind, size, partition)| {
             let model = benchmark(kind);
             let task = build_task(device, &model, size, TaskId::new(0))?;
             let mut program = mpshare_gpusim::ClientProgram::new(task.label.clone());
@@ -60,8 +58,7 @@ pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
             };
             let result = runner.run(&sharing, vec![program])?;
             Ok((kind, size, partition, 3600.0 / result.makespan.value()))
-        })
-        .collect::<Result<Vec<_>>>()?;
+        })?;
 
     // Normalize each series by its 100 % point.
     let mut points = Vec::with_capacity(raw.len());
@@ -150,7 +147,9 @@ mod tests {
         let pts = points(&DeviceSpec::a100x()).unwrap();
         let rel = |kind, size: ProblemSize, part: u8| {
             pts.iter()
-                .find(|p| p.benchmark == kind && p.size.factor() == size.factor() && p.partition == part)
+                .find(|p| {
+                    p.benchmark == kind && p.size.factor() == size.factor() && p.partition == part
+                })
                 .unwrap()
                 .relative
         };

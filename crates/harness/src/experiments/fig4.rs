@@ -13,7 +13,6 @@ use mpshare_core::{Executor, ExecutorConfig, Metrics, ProductMetric};
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::Result;
 use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
-use rayon::prelude::*;
 
 /// Concurrent-workflow counts swept (2x1 … 2x24 = up to 48 tasks).
 pub const CARDINALITIES: [usize; 6] = [1, 2, 4, 8, 16, 24];
@@ -69,10 +68,9 @@ pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
         .into_iter()
         .flat_map(|k| CARDINALITIES.iter().map(move |&c| (k, c)))
         .collect();
-    let mut pts: Vec<Point> = jobs
-        .par_iter()
-        .map(|&(kind, card)| run_config(device, kind, TASKS_PER_WORKFLOW, card))
-        .collect::<Result<Vec<_>>>()?;
+    let mut pts: Vec<Point> = mpshare_par::try_par_map(&jobs, |&(kind, card)| {
+        run_config(device, kind, TASKS_PER_WORKFLOW, card)
+    })?;
     pts.sort_by_key(|p| (p.benchmark, p.concurrent_workflows));
     Ok(pts)
 }
@@ -129,7 +127,11 @@ mod tests {
         // Cardinality 1 is sequential by construction: gain 1.0.
         assert!((pts[0].metrics.throughput_gain - 1.0).abs() < 0.02);
         // Pairs give a real gain.
-        assert!(pts[1].metrics.throughput_gain > 1.5, "2x2: {}", pts[1].metrics.throughput_gain);
+        assert!(
+            pts[1].metrics.throughput_gain > 1.5,
+            "2x2: {}",
+            pts[1].metrics.throughput_gain
+        );
         // The paper's takeaway 3: the benefit per added client falls;
         // deep oversubscription is strictly worse than the peak.
         let peak = pts

@@ -12,7 +12,6 @@ use mpshare_core::{Executor, ExecutorConfig, Metrics, ProductMetric};
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::Result;
 use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
-use rayon::prelude::*;
 
 /// Total tasks in every configuration.
 pub const TOTAL_TASKS: usize = 16;
@@ -36,7 +35,11 @@ pub fn run_config(
     seq_tasks: usize,
     parallel: usize,
 ) -> Result<Point> {
-    assert_eq!(seq_tasks * parallel, TOTAL_TASKS, "configs hold work constant");
+    assert_eq!(
+        seq_tasks * parallel,
+        TOTAL_TASKS,
+        "configs hold work constant"
+    );
     let workflows: Vec<WorkflowSpec> = (0..parallel)
         .map(|_| WorkflowSpec::uniform(kind, ProblemSize::X4, seq_tasks))
         .collect();
@@ -53,15 +56,12 @@ pub fn run_config(
 
 /// The full configuration sweep for both benchmarks.
 pub fn points(device: &DeviceSpec) -> Result<Vec<Point>> {
-    let jobs: Vec<(BenchmarkKind, usize, usize)> =
-        [BenchmarkKind::AthenaPk, BenchmarkKind::Lammps]
-            .into_iter()
-            .flat_map(|k| CONFIGS.iter().map(move |&(s, p)| (k, s, p)))
-            .collect();
-    let mut pts: Vec<Point> = jobs
-        .par_iter()
-        .map(|&(kind, s, p)| run_config(device, kind, s, p))
-        .collect::<Result<Vec<_>>>()?;
+    let jobs: Vec<(BenchmarkKind, usize, usize)> = [BenchmarkKind::AthenaPk, BenchmarkKind::Lammps]
+        .into_iter()
+        .flat_map(|k| CONFIGS.iter().map(move |&(s, p)| (k, s, p)))
+        .collect();
+    let mut pts: Vec<Point> =
+        mpshare_par::try_par_map(&jobs, |&(kind, s, p)| run_config(device, kind, s, p))?;
     pts.sort_by_key(|p| (p.benchmark, p.concurrent_workflows));
     Ok(pts)
 }

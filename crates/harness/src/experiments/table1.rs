@@ -5,7 +5,6 @@ use mpshare_gpusim::DeviceSpec;
 use mpshare_profiler::profile_task;
 use mpshare_types::{Result, TaskId};
 use mpshare_workloads::{all_benchmarks, build_task, ProblemSize};
-use rayon::prelude::*;
 
 /// One row of the regenerated Table I.
 #[derive(Debug, Clone)]
@@ -20,21 +19,19 @@ pub struct Row {
 
 /// Profiles every benchmark at 1× and reports measured vs. paper occupancy.
 pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
-    all_benchmarks()
-        .par_iter()
-        .map(|b| {
-            let task = build_task(device, b, ProblemSize::X1, TaskId::new(0))?;
-            let p = profile_task(device, &task)?;
-            Ok(Row {
-                benchmark: b.kind.name().to_string(),
-                achieved: p.occupancy.achieved.value(),
-                theoretical: p.occupancy.theoretical.value(),
-                ratio: p.occupancy.achieved_ratio() * 100.0,
-                paper_achieved: b.occupancy.achieved.value(),
-                paper_theoretical: b.occupancy.theoretical.value(),
-            })
+    let benchmarks = all_benchmarks();
+    mpshare_par::try_par_map(&benchmarks, |b| {
+        let task = build_task(device, b, ProblemSize::X1, TaskId::new(0))?;
+        let p = profile_task(device, &task)?;
+        Ok(Row {
+            benchmark: b.kind.name().to_string(),
+            achieved: p.occupancy.achieved.value(),
+            theoretical: p.occupancy.theoretical.value(),
+            ratio: p.occupancy.achieved_ratio() * 100.0,
+            paper_achieved: b.occupancy.achieved.value(),
+            paper_theoretical: b.occupancy.theoretical.value(),
         })
-        .collect()
+    })
 }
 
 /// Full experiment: rows rendered as a table.
@@ -79,8 +76,16 @@ mod tests {
         for r in &rows {
             let theo_err = (r.theoretical - r.paper_theoretical).abs() / r.paper_theoretical;
             let ach_err = (r.achieved - r.paper_achieved).abs() / r.paper_achieved;
-            assert!(theo_err < 0.03, "{}: theoretical off by {theo_err:.3}", r.benchmark);
-            assert!(ach_err < 0.10, "{}: achieved off by {ach_err:.3}", r.benchmark);
+            assert!(
+                theo_err < 0.03,
+                "{}: theoretical off by {theo_err:.3}",
+                r.benchmark
+            );
+            assert!(
+                ach_err < 0.10,
+                "{}: achieved off by {ach_err:.3}",
+                r.benchmark
+            );
         }
     }
 

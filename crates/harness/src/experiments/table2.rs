@@ -5,7 +5,6 @@ use mpshare_gpusim::DeviceSpec;
 use mpshare_profiler::profile_task;
 use mpshare_types::{Result, TaskId};
 use mpshare_workloads::{all_benchmarks, build_task, AnchorProfile, ProblemSize};
-use rayon::prelude::*;
 
 /// One regenerated Table II row (measured + paper anchor).
 #[derive(Debug, Clone)]
@@ -29,22 +28,20 @@ pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
             jobs.push((b, ProblemSize::X4));
         }
     }
-    jobs.par_iter()
-        .map(|(b, size)| {
-            let task = build_task(device, b, *size, TaskId::new(0))?;
-            let p = profile_task(device, &task)?;
-            Ok(Row {
-                benchmark: b.kind.name().to_string(),
-                size: *size,
-                max_memory_mib: p.max_memory.mib(),
-                avg_bw_util: p.avg_bw_util.value(),
-                avg_sm_util: p.avg_sm_util.value(),
-                avg_power_w: p.avg_power.watts(),
-                energy_j: p.energy.joules(),
-                paper: b.profile_at(*size),
-            })
+    mpshare_par::try_par_map(&jobs, |(b, size)| {
+        let task = build_task(device, b, *size, TaskId::new(0))?;
+        let p = profile_task(device, &task)?;
+        Ok(Row {
+            benchmark: b.kind.name().to_string(),
+            size: *size,
+            max_memory_mib: p.max_memory.mib(),
+            avg_bw_util: p.avg_bw_util.value(),
+            avg_sm_util: p.avg_sm_util.value(),
+            avg_power_w: p.avg_power.watts(),
+            energy_j: p.energy.joules(),
+            paper: b.profile_at(*size),
         })
-        .collect()
+    })
 }
 
 /// Full experiment.

@@ -7,7 +7,10 @@ use std::path::Path;
 
 /// Writes `<id>.txt`, `<id>.csv`, and `<id>.json` for each experiment into
 /// `dir` (created if missing). Returns the paths written.
-pub fn write_results(dir: &Path, experiments: &[Experiment]) -> io::Result<Vec<std::path::PathBuf>> {
+pub fn write_results(
+    dir: &Path,
+    experiments: &[Experiment],
+) -> io::Result<Vec<std::path::PathBuf>> {
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
     for e in experiments {

@@ -186,7 +186,8 @@ mod tests {
             .reconfigure(&d, &[MigProfile::OneSlice; 7], true)
             .unwrap_err();
         assert!(matches!(err, Error::InvalidState(_)));
-        l.reconfigure(&d, &[MigProfile::OneSlice; 7], false).unwrap();
+        l.reconfigure(&d, &[MigProfile::OneSlice; 7], false)
+            .unwrap();
         assert_eq!(l.instances().len(), 7);
     }
 

@@ -163,8 +163,7 @@ impl GpuRunner {
             if batch.is_empty() {
                 continue;
             }
-            let (orig_indices, progs): (Vec<usize>, Vec<ClientProgram>) =
-                batch.into_iter().unzip();
+            let (orig_indices, progs): (Vec<usize>, Vec<ClientProgram>) = batch.into_iter().unzip();
             let device = layout.instances()[inst].device.clone();
             let config = EngineConfig::new(
                 device,
@@ -378,8 +377,8 @@ mod tests {
     #[test]
     fn mig_isolates_instances() {
         let runner = GpuRunner::new(dev());
-        let layout = MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice])
-            .unwrap();
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice]).unwrap();
         // Two kernels that would contend heavily under MPS run isolated
         // under MIG (each slowed only by its smaller instance).
         let r = runner
@@ -401,8 +400,8 @@ mod tests {
     #[test]
     fn mig_board_power_includes_idle_instances() {
         let runner = GpuRunner::new(dev());
-        let layout = MigLayout::new(&dev(), &[MigProfile::OneSlice, MigProfile::FourSlice])
-            .unwrap();
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::OneSlice, MigProfile::FourSlice]).unwrap();
         // Only instance 0 gets work; instance 1 and the 2 unused slices
         // must still draw idle power.
         let r = runner
@@ -477,7 +476,10 @@ mod tests {
         let layout = MigLayout::new(&dev(), &[MigProfile::ThreeSlice]).unwrap();
         let slice_sms = layout.instances()[0].device.num_sms;
         let solo = runner
-            .run(&GpuSharing::mps_default(1), vec![program("a", 0, 10.0, 0.9)])
+            .run(
+                &GpuSharing::mps_default(1),
+                vec![program("a", 0, 10.0, 0.9)],
+            )
             .unwrap();
         let sliced = runner
             .run(

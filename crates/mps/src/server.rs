@@ -180,17 +180,17 @@ impl MpsServer {
                 available: available.saturating_sub(current),
             });
         }
-        self.clients
-            .get_mut(&id)
-            .expect("checked above")
-            .memory = memory;
+        self.clients.get_mut(&id).expect("checked above").memory = memory;
         Ok(())
     }
 
     /// Partition fractions of all connected clients, in client-id order —
     /// the vector handed to the execution engine's MPS mode.
     pub fn partition_vector(&self) -> Vec<Fraction> {
-        self.clients.values().map(|c| c.partition.fraction()).collect()
+        self.clients
+            .values()
+            .map(|c| c.partition.fraction())
+            .collect()
     }
 
     /// Sum of all partitions as a plain factor (may exceed 1.0:
@@ -248,7 +248,10 @@ mod tests {
     fn active_thread_percentage_validates_range() {
         assert!(ActiveThreadPercentage::new(0).is_err());
         assert!(ActiveThreadPercentage::new(101).is_err());
-        assert_eq!(ActiveThreadPercentage::new(100).unwrap(), ActiveThreadPercentage::FULL);
+        assert_eq!(
+            ActiveThreadPercentage::new(100).unwrap(),
+            ActiveThreadPercentage::FULL
+        );
         assert_eq!(ActiveThreadPercentage::new(37).unwrap().value(), 37);
     }
 
@@ -278,7 +281,9 @@ mod tests {
         for i in 0..48 {
             s.connect(format!("c{i}"), MemBytes::from_mib(1)).unwrap();
         }
-        let err = s.connect("one-too-many", MemBytes::from_mib(1)).unwrap_err();
+        let err = s
+            .connect("one-too-many", MemBytes::from_mib(1))
+            .unwrap_err();
         assert!(matches!(err, Error::ClientLimitExceeded { limit: 48, .. }));
     }
 
@@ -308,10 +313,18 @@ mod tests {
     #[test]
     fn partition_vector_matches_clients_in_order() {
         let mut s = server();
-        s.connect_with_partition("a", MemBytes::ZERO, ActiveThreadPercentage::new(10).unwrap())
-            .unwrap();
-        s.connect_with_partition("b", MemBytes::ZERO, ActiveThreadPercentage::new(60).unwrap())
-            .unwrap();
+        s.connect_with_partition(
+            "a",
+            MemBytes::ZERO,
+            ActiveThreadPercentage::new(10).unwrap(),
+        )
+        .unwrap();
+        s.connect_with_partition(
+            "b",
+            MemBytes::ZERO,
+            ActiveThreadPercentage::new(60).unwrap(),
+        )
+        .unwrap();
         let v = s.partition_vector();
         assert_eq!(v.len(), 2);
         assert!((v[0].value() - 0.10).abs() < 1e-12);
@@ -340,9 +353,7 @@ mod tests {
         let _b = s.connect("b", MemBytes::from_gib(40)).unwrap();
         s.resize_memory(a, MemBytes::from_gib(40)).unwrap();
         assert!(s.resize_memory(a, MemBytes::from_gib(41)).is_err());
-        assert!(s
-            .resize_memory(ClientId::new(99), MemBytes::ZERO)
-            .is_err());
+        assert!(s.resize_memory(ClientId::new(99), MemBytes::ZERO).is_err());
     }
 
     #[test]
@@ -351,15 +362,20 @@ mod tests {
         use mpshare_types::{Seconds, TaskId};
 
         let mut s = server();
-        s.connect_with_partition("a", MemBytes::from_gib(1), ActiveThreadPercentage::new(50).unwrap())
-            .unwrap();
+        s.connect_with_partition(
+            "a",
+            MemBytes::from_gib(1),
+            ActiveThreadPercentage::new(50).unwrap(),
+        )
+        .unwrap();
         s.connect_with_partition("b", MemBytes::from_gib(1), ActiveThreadPercentage::FULL)
             .unwrap();
 
         let program = |id: u64| {
             let d = DeviceSpec::a100x();
-            let k = KernelSpec::from_launch(&d, LaunchConfig::dense(216 * 64, 1024), Seconds::new(1.0))
-                .with_sm_demand(Fraction::new(0.2));
+            let k =
+                KernelSpec::from_launch(&d, LaunchConfig::dense(216 * 64, 1024), Seconds::new(1.0))
+                    .with_sm_demand(Fraction::new(0.2));
             let mut t = TaskProgram::new(TaskId::new(id), "t", MemBytes::from_mib(512));
             t.push_kernel(k);
             let mut c = mpshare_gpusim::ClientProgram::new("c");

@@ -63,8 +63,7 @@ pub fn profile_program(device: &DeviceSpec, program: &ClientProgram) -> Result<T
         }
     };
 
-    let saturation_partition =
-        measure_saturation(&runner, program, result.makespan.value())?;
+    let saturation_partition = measure_saturation(&runner, program, result.makespan.value())?;
 
     Ok(TaskProfile {
         label: program.label.clone(),
@@ -218,7 +217,8 @@ mod tests {
         // A single-wave 54-block kernel (2 blocks/SM) only needs 27 of the
         // 108 SMs: saturation should land at the 30 % sweep point.
         let k = KernelSpec::from_launch(&d, LaunchConfig::dense(54, 1024), Seconds::new(1.0));
-        let mut t = mpshare_gpusim::TaskProgram::new(TaskId::new(0), "small", MemBytes::from_mib(64));
+        let mut t =
+            mpshare_gpusim::TaskProgram::new(TaskId::new(0), "small", MemBytes::from_mib(64));
         t.repeat_kernel(k, 4);
         let p = profile_task(&d, &t).unwrap();
         assert!(
@@ -251,6 +251,8 @@ mod tests {
         let p = profile_program(&d, &program).unwrap();
         let single = profile_task(&d, &program.tasks[0]).unwrap();
         assert!((p.duration.value() - 2.0 * single.duration.value()).abs() < 0.1);
-        assert!((p.energy.joules() - 2.0 * single.energy.joules()).abs() / p.energy.joules() < 0.02);
+        assert!(
+            (p.energy.joules() - 2.0 * single.energy.joules()).abs() / p.energy.joules() < 0.02
+        );
     }
 }

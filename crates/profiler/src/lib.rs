@@ -11,6 +11,9 @@
 //!   plus the occupancy columns of Table I;
 //! * [`store`] is the profile database the scheduler consults, keyed by
 //!   benchmark and problem size;
+//! * [`cache`] memoizes simulated profiles process-wide (sharded and
+//!   thread-shareable), so each `(benchmark, size, device)` tuple is
+//!   simulated exactly once no matter how many stores exist;
 //! * [`scaling`] infers profiles at unmeasured problem sizes from two
 //!   measured ones ("scaling is well-understood for a vast majority of HPC
 //!   codes");
@@ -19,6 +22,7 @@
 //! * [`trace`] exports run timelines as Chrome-tracing JSON — the
 //!   Nsight-Systems-style visualization of a co-scheduled run.
 
+pub mod cache;
 pub mod collector;
 pub mod profile;
 pub mod scaling;
@@ -26,6 +30,7 @@ pub mod smi;
 pub mod store;
 pub mod trace;
 
+pub use cache::ProfileCache;
 pub use collector::{profile_program, profile_task};
 pub use profile::{OccupancyProfile, TaskProfile};
 pub use scaling::infer_profile;

@@ -26,11 +26,7 @@ pub fn infer_profile(
     large_size: ProblemSize,
     target: ProblemSize,
 ) -> Result<TaskProfile> {
-    let (x1, x2, x) = (
-        small_size.factor(),
-        large_size.factor(),
-        target.factor(),
-    );
+    let (x1, x2, x) = (small_size.factor(), large_size.factor(), target.factor());
     if x2 <= x1 {
         return Err(Error::InvalidConfig(
             "scaling inference needs two distinct sizes, small < large".into(),
@@ -46,8 +42,8 @@ pub fn infer_profile(
 
     // Busy fraction: linear in ln(size), clamped.
     let t = (x.ln() - x1.ln()) / (x2.ln() - x1.ln());
-    let busy = (small.busy_fraction + (large.busy_fraction - small.busy_fraction) * t)
-        .clamp(0.01, 1.0);
+    let busy =
+        (small.busy_fraction + (large.busy_fraction - small.busy_fraction) * t).clamp(0.01, 1.0);
 
     // Power: linear model fitted from the two measurements on (sm, bw).
     // With two points we fit P = c0 + c1·(1.75·sm + bw) — the device's
@@ -104,8 +100,8 @@ mod tests {
     fn inference_interpolates_between_measurements() {
         let p1 = measured(BenchmarkKind::Kripke, ProblemSize::X1);
         let p4 = measured(BenchmarkKind::Kripke, ProblemSize::X4);
-        let p2 = infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X2)
-            .unwrap();
+        let p2 =
+            infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X2).unwrap();
         assert!(p2.avg_sm_util > p1.avg_sm_util && p2.avg_sm_util < p4.avg_sm_util);
         assert!(p2.duration > p1.duration && p2.duration < p4.duration);
         assert!(p2.max_memory > p1.max_memory && p2.max_memory < p4.max_memory);
@@ -145,8 +141,8 @@ mod tests {
     fn extrapolation_grows_monotonically() {
         let p1 = measured(BenchmarkKind::AthenaPk, ProblemSize::X1);
         let p4 = measured(BenchmarkKind::AthenaPk, ProblemSize::X4);
-        let p8 = infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X8)
-            .unwrap();
+        let p8 =
+            infer_profile(&p1, ProblemSize::X1, &p4, ProblemSize::X4, ProblemSize::X8).unwrap();
         assert!(p8.duration > p4.duration);
         assert!(p8.avg_sm_util >= p4.avg_sm_util);
         assert!(p8.avg_sm_util.value() <= 100.0);
@@ -155,11 +151,7 @@ mod tests {
     #[test]
     fn degenerate_sizes_are_rejected() {
         let p = measured(BenchmarkKind::Kripke, ProblemSize::X1);
-        assert!(
-            infer_profile(&p, ProblemSize::X4, &p, ProblemSize::X1, ProblemSize::X2).is_err()
-        );
-        assert!(
-            infer_profile(&p, ProblemSize::X1, &p, ProblemSize::X1, ProblemSize::X2).is_err()
-        );
+        assert!(infer_profile(&p, ProblemSize::X4, &p, ProblemSize::X1, ProblemSize::X2).is_err());
+        assert!(infer_profile(&p, ProblemSize::X1, &p, ProblemSize::X1, ProblemSize::X2).is_err());
     }
 }

@@ -116,9 +116,7 @@ mod tests {
             log.mean_power(),
             telemetry.avg_power()
         );
-        assert!(
-            (log.mean_sm_util().value() - telemetry.avg_sm_util().value()).abs() < 1.0
-        );
+        assert!((log.mean_sm_util().value() - telemetry.avg_sm_util().value()).abs() < 1.0);
         assert!((log.capped_fraction() - telemetry.capped_fraction()).abs() < 0.02);
     }
 

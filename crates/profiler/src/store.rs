@@ -10,7 +10,9 @@ use crate::collector::profile_task;
 use crate::profile::TaskProfile;
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::{Error, Result, TaskId};
-use mpshare_workloads::{benchmark, build_task, BenchmarkKind, ProblemSize, TaskSource, WorkflowSpec};
+use mpshare_workloads::{
+    benchmark, build_task, BenchmarkKind, ProblemSize, TaskSource, WorkflowSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -18,7 +20,10 @@ use std::collections::BTreeMap;
 /// 1/100ths) or a named custom workload.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProfileKey {
-    Benchmark { kind: BenchmarkKind, size_centis: u32 },
+    Benchmark {
+        kind: BenchmarkKind,
+        size_centis: u32,
+    },
     Custom(String),
 }
 
@@ -122,7 +127,9 @@ impl ProfileStore {
     }
 
     /// Profiles one (benchmark, size) pair by running it solo, unless
-    /// already present. Returns whether a run was needed.
+    /// already present. Returns whether this store was missing the entry
+    /// (the simulation itself is memoized process-wide — see
+    /// [`crate::cache`] — so repeated tuples cost one run per process).
     pub fn profile_once(
         &mut self,
         device: &DeviceSpec,
@@ -133,21 +140,26 @@ impl ProfileStore {
         if self.profiles.contains_key(&key) {
             return Ok(false);
         }
-        let model = benchmark(kind);
-        let task = build_task(device, &model, size, TaskId::new(0))?;
-        let profile = profile_task(device, &task)?;
+        let profile = crate::cache::global().get_or_compute(device, &key, || {
+            let model = benchmark(kind);
+            let task = build_task(device, &model, size, TaskId::new(0))?;
+            profile_task(device, &task)
+        })?;
         self.profiles.insert(key, profile);
         Ok(true)
     }
 
-    /// Profiles any task source (benchmark or custom) once.
+    /// Profiles any task source (benchmark or custom) once per store;
+    /// the underlying simulation is memoized process-wide.
     pub fn profile_source(&mut self, device: &DeviceSpec, source: &TaskSource) -> Result<bool> {
         let key = ProfileKey::for_source(source);
         if self.profiles.contains_key(&key) {
             return Ok(false);
         }
-        let task = source.build(device, TaskId::new(0))?;
-        let profile = profile_task(device, &task)?;
+        let profile = crate::cache::global().get_or_compute(device, &key, || {
+            let task = source.build(device, TaskId::new(0))?;
+            profile_task(device, &task)
+        })?;
         self.profiles.insert(key, profile);
         Ok(true)
     }

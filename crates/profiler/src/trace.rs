@@ -136,8 +136,7 @@ mod tests {
         let events = parsed["traceEvents"].as_array().unwrap();
         assert!(!events.is_empty());
 
-        let spans: Vec<&serde_json::Value> =
-            events.iter().filter(|e| e["ph"] == "X").collect();
+        let spans: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(spans.len(), 5, "2 Kripke + 3 AthenaPK tasks");
         // All spans have non-negative durations and land within the run.
         let makespan_us = result.makespan.value() * 1e6;

@@ -18,7 +18,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::AthenaPk,
         occupancy: occ(13.3, 51.32),
         anchor_1x: anchor(ProblemSize::X1, 563, 0.01, 7.54, 90.09, 234.24, 0.35),
-        anchor_4x: Some(anchor(ProblemSize::X4, 2093, 1.78, 30.29, 88.86, 5407.36, 0.60)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            2093,
+            1.78,
+            30.29,
+            88.86,
+            5407.36,
+            0.60,
+        )),
         // 11 warps × 3 blocks = 33/64 warps -> 51.56 % theoretical.
         threads_per_block: 352,
         regs_per_thread: 56,
@@ -47,7 +55,10 @@ mod tests {
     fn athenapk_is_the_burstiest_benchmark() {
         let m = model();
         assert!(m.anchor_1x.duty_cycle <= 0.4, "AMR codes idle the GPU");
-        assert!(m.client_sensitivity >= 0.1, "small launches suffer MPS pressure");
+        assert!(
+            m.client_sensitivity >= 0.1,
+            "small launches suffer MPS pressure"
+        );
     }
 
     #[test]

@@ -14,7 +14,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::ChollaGravity,
         occupancy: occ(31.45, 37.5),
         anchor_1x: anchor(ProblemSize::X1, 615, 0.51, 13.6, 88.43, 309.51, 0.50),
-        anchor_4x: Some(anchor(ProblemSize::X4, 5063, 4.45, 45.16, 138.75, 20_285.8, 0.70)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            5063,
+            4.45,
+            45.16,
+            138.75,
+            20_285.8,
+            0.70,
+        )),
         // 8 warps × 3 blocks = 24/64 -> 37.5 % theoretical (exact).
         threads_per_block: 256,
         regs_per_thread: 72,

@@ -15,7 +15,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::Kripke,
         occupancy: occ(32.61, 43.63),
         anchor_1x: anchor(ProblemSize::X1, 621, 0.27, 26.56, 123.3, 382.24, 0.60),
-        anchor_4x: Some(anchor(ProblemSize::X4, 5481, 3.78, 63.21, 148.16, 12_467.54, 0.80)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            5481,
+            3.78,
+            63.21,
+            148.16,
+            12_467.54,
+            0.80,
+        )),
         // 7 warps × 4 blocks = 28/64 -> 43.75 % theoretical.
         threads_per_block: 224,
         regs_per_thread: 64,
@@ -37,7 +45,10 @@ mod tests {
         let m = model();
         // SM utilization dwarfs bandwidth utilization at both sizes.
         assert!(m.anchor_1x.avg_sm_util.value() > 50.0 * m.anchor_1x.avg_bw_util.value());
-        assert!(m.anchor_4x.unwrap().avg_sm_util.value() > 10.0 * m.anchor_4x.unwrap().avg_bw_util.value());
+        assert!(
+            m.anchor_4x.unwrap().avg_sm_util.value()
+                > 10.0 * m.anchor_4x.unwrap().avg_bw_util.value()
+        );
     }
 
     #[test]

@@ -16,7 +16,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::Lammps,
         occupancy: occ(32.7, 35.0),
         anchor_1x: anchor(ProblemSize::X1, 2321, 4.24, 63.0, 196.79, 580.54, 0.75),
-        anchor_4x: Some(anchor(ProblemSize::X4, 4977, 7.13, 96.28, 258.38, 29_390.48, 0.97)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            4977,
+            7.13,
+            96.28,
+            258.38,
+            29_390.48,
+            0.97,
+        )),
         // 11 warps × 2 blocks = 22/64 -> 34.38 % theoretical.
         threads_per_block: 352,
         regs_per_thread: 80,

@@ -18,7 +18,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::ChollaMhd,
         occupancy: occ(17.72, 19.32),
         anchor_1x: anchor(ProblemSize::X1, 2175, 31.01, 72.58, 234.24, 9849.99, 0.85),
-        anchor_4x: Some(anchor(ProblemSize::X4, 6753, 41.29, 88.58, 261.64, 127_249.21, 0.92)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            6753,
+            41.29,
+            88.58,
+            261.64,
+            127_249.21,
+            0.92,
+        )),
         // 12 warps × 1 block = 12/64 -> 18.75 % theoretical.
         threads_per_block: 384,
         regs_per_thread: 88,

@@ -17,7 +17,15 @@ pub fn model() -> Benchmark {
         kind: BenchmarkKind::WarpX,
         occupancy: occ(24.81, 92.55),
         anchor_1x: anchor(ProblemSize::X1, 61_453, 0.04, 33.29, 117.14, 2588.8, 0.60),
-        anchor_4x: Some(anchor(ProblemSize::X4, 61_453, 19.75, 77.28, 244.32, 85_756.49, 0.85)),
+        anchor_4x: Some(anchor(
+            ProblemSize::X4,
+            61_453,
+            19.75,
+            77.28,
+            244.32,
+            85_756.49,
+            0.85,
+        )),
         // 10 warps × 6 blocks = 60/64 -> 93.75 % theoretical.
         threads_per_block: 320,
         regs_per_thread: 32,

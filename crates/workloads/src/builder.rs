@@ -80,19 +80,17 @@ pub fn build_task(
     let d_fill = (1.0 - benchmark.main_weight) * busy / n_fill as f64;
     let gap_per_busy = gap_total / busy;
 
-    let make_kernel = |launch: LaunchConfig, dur: f64| {
-        KernelSpec {
-            launch,
-            solo_duration: Seconds::new(dur),
-            sm_demand: Fraction::clamped(u_active),
-            bw_demand: Fraction::clamped(bw_active),
-            cache_sensitivity: benchmark.cache_sensitivity,
-            client_sensitivity: benchmark.client_sensitivity,
-            power_scale,
-            reference_sms: device.num_sms,
-            reference_bandwidth: device.memory_bandwidth_bytes_per_sec,
-            host_gap: Seconds::new(dur * gap_per_busy),
-        }
+    let make_kernel = |launch: LaunchConfig, dur: f64| KernelSpec {
+        launch,
+        solo_duration: Seconds::new(dur),
+        sm_demand: Fraction::clamped(u_active),
+        bw_demand: Fraction::clamped(bw_active),
+        cache_sensitivity: benchmark.cache_sensitivity,
+        client_sensitivity: benchmark.client_sensitivity,
+        power_scale,
+        reference_sms: device.num_sms,
+        reference_bandwidth: device.memory_bandwidth_bytes_per_sec,
+        host_gap: Seconds::new(dur * gap_per_busy),
     };
 
     // Extrapolated footprints cap at what the device can actually hold

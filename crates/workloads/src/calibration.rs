@@ -128,7 +128,12 @@ mod tests {
     #[test]
     fn solve3_recovers_known_coefficients() {
         // y = 2 + 3·u + 0.5·v at three points.
-        let pts = [(0.0, 0.0, 2.0), (1.0, 0.0, 5.0), (0.0, 2.0, 3.0), (1.0, 2.0, 6.0)];
+        let pts = [
+            (0.0, 0.0, 2.0),
+            (1.0, 0.0, 5.0),
+            (0.0, 2.0, 3.0),
+            (1.0, 2.0, 6.0),
+        ];
         let fit = fit_power_model(&pts);
         assert!((fit.idle_watts - 2.0).abs() < 1e-9);
         assert!((fit.watts_per_sm_pct - 3.0).abs() < 1e-9);

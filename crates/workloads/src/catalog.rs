@@ -16,7 +16,9 @@
 //! * `cache_sensitivity` sets how strongly the benchmark suffers from
 //!   co-runner memory/cache pressure under MPS.
 
-use crate::spec::{log_lerp, power_law, AnchorProfile, BenchmarkKind, OccupancyTargets, ProblemSize};
+use crate::spec::{
+    log_lerp, power_law, AnchorProfile, BenchmarkKind, OccupancyTargets, ProblemSize,
+};
 use mpshare_types::{Energy, MemBytes, Percent, Power};
 use serde::{Deserialize, Serialize};
 
@@ -72,21 +74,13 @@ impl Benchmark {
                     .clamp(0.0, 98.0);
                 let bw = power_law(1.0, a1.avg_bw_util.value(), 4.0, a4.avg_bw_util.value(), s)
                     .clamp(0.0, 98.0);
-                let duration =
-                    power_law(1.0, a1.duration().value(), 4.0, a4.duration().value(), s);
-                let duty = log_lerp(1.0, a1.duty_cycle, 4.0, a4.duty_cycle, s)
-                    .clamp(0.05, 0.98);
+                let duration = power_law(1.0, a1.duration().value(), 4.0, a4.duration().value(), s);
+                let duty = log_lerp(1.0, a1.duty_cycle, 4.0, a4.duty_cycle, s).clamp(0.05, 0.98);
                 let mem_mib = (a1.max_memory.mib()
                     + (a4.max_memory.mib() - a1.max_memory.mib()) * (s - 1.0) / 3.0)
                     .max(a1.max_memory.mib().min(a4.max_memory.mib()));
-                let power = log_lerp(
-                    1.0,
-                    a1.avg_power.watts(),
-                    4.0,
-                    a4.avg_power.watts(),
-                    s,
-                )
-                .clamp(50.0, 300.0);
+                let power = log_lerp(1.0, a1.avg_power.watts(), 4.0, a4.avg_power.watts(), s)
+                    .clamp(50.0, 300.0);
                 AnchorProfile {
                     size,
                     max_memory: MemBytes::from_mib(mem_mib.round() as u64),
@@ -251,7 +245,10 @@ mod tests {
         let e = benchmark(BenchmarkKind::BerkeleyGwEpsilon);
         let p2 = e.profile_at(ProblemSize::X2);
         let ratio = p2.duration().value() / e.anchor_1x.duration().value();
-        assert!((ratio - 16.0).abs() < 0.5, "O(N^4): 2x should be ~16x longer, got {ratio}");
+        assert!(
+            (ratio - 16.0).abs() < 0.5,
+            "O(N^4): 2x should be ~16x longer, got {ratio}"
+        );
     }
 
     #[test]

@@ -29,16 +29,16 @@
 pub mod benchmarks;
 pub mod builder;
 pub mod calibration;
-pub mod generator;
 pub mod catalog;
+pub mod generator;
 pub mod spec;
 pub mod synthetic;
 pub mod workflow;
 
 pub use builder::build_task;
 pub use calibration::{fit_power_model, PowerFit};
-pub use generator::QueueGenerator;
 pub use catalog::{all_benchmarks, benchmark, Benchmark};
+pub use generator::QueueGenerator;
 pub use spec::{AnchorProfile, BenchmarkKind, OccupancyTargets, ProblemSize};
 pub use synthetic::{SyntheticSpec, SyntheticWorkloadGen};
 pub use workflow::{table3_combinations, Combination, TaskSource, WorkflowSpec, WorkflowTask};

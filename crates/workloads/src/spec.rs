@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn benchmark_names_match_paper() {
         assert_eq!(BenchmarkKind::AthenaPk.name(), "AthenaPK");
-        assert_eq!(BenchmarkKind::BerkeleyGwEpsilon.to_string(), "BerkeleyGW-Epsilon");
+        assert_eq!(
+            BenchmarkKind::BerkeleyGwEpsilon.to_string(),
+            "BerkeleyGW-Epsilon"
+        );
         assert_eq!(BenchmarkKind::ALL.len(), 7);
     }
 

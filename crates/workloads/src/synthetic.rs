@@ -77,7 +77,10 @@ impl SyntheticSpec {
             .with_host_gap(Seconds::new(gap));
         let mut task = TaskProgram::new(
             id,
-            format!("synthetic(sm={:.2},bw={:.2})", self.sm_demand, self.bw_demand),
+            format!(
+                "synthetic(sm={:.2},bw={:.2})",
+                self.sm_demand, self.bw_demand
+            ),
             MemBytes::from_mib(self.memory_mib),
         );
         task.repeat_kernel(kernel, self.kernels.max(1));
@@ -92,10 +95,7 @@ impl SyntheticSpec {
         n_tasks: usize,
         first_id: u64,
     ) -> Result<ClientProgram> {
-        let mut p = ClientProgram::new(format!(
-            "synthetic×{n_tasks}(sm={:.2})",
-            self.sm_demand
-        ));
+        let mut p = ClientProgram::new(format!("synthetic×{n_tasks}(sm={:.2})", self.sm_demand));
         for i in 0..n_tasks.max(1) {
             p.push_task(self.to_task(device, TaskId::new(first_id + i as u64))?);
         }

@@ -344,7 +344,10 @@ mod tests {
         // Benchmark entries keep the original flat JSON shape.
         let w: WorkflowTask =
             serde_json::from_str(r#"{"kind": "Kripke", "size": 2.0, "iterations": 10}"#).unwrap();
-        assert_eq!(w, WorkflowTask::new(BenchmarkKind::Kripke, ProblemSize::X2, 10));
+        assert_eq!(
+            w,
+            WorkflowTask::new(BenchmarkKind::Kripke, ProblemSize::X2, 10)
+        );
         let json = serde_json::to_string(&w).unwrap();
         assert!(json.contains("\"kind\""), "{json}");
         let back: WorkflowTask = serde_json::from_str(&json).unwrap();

@@ -13,8 +13,8 @@
 //! ```
 
 use mpshare::core::{
-    advise, plan_with_dependencies, validate_dependencies, workflow_profile, Dependency,
-    Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
+    advise, plan_with_dependencies, validate_dependencies, workflow_profile, Dependency, Executor,
+    ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
 };
 use mpshare::gpusim::DeviceSpec;
 use mpshare::profiler::ProfileStore;
@@ -29,7 +29,7 @@ fn main() -> mpshare::types::Result<()> {
         WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 40), // 1: MD stage B
         WorkflowSpec::uniform(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1, 1), // 2: GW
         WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 10), // 3: filler
-        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X2, 20),   // 4: filler
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X2, 20), // 4: filler
         WorkflowSpec::uniform(BenchmarkKind::ChollaGravity, ProblemSize::X4, 3), // 5: filler
     ];
     // Epsilon (2) consumes both MD outputs (0, 1).

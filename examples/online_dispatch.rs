@@ -61,7 +61,11 @@ fn main() -> mpshare::types::Result<()> {
     let online = scheduler.run(&arrivals, &store)?;
     let fifo = scheduler.run_fifo(&arrivals, &store)?;
 
-    println!("{} workflows arriving over {:.0} min\n", arrivals.len(), now / 60.0);
+    println!(
+        "{} workflows arriving over {:.0} min\n",
+        arrivals.len(),
+        now / 60.0
+    );
     println!("dispatch log (interference-aware):");
     for d in &online.decisions {
         let members: Vec<String> = d
@@ -80,7 +84,10 @@ fn main() -> mpshare::types::Result<()> {
         "\n{:<22} {:>12} {:>14} {:>12}",
         "policy", "makespan", "energy", "mean wait"
     );
-    for (name, o) in [("interference-aware", &online), ("FIFO one-at-a-time", &fifo)] {
+    for (name, o) in [
+        ("interference-aware", &online),
+        ("FIFO one-at-a-time", &fifo),
+    ] {
         println!(
             "{:<22} {:>11.1}s {:>13.0}J {:>11.1}s",
             name,

@@ -22,7 +22,11 @@ fn parse_kind(name: &str) -> Option<BenchmarkKind> {
         .find(|k| k.name().to_lowercase().contains(&name.to_lowercase()))
 }
 
-fn explore(device: &DeviceSpec, kind: BenchmarkKind, size: ProblemSize) -> mpshare::types::Result<()> {
+fn explore(
+    device: &DeviceSpec,
+    kind: BenchmarkKind,
+    size: ProblemSize,
+) -> mpshare::types::Result<()> {
     let model = benchmark(kind);
     let task = build_task(device, &model, size, TaskId::new(0))?;
     let profile = profile_task(device, &task)?;

@@ -14,7 +14,10 @@ use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
 
 fn main() -> mpshare::types::Result<()> {
     let device = DeviceSpec::a100x();
-    println!("device: {} ({} SMs, {} memory)", device.name, device.num_sms, device.memory_capacity);
+    println!(
+        "device: {} ({} SMs, {} memory)",
+        device.name, device.num_sms, device.memory_capacity
+    );
 
     // A queue of four workflows with mixed utilization profiles.
     let queue = vec![
@@ -58,8 +61,14 @@ fn main() -> mpshare::types::Result<()> {
     // 3. Execute and evaluate against the sequential baseline (§IV-C).
     let executor = Executor::new(ExecutorConfig::new(device));
     let report = executor.evaluate_plan(&queue, &plan)?;
-    println!("\nsequential: makespan {}  energy {}", report.sequential.makespan, report.sequential.energy);
-    println!("planned MPS: makespan {}  energy {}", report.shared.makespan, report.shared.energy);
+    println!(
+        "\nsequential: makespan {}  energy {}",
+        report.sequential.makespan, report.sequential.energy
+    );
+    println!(
+        "planned MPS: makespan {}  energy {}",
+        report.shared.makespan, report.shared.energy
+    );
     println!(
         "\nthroughput gain: {:.2}x   energy-efficiency gain: {:.2}x",
         report.metrics.throughput_gain, report.metrics.energy_efficiency_gain

@@ -12,8 +12,7 @@
 //! ```
 
 use mpshare::core::{
-    fifo_plan, workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner,
-    PlannerStrategy,
+    fifo_plan, workflow_profile, Executor, ExecutorConfig, MetricPriority, Planner, PlannerStrategy,
 };
 use mpshare::gpusim::DeviceSpec;
 use mpshare::profiler::ProfileStore;
@@ -62,15 +61,31 @@ fn main() -> mpshare::types::Result<()> {
         "policy", "groups", "throughput", "energy eff", "T*E"
     );
     for (name, priority, strategy) in [
-        ("throughput-first", MetricPriority::Throughput, PlannerStrategy::Greedy),
-        ("energy-first", MetricPriority::Energy, PlannerStrategy::Greedy),
-        ("balanced product", MetricPriority::balanced_product(), PlannerStrategy::Greedy),
+        (
+            "throughput-first",
+            MetricPriority::Throughput,
+            PlannerStrategy::Greedy,
+        ),
+        (
+            "energy-first",
+            MetricPriority::Energy,
+            PlannerStrategy::Greedy,
+        ),
+        (
+            "balanced product",
+            MetricPriority::balanced_product(),
+            PlannerStrategy::Greedy,
+        ),
         (
             "throughput^2 product",
             MetricPriority::throughput_leaning_product(),
             PlannerStrategy::Greedy,
         ),
-        ("auto (greedy+bestfit)", MetricPriority::balanced_product(), PlannerStrategy::Auto),
+        (
+            "auto (greedy+bestfit)",
+            MetricPriority::balanced_product(),
+            PlannerStrategy::Auto,
+        ),
     ] {
         let planner = Planner::new(device.clone(), priority);
         let plan = planner.plan(&profiles, strategy)?;

@@ -20,7 +20,11 @@
 //!   Figure-1-style saturation-partition sweep;
 //! * [`core`] — the contribution: the interference predictor, collocation
 //!   planner, partition right-sizing, plan executor, and metrics (§IV);
-//! * [`harness`] — experiment runners regenerating every table and figure.
+//! * [`harness`] — experiment runners regenerating every table and figure;
+//! * [`par`] — the dependency-free parallel fan-out layer: planner
+//!   candidates, executor legs, and experiment sweep points run on worker
+//!   threads with bit-identical results to the serial path (force it with
+//!   [`par::set_serial`] or `MPSHARE_SERIAL=1`).
 //!
 //! ## Quick start
 //!
@@ -59,6 +63,7 @@ pub use mpshare_core as core;
 pub use mpshare_gpusim as gpusim;
 pub use mpshare_harness as harness;
 pub use mpshare_mps as mps;
+pub use mpshare_par as par;
 pub use mpshare_profiler as profiler;
 pub use mpshare_types as types;
 pub use mpshare_workloads as workloads;

@@ -8,9 +8,7 @@ use mpshare::core::{
 };
 use mpshare::gpusim::DeviceSpec;
 use mpshare::profiler::ProfileStore;
-use mpshare::workloads::{
-    BenchmarkKind, ProblemSize, SyntheticSpec, WorkflowSpec, WorkflowTask,
-};
+use mpshare::workloads::{BenchmarkKind, ProblemSize, SyntheticSpec, WorkflowSpec, WorkflowTask};
 
 fn device() -> DeviceSpec {
     DeviceSpec::a100x()

@@ -91,7 +91,10 @@ fn throughput_cap_two_vs_energy_cap_wide() {
     let e_plan = Planner::new(device.clone(), MetricPriority::Energy)
         .plan(&profiles, PlannerStrategy::Greedy)
         .unwrap();
-    assert!(e_plan.max_cardinality() >= 4, "energy plan should pack wide");
+    assert!(
+        e_plan.max_cardinality() >= 4,
+        "energy plan should pack wide"
+    );
 }
 
 #[test]
@@ -145,7 +148,11 @@ fn scheduling_is_deterministic() {
 fn profile_store_reuse_across_queues() {
     let device = device();
     let mut store = ProfileStore::new();
-    let q1 = vec![WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 2)];
+    let q1 = vec![WorkflowSpec::uniform(
+        BenchmarkKind::Kripke,
+        ProblemSize::X1,
+        2,
+    )];
     let q2 = vec![
         WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 9),
         WorkflowSpec::uniform(BenchmarkKind::WarpX, ProblemSize::X1, 1),

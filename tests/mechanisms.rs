@@ -10,10 +10,7 @@ fn device() -> DeviceSpec {
     DeviceSpec::a100x()
 }
 
-fn programs(
-    device: &DeviceSpec,
-    specs: &[WorkflowSpec],
-) -> Vec<mpshare::gpusim::ClientProgram> {
+fn programs(device: &DeviceSpec, specs: &[WorkflowSpec]) -> Vec<mpshare::gpusim::ClientProgram> {
     let mut ids = IdAllocator::new();
     specs
         .iter()
@@ -132,7 +129,10 @@ fn mig_isolates_a_victim_from_a_hot_neighbour() {
 
     // Under MPS the same pairing perturbs the victim.
     let mps = runner
-        .run(&GpuSharing::mps_default(2), programs(&d, &[victim.clone(), aggressor]))
+        .run(
+            &GpuSharing::mps_default(2),
+            programs(&d, &[victim.clone(), aggressor]),
+        )
         .unwrap();
     let solo_full = runner
         .run(&GpuSharing::mps_default(1), programs(&d, &[victim]))

@@ -143,7 +143,10 @@ fn energy_ordering_matches_table2() {
     let kripke = energy_of(BenchmarkKind::Kripke, ProblemSize::X1);
     let epsilon = energy_of(BenchmarkKind::BerkeleyGwEpsilon, ProblemSize::X1);
     assert!(athena < kripke && kripke < epsilon);
-    assert!(epsilon / athena > 1000.0, "Epsilon dwarfs AthenaPK by 3 orders");
+    assert!(
+        epsilon / athena > 1000.0,
+        "Epsilon dwarfs AthenaPK by 3 orders"
+    );
 }
 
 /// The scheduler's cardinality recommendation (conclusions, item 1):

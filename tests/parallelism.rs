@@ -1,0 +1,124 @@
+//! Parallel fan-out vs. serial execution: results must be bit-identical.
+//!
+//! The engine is deterministic and `mpshare::par` writes results back by
+//! input index, so worker count must never change any output. These tests
+//! run the same planning/evaluation pipelines with fan-out enabled and
+//! with the `--serial` escape hatch forced, and require exact equality —
+//! not approximate agreement — across every level: plans, evaluation
+//! reports, annealed schedules, and whole harness experiments.
+//!
+//! `set_serial` is process-wide state; each test restores it before
+//! returning, and the comparisons hold regardless of interleaving (both
+//! modes produce identical values by construction).
+
+use mpshare::core::workflow_profile;
+use mpshare::core::{
+    anneal, AnnealConfig, EvaluationReport, Executor, ExecutorConfig, MetricPriority, Planner,
+    PlannerStrategy, SchedulePlan,
+};
+use mpshare::gpusim::DeviceSpec;
+use mpshare::profiler::ProfileStore;
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+fn queue() -> Vec<WorkflowSpec> {
+    vec![
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 10),
+        WorkflowSpec::uniform(BenchmarkKind::Lammps, ProblemSize::X1, 1),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X2, 4),
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X1, 3),
+    ]
+}
+
+/// Runs the full pipeline — profile, plan (every strategy), anneal, batch
+/// evaluate — and returns everything it produced.
+fn pipeline() -> (Vec<SchedulePlan>, SchedulePlan, Vec<EvaluationReport>) {
+    let d = device();
+    let workflows = queue();
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&d, &workflows).unwrap();
+    let profiles: Vec<_> = workflows
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect();
+
+    let planner = Planner::new(d, MetricPriority::balanced_product());
+    let plans: Vec<SchedulePlan> = [
+        PlannerStrategy::Greedy,
+        PlannerStrategy::BestFit,
+        PlannerStrategy::Auto,
+        PlannerStrategy::Exhaustive,
+    ]
+    .iter()
+    .map(|&s| planner.plan(&profiles, s).unwrap())
+    .collect();
+
+    let annealed = anneal(
+        &planner,
+        &device(),
+        &profiles,
+        &plans[2],
+        AnnealConfig {
+            iterations: 400,
+            ..AnnealConfig::default()
+        },
+    );
+
+    let executor = Executor::new(ExecutorConfig::new(device()));
+    let reports = executor.evaluate_plans(&workflows, &plans).unwrap();
+    (plans, annealed, reports)
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial() {
+    assert!(
+        !mpshare::par::is_serial(),
+        "MPSHARE_SERIAL must be unset for this test"
+    );
+    let (plans_par, annealed_par, reports_par) = pipeline();
+
+    mpshare::par::set_serial(true);
+    let (plans_ser, annealed_ser, reports_ser) = pipeline();
+    mpshare::par::set_serial(false);
+
+    assert_eq!(plans_par, plans_ser);
+    assert_eq!(annealed_par, annealed_ser);
+    assert_eq!(reports_par, reports_ser);
+}
+
+#[test]
+fn parallel_experiment_is_bit_identical_to_serial() {
+    let d = device();
+    let parallel = mpshare::harness::experiments::fig4::run(&d).unwrap();
+
+    mpshare::par::set_serial(true);
+    let serial = mpshare::harness::experiments::fig4::run(&d).unwrap();
+    mpshare::par::set_serial(false);
+
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn batch_and_single_plan_evaluation_agree() {
+    let d = device();
+    let workflows = queue();
+    let mut store = ProfileStore::new();
+    store.profile_workflows(&d, &workflows).unwrap();
+    let profiles: Vec<_> = workflows
+        .iter()
+        .map(|w| workflow_profile(&store, w).unwrap())
+        .collect();
+    let planner = Planner::new(d, MetricPriority::Throughput);
+    let plan = planner.plan(&profiles, PlannerStrategy::Greedy).unwrap();
+
+    let executor = Executor::new(ExecutorConfig::new(device()));
+    let single = executor.evaluate_plan(&workflows, &plan).unwrap();
+    let batch = executor
+        .evaluate_plans(&workflows, std::slice::from_ref(&plan))
+        .unwrap();
+    assert_eq!(batch, vec![single]);
+}

@@ -1,0 +1,664 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize`/`serde::Deserialize` impls over the owned
+//! `serde::Content` tree. Implemented directly on `proc_macro` (no `syn` /
+//! `quote` — the build environment is offline), so it parses exactly the item
+//! shapes and `#[serde(...)]` attributes this workspace uses and rejects
+//! anything else loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    transparent: bool,
+    untagged: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Default, Debug)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+/// Parse one `#[...]` attribute body (the bracket group's stream), folding any
+/// `serde(...)` entries into the provided collectors.
+fn parse_attr(
+    stream: TokenStream,
+    mut container: Option<&mut ContainerAttrs>,
+    mut field: Option<&mut FieldAttrs>,
+) {
+    let mut cur = Cursor::new(stream);
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return,
+    };
+    if name != "serde" {
+        return; // doc comments, cfg, derive, etc.
+    }
+    let inner = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+    };
+    let mut cur = Cursor::new(inner);
+    while cur.peek().is_some() {
+        let key = cur.expect_ident("serde attribute name");
+        let value = if cur.eat_punct('=') {
+            match cur.next() {
+                Some(TokenTree::Literal(l)) => {
+                    let s = l.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                other => panic!("serde derive: expected literal after `{key} =`, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), container.is_some(), field.is_some()) {
+            ("transparent", true, _) => container.as_mut().unwrap().transparent = true,
+            ("untagged", true, _) => container.as_mut().unwrap().untagged = true,
+            ("from", true, _) => container.as_mut().unwrap().from = value.clone(),
+            ("into", true, _) => container.as_mut().unwrap().into = value.clone(),
+            ("default", _, true) => field.as_mut().unwrap().default = true,
+            ("skip_serializing_if", _, true) => {
+                field.as_mut().unwrap().skip_serializing_if = value.clone()
+            }
+            (other, _, _) => panic!(
+                "serde derive (offline stand-in): unsupported serde attribute `{other}` — \
+                 extend vendor/serde_derive if the real attribute is needed"
+            ),
+        }
+        cur.eat_punct(',');
+    }
+}
+
+/// Skip a `pub` / `pub(crate)` visibility prefix if present.
+fn skip_visibility(cur: &mut Cursor) {
+    if let Some(TokenTree::Ident(i)) = cur.peek() {
+        if i.to_string() == "pub" {
+            cur.pos += 1;
+            if let Some(TokenTree::Group(g)) = cur.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    cur.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens that make up a type (or expression) until a top-level comma,
+/// tracking `<...>` nesting since angle brackets are not token groups.
+fn skip_until_top_level_comma(cur: &mut Cursor) {
+    let mut angle_depth: i64 = 0;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        cur.pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        while cur.eat_punct('#') {
+            match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr(g.stream(), None, Some(&mut attrs));
+                }
+                other => panic!("serde derive: malformed attribute on field: {other:?}"),
+            }
+        }
+        skip_visibility(&mut cur);
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        skip_until_top_level_comma(&mut cur);
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        while cur.eat_punct('#') {
+            cur.next();
+        }
+        skip_visibility(&mut cur);
+        if cur.peek().is_none() {
+            break;
+        }
+        skip_until_top_level_comma(&mut cur);
+        cur.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        while cur.eat_punct('#') {
+            cur.next(); // tolerate (and ignore) doc comments / cfg on variants
+        }
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.eat_punct('=') {
+            skip_until_top_level_comma(&mut cur);
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+
+    // Leading attributes + visibility.
+    loop {
+        if cur.eat_punct('#') {
+            match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr(g.stream(), Some(&mut attrs), None);
+                }
+                other => panic!("serde derive: malformed attribute: {other:?}"),
+            }
+            continue;
+        }
+        break;
+    }
+    skip_visibility(&mut cur);
+
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde derive (offline stand-in): generic type `{name}` is not supported — \
+                 extend vendor/serde_derive if needed"
+            );
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    };
+
+    Item { name, attrs, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_named_fields_ser(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let access = format!("{}{}", access_prefix, f.name);
+        let push = format!(
+            "__entries.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_content(&{access})));\n",
+            name = f.name,
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}(&{access}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+        }
+    }
+    out.push_str("::serde::Content::Map(__entries)\n");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let __surrogate: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_content(&__surrogate)"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                if item.attrs.transparent {
+                    assert!(
+                        fields.len() == 1,
+                        "serde derive: #[serde(transparent)] requires exactly one field"
+                    );
+                    format!("::serde::Serialize::to_content(&self.{})", fields[0].name)
+                } else {
+                    gen_named_fields_ser(fields, "self.")
+                }
+            }
+            ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+            ItemKind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            }
+            ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+            ItemKind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            let value = if item.attrs.untagged {
+                                "::serde::Content::Null".to_string()
+                            } else {
+                                format!(
+                                    "::serde::Content::Str(::std::string::String::from(\"{vname}\"))"
+                                )
+                            };
+                            arms.push_str(&format!("{name}::{vname} => {value},\n"));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_content(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                            };
+                            let value = if item.attrs.untagged {
+                                inner
+                            } else {
+                                format!(
+                                    "::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), {inner})])"
+                                )
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vname}({}) => {value},\n",
+                                binders.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = format!(
+                                "{{ {} }}",
+                                gen_named_fields_ser(fields, "*")
+                                    .replace("&*", "") // bind-by-ref fields are already references
+                            );
+                            let value = if item.attrs.untagged {
+                                inner
+                            } else {
+                                format!(
+                                    "::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), {inner})])"
+                                )
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => {value},\n",
+                                binders.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Generate the struct-literal body deserializing named `fields` out of the
+/// map `__content` (an expression of type `&serde::Content`).
+fn gen_named_fields_de(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let fallback = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            // Option<T> deserializes Null to None; everything else reports a
+            // missing-field error (mirrors serde's missing_field fallback).
+            format!(
+                "::serde::Deserialize::from_content(&::serde::Content::Null).map_err(|_| \
+                 ::serde::Error::custom(format!(\"missing field `{fname}`\")))?"
+            )
+        };
+        out.push_str(&format!(
+            "{fname}: match __content.get(\"{fname}\") {{\n\
+             Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+             None => {fallback},\n\
+             }},\n"
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.attrs.from {
+        format!(
+            "let __surrogate: {from} = ::serde::Deserialize::from_content(__content)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(__surrogate))"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                if item.attrs.transparent {
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {fname}: \
+                         ::serde::Deserialize::from_content(__content)? }})",
+                        fname = fields[0].name
+                    )
+                } else {
+                    format!(
+                        "match __content {{\n\
+                         ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{\n{fields}\n}}),\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         format!(\"expected map for {name}, got {{:?}}\", __other))),\n\
+                         }}",
+                        fields = gen_named_fields_de(fields)
+                    )
+                }
+            }
+            ItemKind::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__content)?))")
+            }
+            ItemKind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_content(__items.get({i}).ok_or_else(|| \
+                             ::serde::Error::custom(\"sequence too short for {name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match __content {{\n\
+                     ::serde::Content::Seq(__items) => ::std::result::Result::Ok({name}({items})),\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected sequence for {name}, got {{:?}}\", __other))),\n\
+                     }}",
+                    items = items.join(", ")
+                )
+            }
+            ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+            ItemKind::Enum(variants) if item.attrs.untagged => {
+                let mut attempts = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let attempt = match &v.kind {
+                        VariantKind::Unit => format!(
+                            "if matches!(__content, ::serde::Content::Null) {{ \
+                             return ::std::result::Result::Ok({name}::{vname}); }}"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "if let ::std::result::Result::Ok(__v) = \
+                             ::serde::Deserialize::from_content(__content) {{ \
+                             return ::std::result::Result::Ok({name}::{vname}(__v)); }}"
+                        ),
+                        VariantKind::Tuple(_) => panic!(
+                            "serde derive: untagged multi-field tuple variants unsupported"
+                        ),
+                        VariantKind::Named(fields) => {
+                            // Require every non-defaulted field key to be
+                            // present so overlapping variants stay distinct.
+                            let try_body = format!(
+                                "(|| -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n{fields}\n}})\n\
+                                 }})()",
+                                fields = gen_named_fields_de(fields)
+                            );
+                            format!(
+                                "if matches!(__content, ::serde::Content::Map(_)) {{\n\
+                                 if let ::std::result::Result::Ok(__v) = {try_body} {{\n\
+                                 return ::std::result::Result::Ok(__v); }}\n}}"
+                            )
+                        }
+                    };
+                    attempts.push_str(&attempt);
+                    attempts.push('\n');
+                }
+                format!(
+                    "{attempts}\n::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"data did not match any untagged variant of {name}: {{:?}}\", __content)))"
+                )
+            }
+            ItemKind::Enum(variants) => {
+                let mut str_arms = String::new();
+                let mut map_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            str_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantKind::Tuple(1) => {
+                            map_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_content(__v)?)),\n"
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(__items.get({i}).ok_or_else(|| \
+                                         ::serde::Error::custom(\"variant sequence too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            map_arms.push_str(&format!(
+                                "\"{vname}\" => match __v {{\n\
+                                 ::serde::Content::Seq(__items) => \
+                                 ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected sequence for variant {vname}, got {{:?}}\", __other))),\n\
+                                 }},\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            map_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __content = __v;\n\
+                                 match __content {{\n\
+                                 ::serde::Content::Map(_) => ::std::result::Result::Ok({name}::{vname} {{\n{fields}\n}}),\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected map for variant {vname}, got {{:?}}\", __other))),\n\
+                                 }}\n}},\n",
+                                fields = gen_named_fields_de(fields)
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match __content {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __v) = &__entries[0];\n\
+                     match __k.as_str() {{\n{map_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n}},\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"invalid enum representation for {name}: {{:?}}\", __other))),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

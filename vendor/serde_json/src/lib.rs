@@ -1,0 +1,648 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the owned `serde::Content` tree to JSON text and parses JSON
+//! text back. Covers the API surface this workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str`, [`Value`] with indexing/accessors, and the
+//! [`json!`] macro.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// Owned JSON value, mirroring `serde::Content` with JSON-flavored naming.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn to_content_inner(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::U64(v) => Content::U64(*v),
+            Value::I64(v) => Content::I64(*v),
+            Value::F64(v) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content_inner).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content_inner()))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn from_content_inner(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(v) => Value::U64(*v),
+            Content::I64(v) => Value::I64(*v),
+            Content::F64(v) => Value::F64(*v),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content_inner).collect()),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_content_inner(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.to_content_inner()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> std::result::Result<Self, serde::Error> {
+        Ok(Value::from_content_inner(c))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            #[allow(clippy::cast_lossless)]
+            fn eq(&self, other: &$t) -> bool {
+                match self.as_f64() {
+                    Some(v) => v == *other as f64,
+                    None => false,
+                }
+            }
+        }
+        impl PartialEq<$t> for &Value {
+            #[allow(clippy::cast_lossless)]
+            fn eq(&self, other: &$t) -> bool {
+                <Value as PartialEq<$t>>::eq(self, other)
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&write_content(&self.to_content_inner(), None))
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    Value::from_content_inner(&value.to_content())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Infinity
+    } else if v.fract() == 0.0 && v.abs() < 1e16 {
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn write_value(out: &mut String, c: &Content, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(width) => (
+            "\n",
+            " ".repeat(width * (level + 1)),
+            " ".repeat(width * level),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, k);
+                out.push_str(colon);
+                write_value(out, v, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+fn write_content(c: &Content, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, c, indent, 0);
+    out
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(write_content(&value.to_content(), None))
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(write_content(&value.to_content(), Some(2)))
+}
+
+pub fn to_writer<W: std::io::Write, T: Serialize>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let mut parser = Parser::new(input);
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters"));
+    }
+    T::from_content(&content).map_err(Error::from)
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_content(&value.to_content_inner()).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal, interpolating expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::json_internal_array!([] $($elems)*) };
+    ({ $($entries:tt)* }) => { $crate::json_internal_object!([] () $($entries)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: accumulate array elements. `[done so far] rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // End of input.
+    ([ $($done:expr,)* ]) => { $crate::Value::Array(vec![ $($done,)* ]) };
+    // Next element is a nested array / object / null (tt-shaped).
+    ([ $($done:expr,)* ] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::Value::Null, ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($($rest)*)?)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($($rest)*)?)
+    };
+    // Next element is a plain expression.
+    ([ $($done:expr,)* ] $next:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::to_value(&$next), ] $($($rest)*)?)
+    };
+}
+
+/// Internal: accumulate object entries. `[done so far] (key tts) rest...`
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // End of input, no pending key.
+    ([ $($done:expr,)* ] ()) => { $crate::Value::Object(vec![ $($done,)* ]) };
+    // Key finished, value is null / nested array / nested object.
+    ([ $($done:expr,)* ] ($($key:tt)+) : null $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($crate::json_key!($($key)+), $crate::Value::Null), ]
+            () $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] ($($key:tt)+) : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($crate::json_key!($($key)+), $crate::json!([ $($inner)* ])), ]
+            () $($($rest)*)?
+        )
+    };
+    ([ $($done:expr,)* ] ($($key:tt)+) : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($crate::json_key!($($key)+), $crate::json!({ $($inner)* })), ]
+            () $($($rest)*)?
+        )
+    };
+    // Key finished, value is a plain expression.
+    ([ $($done:expr,)* ] ($($key:tt)+) : $value:expr $(, $($rest:tt)*)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($crate::json_key!($($key)+), $crate::to_value(&$value)), ]
+            () $($($rest)*)?
+        )
+    };
+    // Munch one token into the pending key.
+    ([ $($done:expr,)* ] ($($key:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_object!([ $($done,)* ] ($($key)* $next) $($rest)*)
+    };
+}
+
+/// Internal: turn object-key tokens into a `String`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_key {
+    ($($key:tt)+) => { ::std::string::ToString::to_string(&($($key)+)) };
+}
