@@ -6,7 +6,7 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy clean
+.PHONY: check build test test-all fmt clippy bench clean
 
 # The full tier-1 gate: release build, tests, formatting, lints.
 check: build test fmt clippy
@@ -27,6 +27,12 @@ fmt:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Engine + plan-search hot-path benchmarks; per-scenario medians (ns) are
+# written to BENCH_engine.json by the vendored criterion stand-in.
+bench:
+	MPSHARE_BENCH_JSON=$(CURDIR)/BENCH_engine.json \
+		$(CARGO) bench -p mpshare-bench --bench engine_performance
 
 clean:
 	$(CARGO) clean

@@ -1,13 +1,25 @@
-//! Raw simulator performance: contention-solver scaling with client count
-//! and end-to-end engine event throughput.
+//! Raw simulator and plan-search performance: contention-solver scaling
+//! with client count, end-to-end engine event throughput (including a
+//! gap-heavy run that stresses the resident-set rate cache), exhaustive
+//! planning at n = 10, annealing on an online-arrival-style queue, and
+//! memoized vs from-scratch plan scoring.
+//!
+//! `make bench` runs this with `MPSHARE_BENCH_JSON` set, committing the
+//! per-scenario medians to `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpshare_core::{
+    anneal, workflow_profile, AnnealConfig, MetricPriority, Planner, PlannerStrategy,
+    WorkflowProfile,
+};
 use mpshare_gpusim::contention::Contender;
 use mpshare_gpusim::{
     ClientProgram, ContentionSolver, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig,
     SharingMode, TaskProgram,
 };
+use mpshare_profiler::ProfileStore;
 use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
+use mpshare_workloads::QueueGenerator;
 use std::hint::black_box;
 
 fn kernel(device: &DeviceSpec, dur: f64) -> KernelSpec {
@@ -74,5 +86,120 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_engine);
+/// Like [`client`], but with host gaps much longer than the kernels, so
+/// clients keep leaving and re-entering the resident set. Most events are
+/// then pure time advancement for the cached rate solution.
+fn gap_heavy_client(device: &DeviceSpec, id: u64, kernels: usize) -> ClientProgram {
+    let dur = 0.05 + (id % 16) as f64 * 0.003;
+    let k = KernelSpec::from_launch(
+        device,
+        LaunchConfig::dense(216 * 8, 1024),
+        Seconds::new(dur),
+    )
+    .with_sm_demand(Fraction::new(0.05))
+    .with_bw_demand(Fraction::new(0.02))
+    .with_host_gap(Seconds::new(dur * 6.0));
+    let mut t = TaskProgram::new(TaskId::new(id), "bench-gap", MemBytes::from_mib(128));
+    t.repeat_kernel(k, kernels);
+    let mut c = ClientProgram::new("bench-gap");
+    c.push_task(t);
+    c.arrival = Seconds::new(id as f64 * 0.037);
+    c
+}
+
+fn bench_engine_gap_heavy(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let mut group = c.benchmark_group("engine/gap_heavy_run");
+    let clients = 48usize;
+    let kernels_per_client = 30usize;
+    group.throughput(Throughput::Elements((clients * kernels_per_client) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("mps_clients", clients),
+        &clients,
+        |b, &clients| {
+            b.iter(|| {
+                let programs: Vec<ClientProgram> = (0..clients)
+                    .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
+                    .collect();
+                let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
+                black_box(Engine::new(config, programs).unwrap().run().unwrap())
+            })
+        },
+    );
+    group.finish();
+}
+
+/// A seeded mixed queue with profiles, mirroring the harness's
+/// online-arrival experiment population (the two pathological benchmarks
+/// are excluded there for the same reasons).
+fn profiled_queue(device: &DeviceSpec, seed: u64, n: usize) -> Vec<WorkflowProfile> {
+    let mut generator = QueueGenerator::new(seed);
+    generator.weights[1] = 0.0; // Epsilon: hour-long tasks dominate everything
+    generator.weights[6] = 0.0; // WarpX: 60 GiB footprints limit grouping
+    let specs = generator.sample_queue(n);
+    let mut store = ProfileStore::new();
+    store
+        .profile_workflows(device, &specs)
+        .expect("profiling the bench queue");
+    specs
+        .iter()
+        .map(|w| workflow_profile(&store, w).expect("aggregating workflow profile"))
+        .collect()
+}
+
+fn bench_plan_search(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let mut group = c.benchmark_group("planner/search");
+
+    // Exhaustive set-partition search at n = 10 (Bell(10) = 115 975
+    // candidate partitions, all scored through the subset memo).
+    let profiles10 = profiled_queue(&device, 42, 10);
+    let planner = Planner::new(device.clone(), MetricPriority::balanced_product());
+    group.bench_function("exhaustive_n10", |b| {
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan(&profiles10, PlannerStrategy::Exhaustive)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Annealing on an online-arrival-sized queue (12 workflows, the
+    // harness's 3 bursts of 4), from a fixed Auto seed plan.
+    let profiles12 = profiled_queue(&device, 11, 12);
+    let seed_plan = planner.plan(&profiles12, PlannerStrategy::Auto).unwrap();
+    group.bench_function("anneal_ext_online", |b| {
+        b.iter(|| {
+            black_box(anneal(
+                &planner,
+                &device,
+                &profiles12,
+                &seed_plan,
+                AnnealConfig::default(),
+            ))
+        })
+    });
+
+    // Constructive planning at the device's 48-client maximum: the
+    // best-fit cap sweep re-estimates the same trial groups for every
+    // cap, the heaviest consumer of the shared memo.
+    let profiles48 = profiled_queue(&device, 77, 48);
+    group.bench_function("greedy_n48", |b| {
+        b.iter(|| black_box(planner.plan(&profiles48, PlannerStrategy::Greedy).unwrap()))
+    });
+    group.bench_function("bestfit_n48", |b| {
+        b.iter(|| black_box(planner.plan(&profiles48, PlannerStrategy::BestFit).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_engine,
+    bench_engine_gap_heavy,
+    bench_plan_search
+);
 criterion_main!(benches);

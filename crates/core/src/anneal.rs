@@ -10,6 +10,8 @@
 //! the soft 100 %-sum interference rule is left to the score, which
 //! already prices contention.
 
+use crate::estimate::GroupEstimate;
+use crate::memo::EstimateMemo;
 use crate::planner::{PlanGroup, Planner, SchedulePlan};
 use crate::wprofile::WorkflowProfile;
 use mpshare_gpusim::DeviceSpec;
@@ -89,22 +91,52 @@ pub fn anneal(
         SchedulePlan { groups }
     };
 
+    // Incremental scoring: one estimate per group, kept parallel to
+    // `current.groups`. A move/swap touches at most two groups, so a
+    // proposal re-estimates only those (through the memo — revisited
+    // configurations are hits) and re-sums the cached totals left to
+    // right in group order, exactly as `score_plan` would. Untouched
+    // groups keep their member order across moves (`swap_remove` only
+    // reorders the source group), so their cached estimates are the
+    // bitwise-identical values a from-scratch pass would recompute.
+    let memo = EstimateMemo::new();
+    let seq = Planner::sequential_baseline(profiles);
+    let score_of = |estimates: &[GroupEstimate], groups: &[Vec<usize>]| -> f64 {
+        let mut makespan = 0.0;
+        let mut energy = 0.0;
+        for (members, e) in groups.iter().zip(estimates) {
+            if members.is_empty() {
+                continue;
+            }
+            makespan += e.makespan.value();
+            energy += e.energy.joules();
+        }
+        planner.score_totals(&seq, makespan, energy)
+    };
+
     let mut current = State::from_plan(seed_plan);
-    let mut current_score = planner.score_plan(&materialize(&current), profiles);
+    let mut current_estimates: Vec<GroupEstimate> = current
+        .groups
+        .iter()
+        .map(|members| planner.estimate_members(members, profiles, &memo))
+        .collect();
+    let mut current_score = score_of(&current_estimates, &current.groups);
     let mut best = current.clone();
     let mut best_score = current_score;
     let mut temperature = (config.initial_temperature * current_score).max(1e-6);
 
-    // Speculative neighbor evaluation: each round proposes a fixed-size
-    // batch of moves from the current state (all RNG draws happen here, on
-    // one thread, in a fixed order), scores the feasible candidates on
-    // worker threads, then walks the batch in proposal order applying the
-    // usual Metropolis rule. The first accepted candidate advances the
-    // chain and invalidates the rest of the batch (they were proposed from
-    // the pre-move state); only examined proposals consume iterations, so
-    // the chain explores exactly `config.iterations` neighbors. The batch
-    // size is a constant — not the machine's core count — so results are
-    // identical for any worker count, including the serial escape hatch.
+    // Batched neighbor evaluation: each round proposes a fixed-size batch
+    // of moves from the current state (all RNG draws happen here, in a
+    // fixed order), then walks the batch in proposal order applying the
+    // usual Metropolis rule. Scoring happens lazily during the walk — a
+    // proposal's score is a pure function of the candidate, so proposals
+    // past the first acceptance are never scored at all. The first
+    // accepted candidate advances the chain and invalidates the rest of
+    // the batch (they were proposed from the pre-move state); only
+    // examined proposals consume iterations, so the chain explores
+    // exactly `config.iterations` neighbors. The batch size is a
+    // constant, so the RNG stream — and therefore the accepted chain —
+    // is identical to the earlier worker-thread speculative design.
     const SPECULATION: usize = 8;
 
     let mut iterations_left = config.iterations;
@@ -113,25 +145,37 @@ pub fn anneal(
         let mut proposals = Vec::with_capacity(batch);
         for _ in 0..batch {
             let mut candidate = current.clone();
-            let feasible = propose_move(&mut candidate, profiles, device, &mut rng);
+            let touched = propose_move(&mut candidate, profiles, device, &mut rng);
             let uniform = rng.random::<f64>();
-            proposals.push((feasible, candidate, uniform));
+            proposals.push((touched, candidate, uniform));
         }
 
-        let scores = mpshare_par::par_map(&proposals, |(feasible, candidate, _)| {
-            feasible.then(|| planner.score_plan(&materialize(candidate), profiles))
-        });
-
-        for ((feasible, candidate, uniform), score) in proposals.iter().zip(&scores) {
+        for (touched, candidate, uniform) in &proposals {
             iterations_left -= 1;
             temperature *= config.cooling;
-            if !*feasible {
+            let Some((ga, gb)) = *touched else {
                 continue;
+            };
+            let ea = planner.estimate_members(&candidate.groups[ga], profiles, &memo);
+            let eb = planner.estimate_members(&candidate.groups[gb], profiles, &memo);
+            let mut estimates = current_estimates.clone();
+            // A move may have appended one fresh singleton group (gb is
+            // then the last index); grow the vec before slotting in.
+            while estimates.len() < candidate.groups.len() {
+                estimates.push(eb);
             }
-            let score = score.expect("feasible proposals are scored");
+            estimates[ga] = ea;
+            estimates[gb] = eb;
+            let score = score_of(&estimates, &candidate.groups);
+            debug_assert_eq!(
+                score,
+                planner.score_plan(&materialize(candidate), profiles),
+                "incremental score diverged from from-scratch scoring"
+            );
             let delta = score - current_score;
             if delta >= 0.0 || *uniform < (delta / temperature).exp() {
                 current = candidate.clone();
+                current_estimates = estimates;
                 current_score = score;
                 if score > best_score {
                     best = current.clone();
@@ -144,19 +188,21 @@ pub fn anneal(
     materialize(&best)
 }
 
-/// Applies one random move or swap; returns false when the proposal was
-/// infeasible or a no-op.
+/// Applies one random move or swap; returns the indices of the (at most
+/// two) groups the mutation touched, or `None` when the proposal was
+/// infeasible or a no-op. Only the returned groups differ from the input
+/// state — the scorer re-estimates exactly those.
 fn propose_move(
     state: &mut State,
     profiles: &[WorkflowProfile],
     device: &DeviceSpec,
     rng: &mut StdRng,
-) -> bool {
+) -> Option<(usize, usize)> {
     let non_empty: Vec<usize> = (0..state.groups.len())
         .filter(|&g| !state.groups[g].is_empty())
         .collect();
     if non_empty.is_empty() {
-        return false;
+        return None;
     }
     if rng.random::<f64>() < 0.5 {
         // Move one workflow to another group (possibly a fresh one).
@@ -167,35 +213,35 @@ fn propose_move(
         let make_new = rng.random_range(0..=state.groups.len());
         if make_new == state.groups.len() {
             if state.groups[from].len() == 1 {
-                return false; // singleton to singleton: no-op
+                return None; // singleton to singleton: no-op
             }
             state.groups[from].swap_remove(pos);
             state.groups.push(vec![workflow]);
-            return true;
+            return Some((from, state.groups.len() - 1));
         }
         let to = make_new;
         if to == from {
-            return false;
+            return None;
         }
         if state.groups[to].len() + 1 > device.max_mps_clients {
-            return false;
+            return None;
         }
         let new_mem = state.group_memory(to, profiles) + profiles[workflow].max_memory;
         if new_mem > device.memory_capacity {
-            return false;
+            return None;
         }
         state.groups[from].swap_remove(pos);
         state.groups[to].push(workflow);
-        true
+        Some((from, to))
     } else {
         // Swap two workflows between different groups.
         if non_empty.len() < 2 {
-            return false;
+            return None;
         }
         let ga = non_empty[rng.random_range(0..non_empty.len())];
         let gb = non_empty[rng.random_range(0..non_empty.len())];
         if ga == gb {
-            return false;
+            return None;
         }
         let pa = rng.random_range(0..state.groups[ga].len());
         let pb = rng.random_range(0..state.groups[gb].len());
@@ -209,11 +255,11 @@ fn propose_move(
             .saturating_sub(profiles[wb].max_memory)
             + profiles[wa].max_memory;
         if mem_a > device.memory_capacity || mem_b > device.memory_capacity {
-            return false;
+            return None;
         }
         state.groups[ga][pa] = wb;
         state.groups[gb][pb] = wa;
-        true
+        Some((ga, gb))
     }
 }
 

@@ -33,6 +33,7 @@ pub mod deps;
 pub mod estimate;
 pub mod executor;
 pub mod interference;
+pub mod memo;
 pub mod metrics;
 pub mod node;
 pub mod online;
@@ -48,6 +49,7 @@ pub use deps::{plan_with_dependencies, validate_dependencies, Dependency};
 pub use estimate::{estimate_group, GroupEstimate};
 pub use executor::{EvaluationReport, Executor, ExecutorConfig, RunOutcome, WorkflowLatency};
 pub use interference::{predict, InterferenceKind, InterferenceReport};
+pub use memo::{EstimateMemo, GroupKey, MemoStats};
 pub use metrics::{Metrics, ProductMetric};
 pub use node::{
     distribute_plan, distribute_plan_heterogeneous, relative_throughput, HeteroNodeExecutor,

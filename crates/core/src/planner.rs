@@ -17,8 +17,9 @@
 //!   returns the best. Ground truth for small queues; the planner tests
 //!   check greedy stays close to it.
 
-use crate::estimate::{estimate_group, estimate_sequential};
+use crate::estimate::{estimate_group, estimate_sequential, GroupEstimate};
 use crate::interference::predict;
+use crate::memo::{EstimateMemo, GroupKey};
 use crate::policy::MetricPriority;
 use crate::rightsize::PartitionStrategy;
 use crate::wprofile::WorkflowProfile;
@@ -187,14 +188,20 @@ impl Planner {
             return Err(Error::InvalidConfig("empty workflow queue".into()));
         }
         let plan = match strategy {
-            PlannerStrategy::Greedy => self.plan_greedy(profiles),
-            PlannerStrategy::BestFit => self.plan_bestfit(profiles),
+            PlannerStrategy::Greedy => self.plan_greedy(profiles, &EstimateMemo::new()),
+            PlannerStrategy::BestFit => self.plan_bestfit(profiles, &EstimateMemo::new()),
             PlannerStrategy::Auto => {
+                // One memo spans both legs: the cap sweeps re-try many of
+                // the same groups, and the final comparison scores are all
+                // hits.
+                let memo = EstimateMemo::new();
                 let (greedy, bestfit) = mpshare_par::join(
-                    || self.plan_greedy(profiles),
-                    || self.plan_bestfit(profiles),
+                    || self.plan_greedy(profiles, &memo),
+                    || self.plan_bestfit(profiles, &memo),
                 );
-                if self.score_plan(&bestfit, profiles) > self.score_plan(&greedy, profiles) {
+                if self.score_plan_memo(&bestfit, profiles, &memo)
+                    > self.score_plan_memo(&greedy, profiles, &memo)
+                {
                     bestfit
                 } else {
                     greedy
@@ -211,11 +218,12 @@ impl Planner {
     /// built and scored on worker threads; the in-order strictly-greater
     /// reduction keeps the earliest maximum, matching the serial sweep
     /// bit for bit.
-    fn plan_greedy(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
+    fn plan_greedy(&self, profiles: &[WorkflowProfile], memo: &EstimateMemo) -> SchedulePlan {
+        let seq = Self::sequential_baseline(profiles);
         let caps = self.priority.candidate_caps(&self.device);
         let scored = mpshare_par::par_map(&caps, |&cap| {
             let plan = self.greedy_with_cap(profiles, cap);
-            let score = self.score_plan(&plan, profiles);
+            let score = self.score_groups(&plan, profiles, &seq, memo);
             (score, plan)
         });
         Self::first_best(scored).expect("at least one cap candidate")
@@ -223,11 +231,12 @@ impl Planner {
 
     /// Estimator-guided best-fit packing, sweeping the priority's caps in
     /// parallel like [`Planner::plan_greedy`].
-    fn plan_bestfit(&self, profiles: &[WorkflowProfile]) -> SchedulePlan {
+    fn plan_bestfit(&self, profiles: &[WorkflowProfile], memo: &EstimateMemo) -> SchedulePlan {
+        let seq = Self::sequential_baseline(profiles);
         let caps = self.priority.candidate_caps(&self.device);
         let scored = mpshare_par::par_map(&caps, |&cap| {
-            let plan = self.bestfit_with_cap(profiles, cap);
-            let score = self.score_plan(&plan, profiles);
+            let plan = self.bestfit_with_cap_memo(profiles, cap, memo);
+            let score = self.score_groups(&plan, profiles, &seq, memo);
             (score, plan)
         });
         Self::first_best(scored).expect("at least one cap candidate")
@@ -252,6 +261,15 @@ impl Planner {
     /// makespan — is largest and positive. Only the hard constraints
     /// (memory, client cap) gate admission.
     pub fn bestfit_with_cap(&self, profiles: &[WorkflowProfile], cap: usize) -> SchedulePlan {
+        self.bestfit_with_cap_memo(profiles, cap, &EstimateMemo::new())
+    }
+
+    fn bestfit_with_cap_memo(
+        &self,
+        profiles: &[WorkflowProfile],
+        cap: usize,
+        memo: &EstimateMemo,
+    ) -> SchedulePlan {
         let cap = cap.clamp(1, self.device.max_mps_clients);
         let mut order: Vec<usize> = (0..profiles.len()).collect();
         order.sort_by(|&a, &b| {
@@ -270,13 +288,12 @@ impl Planner {
             }
             assigned[seed] = true;
             let mut members = vec![seed];
+            let mut trial_members = Vec::new();
             loop {
                 if members.len() >= cap {
                     break;
                 }
-                let member_profiles: Vec<&WorkflowProfile> =
-                    members.iter().map(|&i| &profiles[i]).collect();
-                let current = estimate_group(&self.device, &member_profiles, self.sharing_overhead);
+                let current = self.estimate_members(&members, profiles, memo);
                 let group_memory: mpshare_types::MemBytes =
                     members.iter().map(|&i| profiles[i].max_memory).sum();
 
@@ -288,9 +305,10 @@ impl Planner {
                     if group_memory + profiles[cand].max_memory > self.device.memory_capacity {
                         continue;
                     }
-                    let mut trial = member_profiles.clone();
-                    trial.push(&profiles[cand]);
-                    let with = estimate_group(&self.device, &trial, self.sharing_overhead);
+                    trial_members.clear();
+                    trial_members.extend_from_slice(&members);
+                    trial_members.push(cand);
+                    let with = self.estimate_members(&trial_members, profiles, memo);
                     // Saving = sequential cost of the candidate minus the
                     // growth it causes in the group's makespan.
                     let saving = profiles[cand].duration.value()
@@ -392,17 +410,31 @@ impl Planner {
             prefixes.push((assign.to_vec(), max_used));
         });
 
+        let seq = Self::sequential_baseline(profiles);
+        let memo = EstimateMemo::new();
         let local_bests = mpshare_par::par_map(&prefixes, |(prefix, max_used)| {
             let mut assignment = vec![0usize; n];
             assignment[..prefix_len].copy_from_slice(prefix);
             let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            // Dense front of the shared memo: with n ≤ 12 every group is
+            // an ascending index list below 64, i.e. a subset mask that
+            // fits a direct-indexed table. A dense hit is an array load;
+            // only the first touch per worker goes through the hashed
+            // shard (which dedups the actual estimate across workers).
+            let mut dense: Vec<Option<GroupEstimate>> = vec![None; 1usize << n];
             enumerate_partitions(&mut assignment, prefix_len, *max_used, &mut |assign, k| {
-                let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+                for g in groups.iter_mut() {
+                    g.clear();
+                }
+                if groups.len() < k {
+                    groups.resize_with(k, Vec::new);
+                }
                 for (i, &g) in assign.iter().enumerate() {
                     groups[g].push(i);
                 }
                 // Hard constraints: memory and client limit.
-                for g in &groups {
+                for g in &groups[..k] {
                     if g.len() > self.device.max_mps_clients {
                         return;
                     }
@@ -412,10 +444,22 @@ impl Planner {
                         return;
                     }
                 }
-                let plan = self.materialize(&groups, profiles);
-                let score = self.score_plan(&plan, profiles);
+                // Score the raw member lists: the score is partition-free,
+                // so only the overall winner is materialized. The sums run
+                // left to right in group-index order, exactly as
+                // `score_member_lists` would.
+                let mut makespan = 0.0;
+                let mut energy = 0.0;
+                for g in &groups[..k] {
+                    let mask: usize = g.iter().fold(0, |m, &i| m | (1 << i));
+                    let e = dense[mask]
+                        .get_or_insert_with(|| self.estimate_members(g, profiles, &memo));
+                    makespan += e.makespan.value();
+                    energy += e.energy.joules();
+                }
+                let score = self.score_totals(&seq, makespan, energy);
                 if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                    best = Some((score, groups));
+                    best = Some((score, groups[..k].to_vec()));
                 }
             });
             best
@@ -444,8 +488,7 @@ impl Planner {
 
     /// Scores a plan with the analytic estimator under the priority.
     pub fn score_plan(&self, plan: &SchedulePlan, profiles: &[WorkflowProfile]) -> f64 {
-        let all: Vec<&WorkflowProfile> = profiles.iter().collect();
-        let seq = estimate_sequential(&all);
+        let seq = Self::sequential_baseline(profiles);
         let mut makespan = 0.0;
         let mut energy = 0.0;
         for g in &plan.groups {
@@ -455,12 +498,85 @@ impl Planner {
             makespan += e.makespan.value();
             energy += e.energy.joules();
         }
+        self.score_totals(&seq, makespan, energy)
+    }
+
+    /// Memoized form of [`Planner::score_plan`]: bit-identical result,
+    /// with per-group estimates fetched through (and cached in) `memo`.
+    pub fn score_plan_memo(
+        &self,
+        plan: &SchedulePlan,
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+    ) -> f64 {
+        let seq = Self::sequential_baseline(profiles);
+        self.score_groups(plan, profiles, &seq, memo)
+    }
+
+    /// The score's reference point: everything run sequentially.
+    pub(crate) fn sequential_baseline(profiles: &[WorkflowProfile]) -> GroupEstimate {
+        let all: Vec<&WorkflowProfile> = profiles.iter().collect();
+        estimate_sequential(&all)
+    }
+
+    /// Memoized estimate of one ordered member list. A hit returns the
+    /// value computed by the identical `estimate_group` call, so this is
+    /// interchangeable bit for bit with computing from scratch.
+    pub(crate) fn estimate_members(
+        &self,
+        members: &[usize],
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+    ) -> GroupEstimate {
+        memo.get_or_compute(GroupKey::new(members), || {
+            let refs: Vec<&WorkflowProfile> = members.iter().map(|&i| &profiles[i]).collect();
+            estimate_group(&self.device, &refs, self.sharing_overhead)
+        })
+    }
+
+    /// Final score from summed per-group totals against the sequential
+    /// baseline (the tail of [`Planner::score_plan`]).
+    pub(crate) fn score_totals(&self, seq: &GroupEstimate, makespan: f64, energy: f64) -> f64 {
         if makespan <= 0.0 || energy <= 0.0 {
             return 0.0;
         }
         let throughput = seq.makespan.value() / makespan;
         let efficiency = seq.energy.joules() / energy;
         self.priority.score(throughput, efficiency)
+    }
+
+    fn score_groups(
+        &self,
+        plan: &SchedulePlan,
+        profiles: &[WorkflowProfile],
+        seq: &GroupEstimate,
+        memo: &EstimateMemo,
+    ) -> f64 {
+        self.score_member_lists(
+            plan.groups.iter().map(|g| g.workflow_indices.as_slice()),
+            profiles,
+            seq,
+            memo,
+        )
+    }
+
+    /// Scores raw member lists, summing group totals left to right in
+    /// list order — the same order [`Planner::score_plan`] uses.
+    fn score_member_lists<'m>(
+        &self,
+        groups: impl IntoIterator<Item = &'m [usize]>,
+        profiles: &[WorkflowProfile],
+        seq: &GroupEstimate,
+        memo: &EstimateMemo,
+    ) -> f64 {
+        let mut makespan = 0.0;
+        let mut energy = 0.0;
+        for members in groups {
+            let e = self.estimate_members(members, profiles, memo);
+            makespan += e.makespan.value();
+            energy += e.energy.joules();
+        }
+        self.score_totals(seq, makespan, energy)
     }
 }
 

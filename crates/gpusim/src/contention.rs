@@ -55,6 +55,54 @@ pub struct Contender<'a> {
     pub partition: Fraction,
 }
 
+/// Precomputed per-kernel solve inputs.
+///
+/// Everything [`ContentionSolver::solve`] derives from `(device, kernel,
+/// partition)` is invariant while the kernel stays resident, so the engine
+/// computes it once when the kernel starts (hoisting the occupancy/limits
+/// arithmetic of [`KernelSpec::speed_at_partition`] out of the per-event
+/// solve) and replays it through [`ContentionSolver::solve_prepared_into`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedContender {
+    /// Wave-quantized speed at the owning client's partition
+    /// ([`KernelSpec::speed_at_partition`]).
+    pub speed_cap: f64,
+    /// SM-throughput demand rescaled to the executing device.
+    pub sm_demand: f64,
+    /// Memory-bandwidth demand rescaled to the executing device.
+    pub bw_demand: f64,
+    pub cache_sensitivity: f64,
+    pub client_sensitivity: f64,
+    pub power_scale: f64,
+}
+
+impl PreparedContender {
+    /// Performs exactly the per-contender derivations of
+    /// [`ContentionSolver::solve`] steps 1–2, in the same order.
+    pub fn new(device: &DeviceSpec, kernel: &KernelSpec, partition: Fraction) -> Self {
+        PreparedContender {
+            speed_cap: kernel.speed_at_partition(device, partition),
+            sm_demand: kernel.sm_demand_on(device),
+            bw_demand: kernel.bw_demand_on(device),
+            cache_sensitivity: kernel.cache_sensitivity,
+            client_sensitivity: kernel.client_sensitivity,
+            power_scale: kernel.power_scale,
+        }
+    }
+}
+
+/// Reusable buffers for [`ContentionSolver::solve_prepared_into`], so the
+/// engine's per-event solve allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    r1: Vec<f64>,
+    r2: Vec<f64>,
+    wanted: Vec<f64>,
+    granted: Vec<f64>,
+    order: Vec<usize>,
+    bw_used: Vec<f64>,
+}
+
 /// Stateless solver; holds the device and the device-level sharing overhead.
 #[derive(Debug, Clone)]
 pub struct ContentionSolver {
@@ -93,103 +141,136 @@ impl ContentionSolver {
         &self.device
     }
 
+    /// Precomputes a contender's invariant solve inputs on this solver's
+    /// device (see [`PreparedContender`]).
+    pub fn prepare(&self, kernel: &KernelSpec, partition: Fraction) -> PreparedContender {
+        PreparedContender::new(&self.device, kernel, partition)
+    }
+
     /// Solves for the rates of all currently running kernels.
     ///
     /// Returns one [`Allocation`] per contender, in input order. With an
     /// empty input the result is empty. All outputs are finite; rates are
     /// in `[0, 1]`, and `Σ sm_share ≤ 1`, `Σ bw_share ≤ 1 + ε`.
+    ///
+    /// This is a thin wrapper over [`Self::solve_prepared_into`]: the
+    /// per-contender derivations move into [`PreparedContender::new`] and
+    /// every downstream operation runs in the same order on the same
+    /// values, so results are bit-identical to the historical direct
+    /// implementation.
     pub fn solve(&self, contenders: &[Contender<'_>]) -> Vec<Allocation> {
-        let n = contenders.len();
+        let prepared: Vec<PreparedContender> = contenders
+            .iter()
+            .map(|c| self.prepare(c.kernel, c.partition))
+            .collect();
+        let mut scratch = SolveScratch::default();
+        let mut out = Vec::with_capacity(contenders.len());
+        self.solve_prepared_into(&prepared, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free solve over precomputed contenders.
+    ///
+    /// `out` is cleared and refilled with one [`Allocation`] per prepared
+    /// contender, in input order; `scratch` holds the intermediate vectors
+    /// between calls.
+    pub fn solve_prepared_into(
+        &self,
+        prepared: &[PreparedContender],
+        scratch: &mut SolveScratch,
+        out: &mut Vec<Allocation>,
+    ) {
+        out.clear();
+        let n = prepared.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
 
-        // Step 1: partition-capped speed for each kernel.
-        let speed_cap: Vec<f64> = contenders
-            .iter()
-            .map(|c| c.kernel.speed_at_partition(&self.device, c.partition))
-            .collect();
-
-        // Step 2: proportional SM-throughput contention. Demands are
-        // rescaled from each kernel's calibration device to this one.
-        let sm_demands: Vec<f64> = contenders
-            .iter()
-            .map(|c| c.kernel.sm_demand_on(&self.device))
-            .collect();
-        let bw_demands: Vec<f64> = contenders
-            .iter()
-            .map(|c| c.kernel.bw_demand_on(&self.device))
-            .collect();
-        let total_sm_demand: f64 = sm_demands.iter().zip(&speed_cap).map(|(d, s)| d * s).sum();
+        // Steps 1–2 (partition-capped speed, rescaled demands) are baked
+        // into `prepared`; proportional SM-throughput contention follows.
+        let total_sm_demand: f64 = prepared.iter().map(|p| p.sm_demand * p.speed_cap).sum();
         let compute_scale = if total_sm_demand > 1.0 {
             1.0 / total_sm_demand
         } else {
             1.0
         };
-        let r1: Vec<f64> = speed_cap.iter().map(|s| s * compute_scale).collect();
+        scratch.r1.clear();
+        scratch
+            .r1
+            .extend(prepared.iter().map(|p| p.speed_cap * compute_scale));
 
         // Step 3: max-min fair bandwidth. wanted_i = bw_demand_i · r1_i.
-        let wanted: Vec<f64> = bw_demands.iter().zip(&r1).map(|(d, r)| d * r).collect();
-        let granted = max_min_share(&wanted, 1.0);
-        let r2: Vec<f64> = r1
-            .iter()
-            .zip(wanted.iter().zip(&granted))
-            .map(
-                |(r, (w, g))| {
-                    if *w > 0.0 {
-                        r * (g / w).min(1.0)
-                    } else {
-                        *r
-                    }
-                },
-            )
-            .collect();
+        scratch.wanted.clear();
+        scratch.wanted.extend(
+            prepared
+                .iter()
+                .zip(&scratch.r1)
+                .map(|(p, r)| p.bw_demand * r),
+        );
+        max_min_share_into(
+            &scratch.wanted,
+            1.0,
+            &mut scratch.granted,
+            &mut scratch.order,
+        );
+        scratch.r2.clear();
+        scratch.r2.extend(
+            scratch
+                .r1
+                .iter()
+                .zip(scratch.wanted.iter().zip(&scratch.granted))
+                .map(
+                    |(r, (w, g))| {
+                        if *w > 0.0 {
+                            r * (g / w).min(1.0)
+                        } else {
+                            *r
+                        }
+                    },
+                ),
+        );
 
         // Step 4: cache/sharing pressure. Pressure on kernel i is the BW
         // consumption of everyone else plus a flat per-co-runner term.
-        let bw_used: Vec<f64> = bw_demands.iter().zip(&r2).map(|(d, r)| d * r).collect();
-        let total_bw_used: f64 = bw_used.iter().sum();
-        let rates: Vec<f64> = contenders
-            .iter()
-            .zip(r2.iter().zip(&bw_used))
-            .map(|(c, (r, own_bw))| {
-                let other_pressure = (total_bw_used - own_bw).max(0.0);
-                let corunners = if self.same_process {
-                    0.0
-                } else {
-                    (n as f64 - 1.0).max(0.0)
-                };
-                let slowdown = 1.0
-                    + c.kernel.cache_sensitivity * other_pressure
-                    + c.kernel.client_sensitivity * corunners.min(CLIENT_PRESSURE_CAP)
-                    + self.sharing_overhead * corunners;
-                r / slowdown
-            })
-            .collect();
+        scratch.bw_used.clear();
+        scratch.bw_used.extend(
+            prepared
+                .iter()
+                .zip(&scratch.r2)
+                .map(|(p, r)| p.bw_demand * r),
+        );
+        let total_bw_used: f64 = scratch.bw_used.iter().sum();
 
         // Occupancy (and therefore power) follows the pre-pressure rates:
         // a kernel slowed by cache thrash or client pressure still holds
         // its SMs and burns power while stalled — `nvidia-smi` reports it
         // busy. Only *progress* (and the data actually moved on the bus)
         // takes the slowdown.
-        contenders
-            .iter()
-            .zip(rates.iter().zip(&r2))
-            .enumerate()
-            .map(|(i, (c, (r, busy_rate)))| {
-                let sm_share = sm_demands[i] * busy_rate;
-                let bw_share = bw_demands[i] * r;
-                let dyn_power_watts = c.kernel.power_scale
-                    * (self.device.power_per_sm_pct * sm_share * 100.0
-                        + self.device.power_per_bw_pct * bw_share * 100.0);
-                Allocation {
-                    rate: *r,
-                    sm_share,
-                    bw_share,
-                    dyn_power_watts,
-                }
-            })
-            .collect()
+        for (i, p) in prepared.iter().enumerate() {
+            let own_bw = scratch.bw_used[i];
+            let other_pressure = (total_bw_used - own_bw).max(0.0);
+            let corunners = if self.same_process {
+                0.0
+            } else {
+                (n as f64 - 1.0).max(0.0)
+            };
+            let slowdown = 1.0
+                + p.cache_sensitivity * other_pressure
+                + p.client_sensitivity * corunners.min(CLIENT_PRESSURE_CAP)
+                + self.sharing_overhead * corunners;
+            let rate = scratch.r2[i] / slowdown;
+            let sm_share = p.sm_demand * scratch.r2[i];
+            let bw_share = p.bw_demand * rate;
+            let dyn_power_watts = p.power_scale
+                * (self.device.power_per_sm_pct * sm_share * 100.0
+                    + self.device.power_per_bw_pct * bw_share * 100.0);
+            out.push(Allocation {
+                rate,
+                sm_share,
+                bw_share,
+                dyn_power_watts,
+            });
+        }
     }
 }
 
@@ -197,32 +278,47 @@ impl ContentionSolver {
 /// (water-filling): demands below the fair share are fully granted and the
 /// residual is redistributed among the rest.
 pub fn max_min_share(wanted: &[f64], capacity: f64) -> Vec<f64> {
+    let mut granted = Vec::new();
+    let mut order = Vec::new();
+    max_min_share_into(wanted, capacity, &mut granted, &mut order);
+    granted
+}
+
+/// Buffer-reusing form of [`max_min_share`]: `granted` receives the
+/// allocation, `order` is sort scratch.
+fn max_min_share_into(
+    wanted: &[f64],
+    capacity: f64,
+    granted: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) {
     let n = wanted.len();
-    let mut granted = vec![0.0; n];
+    granted.clear();
+    granted.resize(n, 0.0);
     if n == 0 {
-        return granted;
+        return;
     }
     let total: f64 = wanted.iter().sum();
     if total <= capacity {
         granted.copy_from_slice(wanted);
-        return granted;
+        return;
     }
 
     // Sort indices by demand ascending; grant in order, recomputing the fair
     // share of the remaining capacity at each step.
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| wanted[a].partial_cmp(&wanted[b]).expect("finite demands"));
 
     let mut remaining_capacity = capacity;
     let mut remaining_users = n;
-    for &i in &order {
+    for &i in order.iter() {
         let fair = remaining_capacity / remaining_users as f64;
         let g = wanted[i].min(fair);
         granted[i] = g;
         remaining_capacity -= g;
         remaining_users -= 1;
     }
-    granted
 }
 
 #[cfg(test)]

@@ -20,10 +20,10 @@
 //!   queue order with no overlap of any kind: the paper's baseline for
 //!   both throughput and energy-efficiency comparisons.
 
-use crate::contention::{Contender, ContentionSolver};
+use crate::contention::{Allocation, ContentionSolver, PreparedContender, SolveScratch};
 use crate::device::DeviceSpec;
 use crate::events::{Event, EventKind, EventLog};
-use crate::power::PowerModel;
+use crate::power::{PowerModel, PowerState};
 use crate::program::ClientProgram;
 use crate::telemetry::{Segment, Telemetry};
 use mpshare_types::{Energy, Error, Fraction, MemBytes, Result, Seconds, TaskId};
@@ -140,6 +140,17 @@ pub struct RunResult {
     pub tasks_completed: usize,
     /// Discrete-event log; empty unless `EngineConfig::record_events`.
     pub events: EventLog,
+    /// Time-sorted `(client, completion)` index pairs, precomputed once at
+    /// the end of [`Engine::run`] so [`RunResult::completions`] does not
+    /// merge and re-sort on every call. Never serialized (the per-client
+    /// lists are authoritative); rebuilt lazily when absent, e.g. after
+    /// deserialization or literal construction.
+    #[serde(default, skip_serializing_if = "completion_order_skip")]
+    pub completion_order: Vec<(usize, usize)>,
+}
+
+fn completion_order_skip(_order: &[(usize, usize)]) -> bool {
+    true
 }
 
 impl RunResult {
@@ -154,7 +165,20 @@ impl RunResult {
     }
 
     /// All task completions across clients, sorted by time.
+    ///
+    /// Uses the precomputed [`RunResult::completion_order`] when it is
+    /// consistent with the client lists; otherwise falls back to merging
+    /// and sorting in place (both paths use the same stable sort over the
+    /// same flattening order, so they produce identical sequences).
     pub fn completions(&self) -> Vec<&TaskCompletion> {
+        let total: usize = self.clients.iter().map(|c| c.completions.len()).sum();
+        if self.completion_order.len() == total && total > 0 {
+            return self
+                .completion_order
+                .iter()
+                .map(|&(c, k)| &self.clients[c].completions[k])
+                .collect();
+        }
         let mut all: Vec<&TaskCompletion> = self
             .clients
             .iter()
@@ -162,6 +186,24 @@ impl RunResult {
             .collect();
         all.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
         all
+    }
+
+    /// (Re)builds [`RunResult::completion_order`] from the per-client
+    /// completion lists. Called at the end of [`Engine::run`] and after
+    /// multi-instance merges.
+    pub fn index_completions(&mut self) {
+        let mut order: Vec<(usize, usize)> = self
+            .clients
+            .iter()
+            .enumerate()
+            .flat_map(|(c, out)| (0..out.completions.len()).map(move |k| (c, k)))
+            .collect();
+        order.sort_by(|&(ca, ka), &(cb, kb)| {
+            let a = &self.clients[ca].completions[ka];
+            let b = &self.clients[cb].completions[kb];
+            a.at.partial_cmp(&b.at).expect("finite times")
+        });
+        self.completion_order = order;
     }
 }
 
@@ -195,6 +237,9 @@ struct ClientState {
     finished: Option<Seconds>,
     gpu_progress: f64,
     completions: Vec<TaskCompletion>,
+    /// Invariant solve inputs of the current kernel, computed once when it
+    /// starts (valid only while `phase` is `Running`).
+    prepared: Option<PreparedContender>,
 }
 
 impl ClientState {
@@ -209,6 +254,7 @@ impl ClientState {
             finished: None,
             gpu_progress: 0.0,
             completions: Vec::new(),
+            prepared: None,
         }
     }
 
@@ -241,6 +287,34 @@ pub struct Engine {
     events: u64,
     log: EventLog,
     was_capped: bool,
+    // Hot-path cache (see DESIGN.md §6): the solved rate/power state is
+    // keyed by `resident_epoch`, which transitions bump only when the set
+    // of resident kernels changes. Pure time advancement (host timers,
+    // arrivals, quantum countdowns) reuses the cached solution.
+    resident_epoch: u64,
+    solved_epoch: u64,
+    solved_scheduled: Vec<usize>,
+    solved_rates: Vec<f64>,
+    solved_sm_util: f64,
+    solved_bw_util: f64,
+    solved_pstate: PowerState,
+    rate_solves: u64,
+    prepared_scratch: Vec<PreparedContender>,
+    allocations_scratch: Vec<Allocation>,
+    solve_scratch: SolveScratch,
+}
+
+/// Hot-path counters from one engine run (see [`Engine::run_with_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Discrete events processed (calls to the time-advancement step).
+    pub events: u64,
+    /// Full contention/power re-solves performed.
+    pub rate_solves: u64,
+    /// Resident-set epoch transitions (kernel starts/finishes, context
+    /// switches). The cache guarantees `rate_solves <= resident_changes`:
+    /// events that only advance time reuse the previous solution.
+    pub resident_changes: u64,
 }
 
 impl Engine {
@@ -292,6 +366,9 @@ impl Engine {
         let solver = ContentionSolver::new(device.clone(), config.sharing_overhead)
             .with_same_process(same_process);
         let power = PowerModel::new(&device);
+        // Pre-solve the empty resident set (epoch 0) so an idle GPU — e.g.
+        // before the first arrival — is a cache hit, not a solve.
+        let idle_pstate = power.resolve(0.0, 0);
         Ok(Engine {
             config,
             solver,
@@ -308,7 +385,25 @@ impl Engine {
             events: 0,
             log,
             was_capped: false,
+            resident_epoch: 0,
+            solved_epoch: 0,
+            solved_scheduled: Vec::new(),
+            solved_rates: Vec::new(),
+            solved_sm_util: 0.0,
+            solved_bw_util: 0.0,
+            solved_pstate: idle_pstate,
+            rate_solves: 0,
+            prepared_scratch: Vec::new(),
+            allocations_scratch: Vec::new(),
+            solve_scratch: SolveScratch::default(),
         })
+    }
+
+    /// Marks the resident kernel set (or the GPU's drain state during a
+    /// context switch) as changed: the next [`Engine::advance`] must
+    /// re-solve rates and power.
+    fn bump_epoch(&mut self) {
+        self.resident_epoch += 1;
     }
 
     fn record(&mut self, client: usize, kind: EventKind) {
@@ -318,7 +413,13 @@ impl Engine {
     }
 
     /// Runs all clients to completion and returns the result.
-    pub fn run(mut self) -> Result<RunResult> {
+    pub fn run(self) -> Result<RunResult> {
+        self.run_with_stats().map(|(result, _)| result)
+    }
+
+    /// Like [`Engine::run`], but also returns the hot-path counters —
+    /// useful for asserting that the rate cache actually skips re-solves.
+    pub fn run_with_stats(mut self) -> Result<(RunResult, EngineStats)> {
         loop {
             self.process_transitions()?;
             if self.clients.iter().all(|c| c.is_done()) {
@@ -357,14 +458,22 @@ impl Engine {
                 completions: c.completions,
             })
             .collect();
-        Ok(RunResult {
+        let mut result = RunResult {
             telemetry: self.telemetry,
             clients,
             makespan,
             total_energy,
             tasks_completed,
             events: self.log,
-        })
+            completion_order: Vec::new(),
+        };
+        result.index_completions();
+        let stats = EngineStats {
+            events: self.events,
+            rate_solves: self.rate_solves,
+            resident_changes: self.resident_epoch,
+        };
+        Ok((result, stats))
     }
 
     /// Is client `i` allowed to begin executing (arrival + mode gating)?
@@ -453,12 +562,19 @@ impl Engine {
     /// Starts kernel `kernel_idx` of the current task, or completes the
     /// task if the kernel list is exhausted.
     fn start_kernel(&mut self, i: usize) {
+        let partition = self.partition_of(i);
         let client = &mut self.clients[i];
         let task = &client.program.tasks[client.task_idx];
         if client.kernel_idx < task.kernels.len() {
-            let remaining = task.kernels[client.kernel_idx].solo_duration.value();
+            let kernel = &task.kernels[client.kernel_idx];
+            let remaining = kernel.solo_duration.value();
+            // Hoist the occupancy/partition arithmetic out of the solver:
+            // these inputs are fixed for the kernel's whole residency.
+            let prepared = self.solver.prepare(kernel, partition);
             let (id, kernel_index) = (task.id, client.kernel_idx);
             client.phase = Phase::Running { remaining };
+            client.prepared = Some(prepared);
+            self.bump_epoch();
             self.record(
                 i,
                 EventKind::KernelStart {
@@ -498,7 +614,10 @@ impl Engine {
     /// Moves a client whose kernel finished into its host gap (or directly
     /// to the next kernel / task end when the gap is zero).
     fn finish_kernel(&mut self, i: usize) {
+        // The kernel leaves the GPU here no matter which phase follows.
+        self.bump_epoch();
         let client = &mut self.clients[i];
+        client.prepared = None;
         let task = &client.program.tasks[client.task_idx];
         let gap = task.kernels[client.kernel_idx].host_gap.value();
         let (id, kernel_index) = (task.id, client.kernel_idx);
@@ -570,8 +689,12 @@ impl Engine {
                 self.next_rr = (i + 1) % n;
                 self.quantum_remaining = quantum;
                 self.switch_remaining = if switching_from_other { switch } else { 0.0 };
+                self.bump_epoch();
             }
             None => {
+                if self.active.is_some() || self.switch_remaining > EPS {
+                    self.bump_epoch();
+                }
                 self.active = None;
                 self.quantum_remaining = 0.0;
                 self.switch_remaining = 0.0;
@@ -589,10 +712,8 @@ impl Engine {
         else {
             return;
         };
-        let runnable: Vec<usize> = (0..self.clients.len())
-            .filter(|&i| self.clients[i].is_running())
-            .collect();
-        if runnable.len() <= 1 {
+        let runnable = self.clients.iter().filter(|c| c.is_running()).count();
+        if runnable <= 1 {
             self.quantum_remaining = quantum.value();
             return;
         }
@@ -603,6 +724,7 @@ impl Engine {
             .expect("at least two runnable clients");
         if Some(next) != self.active {
             self.switch_remaining = switch_overhead.value();
+            self.bump_epoch();
             self.record(Event::DEVICE, EventKind::ContextSwitch { to_client: next });
         }
         self.active = Some(next);
@@ -638,22 +760,42 @@ impl Engine {
         }
     }
 
-    /// Advances simulated time to the next event, integrating telemetry.
-    fn advance(&mut self) -> Result<()> {
-        let scheduled = self.scheduled_running();
-
-        // Solve rates for the scheduled kernels.
-        let contenders: Vec<Contender<'_>> = scheduled
-            .iter()
-            .map(|&i| {
-                let c = &self.clients[i];
-                Contender {
-                    kernel: &c.program.tasks[c.task_idx].kernels[c.kernel_idx],
-                    partition: self.partition_of(i),
+    /// Re-solves contention rates and power for the current resident set
+    /// into the persistent cache. All intermediate buffers are reused, so
+    /// this allocates nothing after warm-up.
+    fn refresh_solution(&mut self) {
+        let mut scheduled = std::mem::take(&mut self.solved_scheduled);
+        scheduled.clear();
+        match &self.config.mode {
+            SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => {
+                scheduled.extend((0..self.clients.len()).filter(|&i| self.clients[i].is_running()));
+            }
+            SharingMode::TimeSliced { .. } => {
+                // During a context switch the GPU is drained.
+                if self.switch_remaining <= EPS {
+                    if let Some(a) = self.active {
+                        if self.clients[a].is_running() {
+                            scheduled.push(a);
+                        }
+                    }
                 }
-            })
-            .collect();
-        let allocations = self.solver.solve(&contenders);
+            }
+        }
+
+        self.prepared_scratch.clear();
+        for &i in &scheduled {
+            self.prepared_scratch.push(
+                self.clients[i]
+                    .prepared
+                    .expect("running client has prepared contender"),
+            );
+        }
+        self.solver.solve_prepared_into(
+            &self.prepared_scratch,
+            &mut self.solve_scratch,
+            &mut self.allocations_scratch,
+        );
+        let allocations = &self.allocations_scratch;
         let dyn_power: f64 = allocations.iter().map(|a| a.dyn_power_watts).sum();
         // Streams of one process interleave like a single client as far as
         // the power-peak model is concerned.
@@ -661,19 +803,45 @@ impl Engine {
             SharingMode::Streams => scheduled.len().min(1),
             _ => scheduled.len(),
         };
-        let pstate = self.power.resolve(dyn_power, resident_processes);
-        let rates: Vec<f64> = allocations
-            .iter()
-            .map(|a| a.rate * pstate.clock_factor)
-            .collect();
+        self.solved_pstate = self.power.resolve(dyn_power, resident_processes);
+        let clock_factor = self.solved_pstate.clock_factor;
+        self.solved_rates.clear();
+        self.solved_rates
+            .extend(allocations.iter().map(|a| a.rate * clock_factor));
+        self.solved_sm_util = allocations.iter().map(|a| a.sm_share).sum();
+        self.solved_bw_util = allocations.iter().map(|a| a.bw_share).sum();
+        self.solved_scheduled = scheduled;
+        self.solved_epoch = self.resident_epoch;
+        self.rate_solves += 1;
+    }
+
+    /// Advances simulated time to the next event, integrating telemetry.
+    fn advance(&mut self) -> Result<()> {
+        // Rates/power are a pure function of the resident set (plus the
+        // fixed device, partitions and overheads), so between resident-set
+        // epochs the cached solution is exact — same inputs, same
+        // arithmetic, bit-identical outputs.
+        if self.solved_epoch != self.resident_epoch {
+            self.refresh_solution();
+        } else {
+            debug_assert_eq!(
+                self.solved_scheduled,
+                self.scheduled_running(),
+                "resident-set cache is stale: a transition mutated the \
+                 scheduled set without bumping the epoch"
+            );
+        }
+        let pstate = self.solved_pstate;
 
         // Find the next event horizon.
         let mut dt = f64::INFINITY;
         // Kernel completions.
-        for (slot, &i) in scheduled.iter().enumerate() {
+        for slot in 0..self.solved_scheduled.len() {
+            let i = self.solved_scheduled[slot];
             if let Phase::Running { remaining } = self.clients[i].phase {
-                if rates[slot] > 0.0 {
-                    dt = dt.min(remaining / rates[slot]);
+                let rate = self.solved_rates[slot];
+                if rate > 0.0 {
+                    dt = dt.min(remaining / rate);
                 }
             }
         }
@@ -700,7 +868,7 @@ impl Engine {
         if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
             if self.switch_remaining > EPS {
                 dt = dt.min(self.switch_remaining);
-            } else if !scheduled.is_empty() {
+            } else if !self.solved_scheduled.is_empty() {
                 let runnable = self.clients.iter().filter(|c| c.is_running()).count();
                 if runnable > 1 && self.quantum_remaining > EPS {
                     if self.quantum_remaining <= dt {
@@ -716,7 +884,7 @@ impl Engine {
                 at_seconds: self.now,
                 detail: format!(
                     "no progress possible ({} scheduled kernels, dt={dt})",
-                    scheduled.len()
+                    self.solved_scheduled.len()
                 ),
             });
         }
@@ -733,23 +901,22 @@ impl Engine {
         }
 
         // Integrate telemetry for this segment.
-        let sm_util: f64 = allocations.iter().map(|a| a.sm_share).sum();
-        let bw_util: f64 = allocations.iter().map(|a| a.bw_share).sum();
         self.telemetry.record(Segment {
             start: Seconds::new(self.now),
             end: Seconds::new(self.now + dt),
-            sm_util: sm_util.min(1.0),
-            bw_util: bw_util.min(1.0),
+            sm_util: self.solved_sm_util.min(1.0),
+            bw_util: self.solved_bw_util.min(1.0),
             power: pstate.power,
             clock_factor: pstate.clock_factor,
             capped: pstate.capped,
-            active_clients: scheduled.len(),
+            active_clients: self.solved_scheduled.len(),
         });
 
         // Apply progress.
-        for (slot, &i) in scheduled.iter().enumerate() {
+        for slot in 0..self.solved_scheduled.len() {
+            let i = self.solved_scheduled[slot];
             if let Phase::Running { remaining } = &mut self.clients[i].phase {
-                let progress = rates[slot] * dt;
+                let progress = self.solved_rates[slot] * dt;
                 *remaining = (*remaining - progress).max(0.0);
                 self.clients[i].gpu_progress += progress;
             }
@@ -765,6 +932,11 @@ impl Engine {
         if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
             if self.switch_remaining > EPS {
                 self.switch_remaining = (self.switch_remaining - dt).max(0.0);
+                if self.switch_remaining <= EPS {
+                    // Switch complete: the incoming client's kernel lands
+                    // on the (previously drained) GPU.
+                    self.bump_epoch();
+                }
             } else {
                 self.quantum_remaining = (self.quantum_remaining - dt).max(0.0);
             }
@@ -1184,5 +1356,86 @@ mod tests {
         let r = run(SharingMode::mps_uniform(1), vec![c]);
         let sm: Percent = r.telemetry.avg_sm_util();
         assert!((sm.value() - 33.0).abs() < 0.01);
+    }
+
+    /// Gap-heavy staggered workload: many events are pure time advancement
+    /// (arrivals, setup expiry, gap expiry in other clients), so the rate
+    /// cache must re-solve strictly less often than once per event, and
+    /// never more often than the resident set changes.
+    #[test]
+    fn rate_solves_bounded_by_resident_changes_on_gap_heavy_run() {
+        let programs: Vec<ClientProgram> = (0..8)
+            .map(|id| {
+                // Distinct durations/gaps per client so no two timers ever
+                // expire at the same instant (merged events would hide the
+                // pure-advancement ones this test is about).
+                let dur = 0.2 + id as f64 * 0.013;
+                let gap = 0.45 + id as f64 * 0.017;
+                let kernels = (0..6).map(|_| kernel(dur, 0.05, 0.02, gap)).collect();
+                let mut c = one_task_client("gappy", id, kernels);
+                c.tasks[0].setup = Seconds::new(0.3);
+                c.arrival = Seconds::new(id as f64 * 0.171);
+                c
+            })
+            .collect();
+        let engine = Engine::new(
+            EngineConfig::new(dev(), SharingMode::mps_uniform(8)),
+            programs,
+        )
+        .unwrap();
+        let (r, stats) = engine.run_with_stats().unwrap();
+        assert_eq!(r.tasks_completed, 8);
+        assert!(
+            stats.rate_solves <= stats.resident_changes,
+            "rate solves {} must not exceed resident-set changes {}",
+            stats.rate_solves,
+            stats.resident_changes
+        );
+        assert!(
+            stats.resident_changes < stats.events,
+            "expected pure time-advancement events: {} changes vs {} events",
+            stats.resident_changes,
+            stats.events
+        );
+        assert!(stats.rate_solves < stats.events);
+    }
+
+    #[test]
+    fn run_with_stats_matches_run() {
+        let mk = || {
+            let programs: Vec<ClientProgram> = (0..4)
+                .map(|id| one_task_client("c", id, vec![kernel(0.5, 0.3, 0.1, 0.2)]))
+                .collect();
+            Engine::new(
+                EngineConfig::new(dev(), SharingMode::mps_uniform(4)),
+                programs,
+            )
+            .unwrap()
+        };
+        let plain = mk().run().unwrap();
+        let (with_stats, stats) = mk().run_with_stats().unwrap();
+        assert_eq!(plain.makespan, with_stats.makespan);
+        assert_eq!(plain.total_energy, with_stats.total_energy);
+        assert!(stats.events > 0 && stats.rate_solves > 0);
+    }
+
+    /// The precomputed completion index must yield exactly the merge-sort
+    /// fallback order (including ties, which both paths break by client
+    /// order thanks to the stable sort).
+    #[test]
+    fn completion_index_matches_sort_fallback() {
+        let programs: Vec<ClientProgram> = (0..6)
+            .map(|id| {
+                // Identical durations force completion-time ties.
+                one_task_client("tie", id, vec![kernel(1.0, 0.05, 0.01, 0.1)])
+            })
+            .collect();
+        let r = run(SharingMode::mps_uniform(6), programs);
+        assert_eq!(r.completion_order.len(), r.tasks_completed);
+        let fast: Vec<TaskCompletion> = r.completions().into_iter().cloned().collect();
+        let mut fallback = r.clone();
+        fallback.completion_order.clear();
+        let slow: Vec<TaskCompletion> = fallback.completions().into_iter().cloned().collect();
+        assert_eq!(fast, slow);
     }
 }

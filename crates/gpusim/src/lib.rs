@@ -38,9 +38,9 @@ pub mod power;
 pub mod program;
 pub mod telemetry;
 
-pub use contention::{Allocation, ContentionSolver};
+pub use contention::{Allocation, ContentionSolver, PreparedContender, SolveScratch};
 pub use device::DeviceSpec;
-pub use engine::{ClientOutcome, Engine, EngineConfig, RunResult, SharingMode};
+pub use engine::{ClientOutcome, Engine, EngineConfig, EngineStats, RunResult, SharingMode};
 pub use events::{Event, EventKind, EventLog};
 pub use kernel::{KernelSpec, LaunchConfig};
 pub use occupancy::{OccupancyLimits, OccupancyReport};

@@ -117,6 +117,7 @@ mod tests {
             total_energy: mpshare_types::Energy::ZERO,
             tasks_completed: 0,
             events: mpshare_gpusim::EventLog::default(),
+            completion_order: vec![],
         };
         assert_eq!(render_gantt(&result, 60), "(empty run)\n");
     }

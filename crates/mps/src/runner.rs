@@ -217,7 +217,7 @@ impl GpuRunner {
         let clients: Vec<ClientOutcome> = clients.into_iter().map(|(_, c)| c).collect();
         let tasks_completed = clients.iter().map(|c| c.completions.len()).sum();
         let total_energy = telemetry.total_energy();
-        Ok(RunResult {
+        let mut result = RunResult {
             telemetry,
             clients,
             makespan,
@@ -226,7 +226,10 @@ impl GpuRunner {
             // Per-instance logs are not merged (their client indices are
             // instance-local); request traces per instance if needed.
             events: mpshare_gpusim::EventLog::default(),
-        })
+            completion_order: Vec::new(),
+        };
+        result.index_completions();
+        Ok(result)
     }
 }
 

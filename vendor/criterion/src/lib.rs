@@ -1,18 +1,48 @@
 //! Offline stand-in for `criterion`.
 //!
 //! Real measurement, simple statistics: each benchmark runs a warmup pass,
-//! then a fixed number of timed iterations, and prints min / mean / max
-//! iteration time. No HTML reports, no outlier analysis — just enough to
-//! compare hot paths before and after a change (e.g. the serial vs parallel
-//! sweep fan-out).
+//! then a fixed number of timed iterations, and prints median / mean /
+//! min / max iteration time. No HTML reports, no outlier analysis — just
+//! enough to compare hot paths before and after a change (e.g. the serial
+//! vs parallel sweep fan-out).
+//!
+//! When the `MPSHARE_BENCH_JSON` environment variable names a path, the
+//! `criterion_main!`-generated `main` additionally writes every
+//! benchmark's summary (median/mean/min/max nanoseconds per iteration) to
+//! that path as JSON, so `make bench` can commit machine-readable numbers.
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const WARMUP_ITERS: usize = 3;
 const MEASURE_ITERS: usize = 10;
+
+/// One benchmark's aggregate, collected for the JSON summary.
+struct Summary {
+    name: String,
+    median_ns: u128,
+    mean_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    iters: usize,
+}
+
+fn summaries() -> &'static Mutex<Vec<Summary>> {
+    static STORE: OnceLock<Mutex<Vec<Summary>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn median(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
 
 /// Measures a single benchmark body.
 pub struct Bencher {
@@ -37,14 +67,67 @@ fn report(name: &str, samples: &[Duration]) {
         println!("{name}: no samples recorded");
         return;
     }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
-    let min = samples.iter().min().unwrap();
-    let max = samples.iter().max().unwrap();
+    let med = median(&sorted);
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
     println!(
-        "{name}: mean {mean:?}  min {min:?}  max {max:?}  ({} iters)",
+        "{name}: median {med:?}  mean {mean:?}  min {min:?}  max {max:?}  ({} iters)",
         samples.len()
     );
+    summaries().lock().expect("summary store poisoned").push(Summary {
+        name: name.to_string(),
+        median_ns: med.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        max_ns: max.as_nanos(),
+        iters: samples.len(),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the collected summaries to the path named by the
+/// `MPSHARE_BENCH_JSON` environment variable, if set. Called by the
+/// `criterion_main!`-generated `main` after all groups have run.
+pub fn write_summary_json() {
+    let Some(path) = std::env::var_os("MPSHARE_BENCH_JSON") else {
+        return;
+    };
+    let store = summaries().lock().expect("summary store poisoned");
+    let mut out = String::from("{\n  \"unit\": \"ns_per_iter\",\n  \"scenarios\": [\n");
+    for (i, s) in store.iter().enumerate() {
+        let comma = if i + 1 < store.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}}}{comma}\n",
+            json_escape(&s.name),
+            s.median_ns,
+            s.mean_ns,
+            s.min_ns,
+            s.max_ns,
+            s.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench summary written to {}", path.to_string_lossy()),
+        Err(e) => eprintln!(
+            "failed to write bench summary {}: {e}",
+            path.to_string_lossy()
+        ),
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
@@ -180,6 +263,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_summary_json();
         }
     };
 }
