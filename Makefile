@@ -6,10 +6,11 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy bench clean
+.PHONY: check build test test-all fmt clippy bench fault-smoke clean
 
-# The full tier-1 gate: release build, tests, formatting, lints.
-check: build test fmt clippy
+# The full tier-1 gate: release build, tests, formatting, lints, and the
+# fault-determinism smoke run.
+check: build test fmt clippy fault-smoke
 
 build:
 	$(CARGO) build --release
@@ -29,10 +30,32 @@ clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
 # Engine + plan-search hot-path benchmarks; per-scenario medians (ns) are
-# written to BENCH_engine.json by the vendored criterion stand-in.
+# written to BENCH_engine.json by the vendored criterion stand-in. A prior
+# BENCH_engine.json is optional: when present it is kept as
+# BENCH_engine.prev.json for comparison, when absent this run records the
+# baseline.
 bench:
+	@if [ -f $(CURDIR)/BENCH_engine.json ]; then \
+		cp $(CURDIR)/BENCH_engine.json $(CURDIR)/BENCH_engine.prev.json; \
+		echo "previous medians kept in BENCH_engine.prev.json"; \
+	else \
+		echo "no prior BENCH_engine.json; this run records the baseline"; \
+	fi
 	MPSHARE_BENCH_JSON=$(CURDIR)/BENCH_engine.json \
 		$(CARGO) bench -p mpshare-bench --bench engine_performance
+
+# Fault-injection determinism gate: the seeded ext_faults experiment must
+# be bit-identical run-to-run and across serial vs. parallel execution.
+fault-smoke: build
+	@rm -rf .fault-smoke
+	@mkdir -p .fault-smoke
+	./target/release/mpshare-repro ext_faults --out .fault-smoke/a >/dev/null
+	./target/release/mpshare-repro ext_faults --out .fault-smoke/b >/dev/null
+	./target/release/mpshare-repro ext_faults --out .fault-smoke/c --serial >/dev/null
+	cmp .fault-smoke/a/ext_faults.json .fault-smoke/b/ext_faults.json
+	cmp .fault-smoke/a/ext_faults.json .fault-smoke/c/ext_faults.json
+	@rm -rf .fault-smoke
+	@echo "fault-determinism smoke gate passed"
 
 clean:
 	$(CARGO) clean

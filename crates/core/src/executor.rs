@@ -262,6 +262,20 @@ impl Executor {
         group: &crate::planner::PlanGroup,
         ids: &mut IdAllocator,
     ) -> Result<mpshare_gpusim::RunResult> {
+        self.run_group_raw_with_faults(workflows, group, ids, &mpshare_gpusim::FaultPlan::default())
+    }
+
+    /// Like [`Executor::run_group_raw`], injecting `faults` (client
+    /// indices are positions within the group). The group runs under MPS,
+    /// so the runner widens each fault to the shared server's failure
+    /// domain: one member's fatal fault aborts the whole group.
+    pub fn run_group_raw_with_faults(
+        &self,
+        workflows: &[WorkflowSpec],
+        group: &crate::planner::PlanGroup,
+        ids: &mut IdAllocator,
+        faults: &mpshare_gpusim::FaultPlan,
+    ) -> Result<mpshare_gpusim::RunResult> {
         let programs = group
             .workflow_indices
             .iter()
@@ -270,7 +284,20 @@ impl Executor {
         let sharing = GpuSharing::Mps {
             partitions: group.partitions.clone(),
         };
-        self.runner().run(&sharing, programs)
+        self.runner().run_with_faults(&sharing, programs, faults)
+    }
+
+    /// Solo wall time per workflow — the horizon a fault model scales its
+    /// per-attempt fault times by.
+    pub fn solo_wall_times(&self, workflows: &[WorkflowSpec]) -> Result<Vec<Seconds>> {
+        let mut ids = IdAllocator::new();
+        workflows
+            .iter()
+            .map(|w| {
+                Ok(w.to_client_program(self.config.build_device(), &mut ids)?
+                    .solo_wall_time())
+            })
+            .collect()
     }
 
     /// Runs a schedule plan: each group concurrently under MPS with its

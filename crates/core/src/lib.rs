@@ -55,7 +55,10 @@ pub use node::{
     distribute_plan, distribute_plan_heterogeneous, relative_throughput, HeteroNodeExecutor,
     NodeExecutor, NodeOutcome, NodePlan,
 };
-pub use online::{ArrivingWorkflow, DispatchRecord, OnlineOutcome, OnlineScheduler};
+pub use online::{
+    ArrivingWorkflow, DispatchRecord, OnlineFaultModel, OnlineOutcome, OnlineScheduler,
+    RecoveryPolicy,
+};
 pub use planner::{PlanGroup, Planner, PlannerStrategy, SchedulePlan};
 pub use policy::MetricPriority;
 pub use recommend::{advise, Advice};

@@ -14,11 +14,11 @@
 //! arrival processes.
 
 use crate::executor::{Executor, ExecutorConfig, RunOutcome};
-use crate::planner::{Planner, PlannerStrategy};
+use crate::planner::{PlanGroup, Planner, PlannerStrategy, SchedulePlan};
 use crate::wprofile::{workflow_profile, WorkflowProfile};
-use mpshare_gpusim::DeviceSpec;
+use mpshare_gpusim::{unit_hash, DeviceSpec, FaultPlan};
 use mpshare_profiler::ProfileStore;
-use mpshare_types::{Energy, Error, IdAllocator, Result, Seconds};
+use mpshare_types::{Energy, Error, Fraction, IdAllocator, Result, Seconds};
 use mpshare_workloads::WorkflowSpec;
 use serde::{Deserialize, Serialize};
 
@@ -47,10 +47,106 @@ pub struct OnlineOutcome {
     pub makespan: Seconds,
     /// Total energy including idle gaps between dispatches.
     pub energy: Energy,
+    /// Tasks that actually completed (failed attempts contribute nothing).
     pub tasks: usize,
     pub decisions: Vec<DispatchRecord>,
-    /// Mean time workflows spent queued (dispatch − arrival).
+    /// Mean time workflows spent queued (first dispatch − arrival).
     pub mean_wait: Seconds,
+    /// Dispatches that had to be repeated after a fault.
+    #[serde(default)]
+    pub retries: usize,
+    /// Injected faults that fired across all dispatches.
+    #[serde(default)]
+    pub faults: usize,
+    /// Workflows abandoned after exhausting the retry budget.
+    #[serde(default)]
+    pub failed_workflows: Vec<usize>,
+    /// Dynamic energy spent on attempts that were later discarded.
+    #[serde(default)]
+    pub wasted_energy: Energy,
+    /// Completed tasks per second of makespan — the throughput that
+    /// survives faults.
+    #[serde(default)]
+    pub goodput: f64,
+}
+
+/// Seeded fault model for online runs: on each dispatch, every group
+/// member faults independently with probability `rate`, at a time uniform
+/// in `[0, solo_wall)` of that member. Draws are keyed by
+/// `(seed, workflow, attempt)` only, so a retried workflow re-rolls its
+/// fate while the schedule stays a pure function of the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineFaultModel {
+    pub seed: u64,
+    pub rate: f64,
+}
+
+impl OnlineFaultModel {
+    pub fn new(seed: u64, rate: f64) -> Result<Self> {
+        let model = OnlineFaultModel { seed, rate };
+        model.validate()?;
+        Ok(model)
+    }
+
+    pub fn validate(&self) -> Result<()> {
+        if !self.rate.is_finite() || !(0.0..=1.0).contains(&self.rate) {
+            return Err(Error::InvalidConfig(format!(
+                "online fault rate must be in [0, 1], got {}",
+                self.rate
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// How the dispatcher recovers from failed dispatches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Total attempts per workflow (first dispatch included) before it is
+    /// abandoned.
+    pub max_attempts: usize,
+    /// Base of the exponential dispatch backoff: after attempt *k* fails,
+    /// the workflow is not redispatched before
+    /// `backoff_base * 2^(k-1)` has passed.
+    pub backoff_base: Seconds,
+    /// Once a workflow has *originated* this many faults it degrades to
+    /// exclusive execution — it runs alone so its next crash cannot take
+    /// innocent group-mates down with the shared server.
+    pub exclusive_after: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_base: Seconds::new(30.0),
+            exclusive_after: 2,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::InvalidConfig(
+                "recovery policy needs at least one attempt".into(),
+            ));
+        }
+        if self.exclusive_after == 0 {
+            return Err(Error::InvalidConfig(
+                "exclusive_after must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The plan's first group, as a typed error instead of a panic when the
+/// planner returns no groups.
+fn first_group(plan: &SchedulePlan) -> Result<&PlanGroup> {
+    plan.groups.first().ok_or_else(|| {
+        Error::PlanViolation("planner returned an empty plan: no group to dispatch".into())
+    })
 }
 
 /// Online dispatcher: replans over the pending set at every free point.
@@ -80,8 +176,31 @@ impl OnlineScheduler {
         arrivals: &[ArrivingWorkflow],
         store: &ProfileStore,
     ) -> Result<OnlineOutcome> {
+        self.run_with_recovery(arrivals, store, None, &RecoveryPolicy::default())
+    }
+
+    /// Like [`OnlineScheduler::run`], with fault injection and recovery.
+    ///
+    /// With `faults`, each dispatched group member may suffer a fatal
+    /// fault; the group runs under one MPS server, so one member's fault
+    /// aborts the whole group (the shared failure domain). Failed
+    /// workflows are requeued with exponential dispatch backoff until the
+    /// policy's retry budget runs out; workflows that keep originating
+    /// faults degrade to exclusive execution. With `faults = None` the
+    /// outcome is identical to [`OnlineScheduler::run`].
+    pub fn run_with_recovery(
+        &self,
+        arrivals: &[ArrivingWorkflow],
+        store: &ProfileStore,
+        faults: Option<&OnlineFaultModel>,
+        policy: &RecoveryPolicy,
+    ) -> Result<OnlineOutcome> {
         if arrivals.is_empty() {
             return Err(Error::InvalidConfig("no arrivals".into()));
+        }
+        policy.validate()?;
+        if let Some(model) = faults {
+            model.validate()?;
         }
         let profiles: Vec<WorkflowProfile> = arrivals
             .iter()
@@ -89,24 +208,43 @@ impl OnlineScheduler {
             .collect::<Result<Vec<_>>>()?;
 
         let specs: Vec<WorkflowSpec> = arrivals.iter().map(|a| a.spec.clone()).collect();
-        let mut dispatched = vec![false; arrivals.len()];
+        // Fault times scale with each workflow's solo wall time; only
+        // needed when a fault model is installed.
+        let solo_walls: Vec<Seconds> = if faults.is_some() {
+            self.executor.solo_wall_times(&specs)?
+        } else {
+            Vec::new()
+        };
+
+        let n = arrivals.len();
+        let mut done = vec![false; n];
+        let mut abandoned = vec![false; n];
+        let mut attempts = vec![0usize; n];
+        // Faults *originated* by each workflow (collateral victims of a
+        // group-mate's crash don't count toward exclusive degradation).
+        let mut own_faults = vec![0usize; n];
+        let mut ready_at: Vec<Seconds> = arrivals.iter().map(|a| a.arrival).collect();
         let mut ids = IdAllocator::new();
         let mut now = Seconds::ZERO;
         let mut energy = Energy::ZERO;
         let mut tasks = 0usize;
         let mut decisions = Vec::new();
         let mut wait_total = 0.0f64;
+        let mut retries = 0usize;
+        let mut fault_count = 0usize;
+        let mut wasted_energy = Energy::ZERO;
 
         loop {
-            // Pending = arrived and not yet dispatched.
-            let pending: Vec<usize> = (0..arrivals.len())
-                .filter(|&i| !dispatched[i] && arrivals[i].arrival <= now)
+            // Pending = arrived (or requeued past its backoff), not yet
+            // finished, not abandoned.
+            let pending: Vec<usize> = (0..n)
+                .filter(|&i| !done[i] && !abandoned[i] && ready_at[i] <= now)
                 .collect();
             if pending.is_empty() {
-                // Jump to the next arrival (GPU idles) or finish.
-                let next = (0..arrivals.len())
-                    .filter(|&i| !dispatched[i])
-                    .map(|i| arrivals[i].arrival)
+                // Jump to the next arrival / backoff expiry (GPU idles).
+                let next = (0..n)
+                    .filter(|&i| !done[i] && !abandoned[i])
+                    .map(|i| ready_at[i])
                     .fold(Seconds::INFINITY, Seconds::min);
                 if !next.is_finite() {
                     break;
@@ -116,20 +254,56 @@ impl OnlineScheduler {
                 continue;
             }
 
-            // Plan the pending set and dispatch its first group.
-            let pending_profiles: Vec<WorkflowProfile> =
-                pending.iter().map(|&i| profiles[i].clone()).collect();
-            let plan = self.planner.plan(&pending_profiles, self.strategy)?;
-            let group = &plan.groups[0];
-            // Map local plan indices back to arrival indices.
-            let members: Vec<usize> = group.workflow_indices.iter().map(|&l| pending[l]).collect();
-            let local_group = crate::planner::PlanGroup {
-                workflow_indices: members.clone(),
-                partitions: group.partitions.clone(),
+            // Repeat offenders run alone: their next crash must not take
+            // innocent group-mates down with the shared server.
+            let offender = pending
+                .iter()
+                .copied()
+                .find(|&i| own_faults[i] >= policy.exclusive_after);
+            let local_group = match offender {
+                Some(w) => PlanGroup {
+                    workflow_indices: vec![w],
+                    partitions: vec![Fraction::ONE],
+                },
+                None => {
+                    // Plan the pending set and dispatch its first group.
+                    let pending_profiles: Vec<WorkflowProfile> =
+                        pending.iter().map(|&i| profiles[i].clone()).collect();
+                    let plan = self.planner.plan(&pending_profiles, self.strategy)?;
+                    let group = first_group(&plan)?;
+                    // Map local plan indices back to arrival indices.
+                    PlanGroup {
+                        workflow_indices: group
+                            .workflow_indices
+                            .iter()
+                            .map(|&l| pending[l])
+                            .collect(),
+                        partitions: group.partitions.clone(),
+                    }
+                }
             };
-            let result = self
-                .executor
-                .run_group_raw(&specs, &local_group, &mut ids)?;
+            let members = local_group.workflow_indices.clone();
+
+            // Per-dispatch fault plan: one draw per (workflow, attempt),
+            // pure in the seed — bit-identical on any worker count.
+            let mut dispatch_faults = FaultPlan::default();
+            if let Some(model) = faults {
+                for (local, &w) in members.iter().enumerate() {
+                    let attempt = attempts[w] as u64;
+                    if unit_hash(model.seed, &[w as u64, attempt, 0]) < model.rate {
+                        let frac = unit_hash(model.seed, &[w as u64, attempt, 1]);
+                        let at = Seconds::new(frac * solo_walls[w].value());
+                        dispatch_faults.push_client_fault(at, local);
+                    }
+                }
+            }
+
+            let result = self.executor.run_group_raw_with_faults(
+                &specs,
+                &local_group,
+                &mut ids,
+                &dispatch_faults,
+            )?;
             let outcome = RunOutcome {
                 makespan: result.makespan,
                 energy: result.total_energy,
@@ -138,9 +312,37 @@ impl OnlineScheduler {
                 avg_power: result.telemetry.avg_power(),
                 avg_sm_util: result.telemetry.avg_sm_util(),
             };
-            for &i in &members {
-                dispatched[i] = true;
-                wait_total += (now.saturating_sub(arrivals[i].arrival)).value();
+            // Queue wait accrues at the first dispatch only; a retry is
+            // the dispatcher's fault, not queueing delay.
+            for &w in &members {
+                if attempts[w] == 0 {
+                    wait_total += (now.saturating_sub(arrivals[w].arrival)).value();
+                }
+            }
+            for record in &result.failures {
+                own_faults[members[record.origin]] += 1;
+                fault_count += 1;
+            }
+            let end = now + outcome.makespan;
+            for (local, &w) in members.iter().enumerate() {
+                attempts[w] += 1;
+                let client = &result.clients[local];
+                if client.failed {
+                    // The whole attempt is discarded: everything this
+                    // client burned above idle was for nothing.
+                    wasted_energy += client.dyn_energy;
+                    if attempts[w] >= policy.max_attempts {
+                        abandoned[w] = true;
+                    } else {
+                        retries += 1;
+                        let backoff =
+                            policy.backoff_base.value() * 2f64.powi(attempts[w] as i32 - 1);
+                        ready_at[w] = end + Seconds::new(backoff);
+                    }
+                } else {
+                    done[w] = true;
+                    tasks += client.completions.len();
+                }
             }
             decisions.push(DispatchRecord {
                 at: now,
@@ -148,16 +350,25 @@ impl OnlineScheduler {
                 duration: outcome.makespan,
             });
             energy += outcome.energy;
-            tasks += outcome.tasks;
-            now += outcome.makespan;
+            now = end;
         }
 
+        let goodput = if now == Seconds::ZERO {
+            0.0
+        } else {
+            tasks as f64 / now.value()
+        };
         Ok(OnlineOutcome {
             makespan: now,
             energy,
             tasks,
             decisions,
             mean_wait: Seconds::new(wait_total / arrivals.len() as f64),
+            retries,
+            faults: fault_count,
+            failed_workflows: (0..n).filter(|&i| abandoned[i]).collect(),
+            wasted_energy,
+            goodput,
         })
     }
 
@@ -208,12 +419,22 @@ impl OnlineScheduler {
             now += result.makespan;
         }
         let _ = store; // profiles not needed for FIFO; kept for symmetry
+        let goodput = if now == Seconds::ZERO {
+            0.0
+        } else {
+            tasks as f64 / now.value()
+        };
         Ok(OnlineOutcome {
             makespan: now,
             energy,
             tasks,
             decisions,
             mean_wait: Seconds::new(wait_total / arrivals.len() as f64),
+            retries: 0,
+            faults: 0,
+            failed_workflows: Vec::new(),
+            wasted_energy: Energy::ZERO,
+            goodput,
         })
     }
 }
@@ -319,5 +540,172 @@ mod tests {
         let store = ProfileStore::new();
         assert!(scheduler().run(&[], &store).is_err());
         assert!(scheduler().run_fifo(&[], &store).is_err());
+    }
+
+    /// Satellite regression: an empty plan must surface as a typed error,
+    /// not an index panic (`plan.groups[0]`).
+    #[test]
+    fn empty_plan_yields_typed_error_not_panic() {
+        let plan = crate::planner::SchedulePlan { groups: vec![] };
+        let err = super::first_group(&plan).unwrap_err();
+        assert!(matches!(err, Error::PlanViolation(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn fault_free_recovery_path_matches_plain_run() {
+        let (arrivals, store) = arrivals();
+        let s = scheduler();
+        let plain = s.run(&arrivals, &store).unwrap();
+        let zero_rate = s
+            .run_with_recovery(
+                &arrivals,
+                &store,
+                Some(&OnlineFaultModel::new(7, 0.0).unwrap()),
+                &RecoveryPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(plain, zero_rate, "rate-0 model must be a no-op");
+        assert_eq!(plain.retries, 0);
+        assert_eq!(plain.faults, 0);
+        assert!(plain.failed_workflows.is_empty());
+        assert_eq!(plain.wasted_energy, Energy::ZERO);
+        assert!(plain.goodput > 0.0);
+        assert!((plain.goodput - plain.tasks as f64 / plain.makespan.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_failure_requeues_and_eventually_completes() {
+        let (arrivals, store) = arrivals();
+        let s = scheduler();
+        // Sweep seeds until one produces faults but no budget exhaustion:
+        // the interesting middle where recovery does its job. Seeded draws
+        // make the scan deterministic.
+        let policy = RecoveryPolicy {
+            max_attempts: 10,
+            backoff_base: Seconds::new(5.0),
+            exclusive_after: 2,
+        };
+        let outcome = (0..64u64)
+            .map(|seed| {
+                s.run_with_recovery(
+                    &arrivals,
+                    &store,
+                    Some(&OnlineFaultModel::new(seed, 0.3).unwrap()),
+                    &policy,
+                )
+                .unwrap()
+            })
+            .find(|o| o.faults > 0 && o.failed_workflows.is_empty())
+            .expect("some seed in 0..64 recovers fully at rate 0.3");
+        // Everything completed despite faults: full task count, retries
+        // recorded, wasted energy attributed.
+        assert_eq!(outcome.tasks, 22);
+        assert!(outcome.retries > 0);
+        assert!(outcome.wasted_energy.joules() > 0.0);
+        assert!(outcome.makespan.value() > 0.0);
+        // Every workflow's last dispatch succeeded; total dispatches
+        // exceed the workflow count because of the retries.
+        let dispatch_count: usize = outcome.decisions.iter().map(|d| d.workflows.len()).sum();
+        assert_eq!(dispatch_count, arrivals.len() + outcome.retries);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_failure_and_balances() {
+        let (arrivals, store) = arrivals();
+        let s = scheduler();
+        // Rate 1: every attempt of every workflow faults; nothing can
+        // ever complete.
+        let policy = RecoveryPolicy {
+            max_attempts: 2,
+            backoff_base: Seconds::new(1.0),
+            exclusive_after: 2,
+        };
+        let outcome = s
+            .run_with_recovery(
+                &arrivals,
+                &store,
+                Some(&OnlineFaultModel::new(3, 1.0).unwrap()),
+                &policy,
+            )
+            .unwrap();
+        assert_eq!(outcome.tasks, 0);
+        assert_eq!(outcome.goodput, 0.0);
+        assert_eq!(outcome.failed_workflows, vec![0, 1, 2, 3]);
+        // Accounting balances: every workflow burned its full budget, and
+        // retries + first attempts + abandoned == dispatch slots.
+        let dispatch_count: usize = outcome.decisions.iter().map(|d| d.workflows.len()).sum();
+        assert_eq!(dispatch_count, arrivals.len() * policy.max_attempts);
+        assert_eq!(outcome.retries, arrivals.len() * (policy.max_attempts - 1));
+        // A shared-server fault takes down every group member in a single
+        // record, so the record count tracks dispatches, not dispatch slots.
+        assert!(outcome.faults >= outcome.decisions.len());
+        assert!(outcome.wasted_energy.joules() > 0.0);
+        assert!(outcome.wasted_energy.joules() <= outcome.energy.joules());
+    }
+
+    #[test]
+    fn repeat_offender_degrades_to_exclusive_execution() {
+        let (arrivals, store) = arrivals();
+        let s = scheduler();
+        let policy = RecoveryPolicy {
+            max_attempts: 8,
+            backoff_base: Seconds::new(1.0),
+            exclusive_after: 2,
+        };
+        let outcome = s
+            .run_with_recovery(
+                &arrivals,
+                &store,
+                Some(&OnlineFaultModel::new(11, 1.0).unwrap()),
+                &policy,
+            )
+            .unwrap();
+        // At rate 1 every workflow soon crosses exclusive_after, so late
+        // dispatches must all be solo.
+        let solo_dispatches = outcome
+            .decisions
+            .iter()
+            .filter(|d| d.workflows.len() == 1)
+            .count();
+        assert!(
+            solo_dispatches > outcome.decisions.len() / 2,
+            "expected mostly exclusive dispatches, got {solo_dispatches}/{}",
+            outcome.decisions.len()
+        );
+        assert_eq!(outcome.tasks, 0);
+    }
+
+    #[test]
+    fn recovery_runs_are_deterministic() {
+        let (arrivals, store) = arrivals();
+        let s = scheduler();
+        let model = OnlineFaultModel::new(42, 0.5).unwrap();
+        let policy = RecoveryPolicy::default();
+        let a = s
+            .run_with_recovery(&arrivals, &store, Some(&model), &policy)
+            .unwrap();
+        let b = s
+            .run_with_recovery(&arrivals, &store, Some(&model), &policy)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_model_and_policy_validate_inputs() {
+        assert!(OnlineFaultModel::new(0, -0.1).is_err());
+        assert!(OnlineFaultModel::new(0, 1.5).is_err());
+        assert!(OnlineFaultModel::new(0, f64::NAN).is_err());
+        assert!(RecoveryPolicy {
+            max_attempts: 0,
+            ..RecoveryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryPolicy {
+            exclusive_after: 0,
+            ..RecoveryPolicy::default()
+        }
+        .validate()
+        .is_err());
     }
 }

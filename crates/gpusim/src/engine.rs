@@ -23,6 +23,7 @@
 use crate::contention::{Allocation, ContentionSolver, PreparedContender, SolveScratch};
 use crate::device::DeviceSpec;
 use crate::events::{Event, EventKind, EventLog};
+use crate::fault::{FaultPlan, FaultRecord, FaultScope, FaultSpec};
 use crate::power::{PowerModel, PowerState};
 use crate::program::ClientProgram;
 use crate::telemetry::{Segment, Telemetry};
@@ -83,6 +84,9 @@ pub struct EngineConfig {
     /// blocking, throttle transitions, context switches). Off by default:
     /// long sweeps don't need it and it costs memory.
     pub record_events: bool,
+    /// Faults to inject (empty by default: with no plan installed, every
+    /// code path behaves exactly as before).
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -93,6 +97,7 @@ impl EngineConfig {
             sharing_overhead: 0.0,
             max_events: 50_000_000,
             record_events: false,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -103,6 +108,11 @@ impl EngineConfig {
 
     pub fn with_event_log(mut self, record: bool) -> Self {
         self.record_events = record;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -122,11 +132,45 @@ pub struct ClientOutcome {
     pub label: String,
     /// When the client's first task began setup.
     pub started: Seconds,
-    /// When the client's last task completed.
+    /// When the client's last task completed (or was aborted).
     pub finished: Seconds,
     /// Integrated GPU progress time (Σ rate·dt over its kernels).
     pub gpu_progress: Seconds,
     pub completions: Vec<TaskCompletion>,
+    /// Whether an injected fault aborted this client before completion.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub failed: bool,
+    /// GPU progress on the task in flight when the client was aborted —
+    /// work that produced no completed task.
+    #[serde(default, skip_serializing_if = "seconds_is_zero")]
+    pub wasted_progress: Seconds,
+    /// Dynamic energy attributed to that lost in-flight work.
+    #[serde(default, skip_serializing_if = "energy_is_zero")]
+    pub wasted_energy: Energy,
+    /// Total dynamic energy attributed to this client over the run
+    /// (its share of the board's above-idle draw, integrated).
+    #[serde(default, skip_serializing_if = "energy_is_zero")]
+    pub dyn_energy: Energy,
+}
+
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
+fn seconds_is_zero(s: &Seconds) -> bool {
+    s.value() == 0.0
+}
+
+fn energy_is_zero(e: &Energy) -> bool {
+    e.joules() == 0.0
+}
+
+fn usize_is_zero(n: &usize) -> bool {
+    *n == 0
+}
+
+fn failures_is_empty(f: &[FaultRecord]) -> bool {
+    f.is_empty()
 }
 
 /// Result of one engine run.
@@ -138,6 +182,19 @@ pub struct RunResult {
     pub makespan: Seconds,
     pub total_energy: Energy,
     pub tasks_completed: usize,
+    /// Injected faults that fired, in firing order. Empty without a
+    /// [`FaultPlan`] (or when every planned fault missed its target).
+    #[serde(default, skip_serializing_if = "failures_is_empty")]
+    pub failures: Vec<FaultRecord>,
+    /// Tasks left uncompleted on aborted clients.
+    #[serde(default, skip_serializing_if = "usize_is_zero")]
+    pub tasks_failed: usize,
+    /// GPU progress lost on tasks in flight when their client was aborted.
+    #[serde(default, skip_serializing_if = "seconds_is_zero")]
+    pub wasted_progress: Seconds,
+    /// Dynamic energy attributed to that lost work.
+    #[serde(default, skip_serializing_if = "energy_is_zero")]
+    pub wasted_energy: Energy,
     /// Discrete-event log; empty unless `EngineConfig::record_events`.
     pub events: EventLog,
     /// Time-sorted `(client, completion)` index pairs, precomputed once at
@@ -155,12 +212,26 @@ fn completion_order_skip(_order: &[(usize, usize)]) -> bool {
 
 impl RunResult {
     /// Tasks completed per second over the makespan — the raw quantity
-    /// behind the paper's throughput metric.
+    /// behind the paper's throughput metric. Under fault injection only
+    /// completed tasks count, so this is also the run's *goodput*.
     pub fn throughput(&self) -> f64 {
         if self.makespan == Seconds::ZERO {
             0.0
         } else {
             self.tasks_completed as f64 / self.makespan.value()
+        }
+    }
+
+    /// Fraction of all GPU progress that was wasted on aborted in-flight
+    /// tasks (per-client `gpu_progress` includes the lost work, so this is
+    /// `wasted / total`). Zero for a fault-free run.
+    pub fn wasted_fraction(&self) -> f64 {
+        let total: f64 = self.clients.iter().map(|c| c.gpu_progress.value()).sum();
+        let wasted = self.wasted_progress.value();
+        if wasted == 0.0 || total <= 0.0 {
+            0.0
+        } else {
+            wasted / total
         }
     }
 
@@ -224,6 +295,9 @@ enum Phase {
     Gap { remaining: f64 },
     /// All tasks finished.
     Done,
+    /// Aborted by an injected fault; terminal like `Done`, but the
+    /// client's remaining tasks never completed.
+    Failed,
 }
 
 #[derive(Debug)]
@@ -240,6 +314,17 @@ struct ClientState {
     /// Invariant solve inputs of the current kernel, computed once when it
     /// starts (valid only while `phase` is `Running`).
     prepared: Option<PreparedContender>,
+    /// GPU progress on the current (uncompleted) task; reset when the
+    /// task completes, harvested as wasted work on abort.
+    task_progress: f64,
+    /// Dynamic energy attributed to the current task (same lifecycle).
+    task_dyn_energy: f64,
+    /// Total dynamic energy attributed to this client over the run.
+    dyn_energy: f64,
+    /// Wasted work harvested at abort time.
+    wasted_progress: f64,
+    wasted_energy: f64,
+    failed: bool,
 }
 
 impl ClientState {
@@ -255,11 +340,18 @@ impl ClientState {
             gpu_progress: 0.0,
             completions: Vec::new(),
             prepared: None,
+            task_progress: 0.0,
+            task_dyn_energy: 0.0,
+            dyn_energy: 0.0,
+            wasted_progress: 0.0,
+            wasted_energy: 0.0,
+            failed: false,
         }
     }
 
-    fn is_done(&self) -> bool {
-        matches!(self.phase, Phase::Done)
+    /// Terminal either way: completed all tasks or aborted by a fault.
+    fn is_terminated(&self) -> bool {
+        matches!(self.phase, Phase::Done | Phase::Failed)
     }
 
     fn is_running(&self) -> bool {
@@ -302,6 +394,13 @@ pub struct Engine {
     prepared_scratch: Vec<PreparedContender>,
     allocations_scratch: Vec<Allocation>,
     solve_scratch: SolveScratch,
+    /// Per-slot dynamic power (after clock scaling) matching
+    /// `solved_rates`, for per-client energy attribution.
+    solved_dyn_powers: Vec<f64>,
+    /// Injected faults sorted by time; `next_fault` is the cursor.
+    fault_queue: Vec<FaultSpec>,
+    next_fault: usize,
+    failures: Vec<FaultRecord>,
 }
 
 /// Hot-path counters from one engine run (see [`Engine::run_with_stats`]).
@@ -369,6 +468,7 @@ impl Engine {
         // Pre-solve the empty resident set (epoch 0) so an idle GPU — e.g.
         // before the first arrival — is a cache hit, not a solve.
         let idle_pstate = power.resolve(0.0, 0);
+        let fault_queue = config.faults.sorted();
         Ok(Engine {
             config,
             solver,
@@ -396,6 +496,10 @@ impl Engine {
             prepared_scratch: Vec::new(),
             allocations_scratch: Vec::new(),
             solve_scratch: SolveScratch::default(),
+            solved_dyn_powers: Vec::new(),
+            fault_queue,
+            next_fault: 0,
+            failures: Vec::new(),
         })
     }
 
@@ -422,7 +526,7 @@ impl Engine {
     pub fn run_with_stats(mut self) -> Result<(RunResult, EngineStats)> {
         loop {
             self.process_transitions()?;
-            if self.clients.iter().all(|c| c.is_done()) {
+            if self.clients.iter().all(|c| c.is_terminated()) {
                 break;
             }
             self.events += 1;
@@ -446,8 +550,14 @@ impl Engine {
                 .fold(0.0, f64::max),
         );
         let tasks_completed = self.clients.iter().map(|c| c.completions.len()).sum();
+        let tasks_failed = self
+            .clients
+            .iter()
+            .filter(|c| c.failed)
+            .map(|c| c.program.tasks.len() - c.completions.len())
+            .sum();
         let total_energy = self.telemetry.total_energy();
-        let clients = self
+        let clients: Vec<ClientOutcome> = self
             .clients
             .into_iter()
             .map(|c| ClientOutcome {
@@ -456,14 +566,25 @@ impl Engine {
                 finished: c.finished.unwrap_or(Seconds::ZERO),
                 gpu_progress: Seconds::new(c.gpu_progress.max(0.0)),
                 completions: c.completions,
+                failed: c.failed,
+                wasted_progress: Seconds::new(c.wasted_progress.max(0.0)),
+                wasted_energy: Energy::from_joules(c.wasted_energy.max(0.0)),
+                dyn_energy: Energy::from_joules(c.dyn_energy.max(0.0)),
             })
             .collect();
+        let wasted_progress = Seconds::new(clients.iter().map(|c| c.wasted_progress.value()).sum());
+        let wasted_energy =
+            Energy::from_joules(clients.iter().map(|c| c.wasted_energy.joules()).sum());
         let mut result = RunResult {
             telemetry: self.telemetry,
             clients,
             makespan,
             total_energy,
             tasks_completed,
+            failures: self.failures,
+            tasks_failed,
+            wasted_progress,
+            wasted_energy,
             events: self.log,
             completion_order: Vec::new(),
         };
@@ -482,7 +603,9 @@ impl Engine {
             return false;
         }
         match self.config.mode {
-            SharingMode::Sequential => self.clients[..i].iter().all(|c| c.is_done()),
+            // A crashed predecessor unblocks the queue just like a
+            // completed one: the next job in line starts.
+            SharingMode::Sequential => self.clients[..i].iter().all(|c| c.is_terminated()),
             _ => true,
         }
     }
@@ -493,7 +616,7 @@ impl Engine {
     /// frees memory that unblocks a waiter).
     fn process_transitions(&mut self) -> Result<()> {
         loop {
-            let mut changed = false;
+            let mut changed = self.apply_due_faults();
             for i in 0..self.clients.len() {
                 changed |= self.step_client(i)?;
             }
@@ -504,6 +627,74 @@ impl Engine {
         }
         self.fix_timeslice_active();
         Ok(())
+    }
+
+    /// Fires every injected fault due at the current time; returns whether
+    /// any client was aborted. Faults are consumed in time order via the
+    /// `next_fault` cursor, so each fires at most once.
+    fn apply_due_faults(&mut self) -> bool {
+        let mut changed = false;
+        while let Some(&spec) = self.fault_queue.get(self.next_fault) {
+            if spec.at.value() > self.now + EPS {
+                break;
+            }
+            self.next_fault += 1;
+            let origin = spec.scope.origin();
+            if origin >= self.clients.len() || self.clients[origin].is_terminated() {
+                // An exited process cannot fault — and cannot crash the
+                // server it already disconnected from.
+                continue;
+            }
+            let victims = match spec.scope {
+                FaultScope::Client(_) => {
+                    self.abort_client(origin, origin);
+                    1
+                }
+                FaultScope::Domain(_) => {
+                    // Shared failure domain: the server goes down and every
+                    // unfinished resident sibling dies with the origin.
+                    self.record(Event::DEVICE, EventKind::ServerCrash { origin });
+                    let mut count = 0;
+                    for i in 0..self.clients.len() {
+                        if !self.clients[i].is_terminated() {
+                            self.abort_client(i, origin);
+                            count += 1;
+                        }
+                    }
+                    count
+                }
+            };
+            self.failures.push(FaultRecord {
+                at: Seconds::new(self.now),
+                origin,
+                victims,
+            });
+            changed = true;
+        }
+        changed
+    }
+
+    /// Aborts client `i`: harvests the in-flight task's progress and energy
+    /// as wasted work, frees its memory, and moves it to the terminal
+    /// `Failed` phase.
+    fn abort_client(&mut self, i: usize, origin: usize) {
+        let was_running = self.clients[i].is_running();
+        let client = &mut self.clients[i];
+        client.wasted_progress += client.task_progress;
+        client.wasted_energy += client.task_dyn_energy;
+        client.task_progress = 0.0;
+        client.task_dyn_energy = 0.0;
+        client.prepared = None;
+        client.phase = Phase::Failed;
+        client.failed = true;
+        client.finished = Some(Seconds::new(self.now));
+        self.free_memory += client.held_memory;
+        client.held_memory = MemBytes::ZERO;
+        self.memory_waiters.retain(|&w| w != i);
+        if was_running {
+            self.bump_epoch();
+        }
+        self.record(i, EventKind::ClientFault { origin });
     }
 
     /// Applies at most one transition for client `i`; returns whether
@@ -596,6 +787,8 @@ impl Engine {
             client.completions.push(completion);
             client.task_idx += 1;
             client.kernel_idx = 0;
+            client.task_progress = 0.0;
+            client.task_dyn_energy = 0.0;
             if client.task_idx < client.program.tasks.len() {
                 client.phase = Phase::Pending;
             } else {
@@ -808,6 +1001,11 @@ impl Engine {
         self.solved_rates.clear();
         self.solved_rates
             .extend(allocations.iter().map(|a| a.rate * clock_factor));
+        // The clock scaling that slows rates also scales the actual dynamic
+        // draw, so per-slot attributed power sums to (billed − idle).
+        self.solved_dyn_powers.clear();
+        self.solved_dyn_powers
+            .extend(allocations.iter().map(|a| a.dyn_power_watts * clock_factor));
         self.solved_sm_util = allocations.iter().map(|a| a.sm_share).sum();
         self.solved_bw_util = allocations.iter().map(|a| a.bw_share).sum();
         self.solved_scheduled = scheduled;
@@ -861,6 +1059,13 @@ impl Engine {
                 if at > self.now {
                     dt = dt.min(at - self.now);
                 }
+            }
+        }
+        // Pending injected faults.
+        if let Some(f) = self.fault_queue.get(self.next_fault) {
+            let at = f.at.value();
+            if at > self.now {
+                dt = dt.min(at - self.now);
             }
         }
         // Time-slice events.
@@ -918,7 +1123,12 @@ impl Engine {
             if let Phase::Running { remaining } = &mut self.clients[i].phase {
                 let progress = self.solved_rates[slot] * dt;
                 *remaining = (*remaining - progress).max(0.0);
-                self.clients[i].gpu_progress += progress;
+                let dyn_e = self.solved_dyn_powers[slot] * dt;
+                let client = &mut self.clients[i];
+                client.gpu_progress += progress;
+                client.task_progress += progress;
+                client.dyn_energy += dyn_e;
+                client.task_dyn_energy += dyn_e;
             }
         }
         for c in &mut self.clients {
@@ -1417,6 +1627,172 @@ mod tests {
         assert_eq!(plain.makespan, with_stats.makespan);
         assert_eq!(plain.total_energy, with_stats.total_energy);
         assert!(stats.events > 0 && stats.rate_solves > 0);
+    }
+
+    #[test]
+    fn client_fault_aborts_mid_run_and_accounts_waste() {
+        // Solo 4 s kernel, no contention (rate 1): a fault at 1.5 s wastes
+        // exactly 1.5 s of progress and all dynamic energy spent so far.
+        let c = one_task_client("victim", 0, vec![kernel(4.0, 0.3, 0.1, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.5), 0);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(1)).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![c]).unwrap().run().unwrap();
+        assert_eq!(r.tasks_completed, 0);
+        assert_eq!(r.tasks_failed, 1);
+        assert!(r.clients[0].failed);
+        assert!(
+            (r.makespan.value() - 1.5).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
+        assert!((r.wasted_progress.value() - 1.5).abs() < 1e-9);
+        assert!((r.wasted_fraction() - 1.0).abs() < 1e-12);
+        // All dynamic energy spent went to the aborted task.
+        assert!(r.clients[0].dyn_energy.joules() > 0.0);
+        assert_eq!(r.clients[0].wasted_energy, r.clients[0].dyn_energy);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].origin, 0);
+        assert_eq!(r.failures[0].victims, 1);
+    }
+
+    #[test]
+    fn domain_fault_kills_all_resident_clients() {
+        let a = one_task_client("a", 0, vec![kernel(4.0, 0.2, 0.0, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(4.0, 0.2, 0.0, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_domain_fault(Seconds::new(1.0), 0);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2))
+            .with_fault_plan(faults)
+            .with_event_log(true);
+        let r = Engine::new(cfg, vec![a, b]).unwrap().run().unwrap();
+        assert_eq!(r.tasks_completed, 0);
+        assert_eq!(r.tasks_failed, 2);
+        assert!(r.clients.iter().all(|c| c.failed));
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].victims, 2);
+        // Device-level ServerCrash, then a ClientFault per victim with the
+        // origin attributed.
+        assert!(r
+            .events
+            .events()
+            .iter()
+            .any(|e| e.client == Event::DEVICE
+                && matches!(e.kind, EventKind::ServerCrash { origin: 0 })));
+        let client_faults: Vec<_> = r
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ClientFault { origin: 0 }))
+            .collect();
+        assert_eq!(client_faults.len(), 2);
+    }
+
+    #[test]
+    fn fault_after_completion_is_a_noop() {
+        // Origin finishes at 1 s; a domain fault at 2 s must not fire (an
+        // exited process cannot crash the server), so the sibling survives.
+        let a = one_task_client("a", 0, vec![kernel(1.0, 0.1, 0.0, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(4.0, 0.1, 0.0, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_domain_fault(Seconds::new(2.0), 0);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2)).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![a, b]).unwrap().run().unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        assert_eq!(r.tasks_failed, 0);
+        assert!(r.failures.is_empty());
+        assert_eq!(r.wasted_progress, Seconds::ZERO);
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let mk = |id| one_task_client("w", id, vec![kernel(2.0, 0.4, 0.1, 0.5)]);
+        let plain = run(SharingMode::mps_uniform(2), vec![mk(0), mk(1)]);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2))
+            .with_fault_plan(FaultPlan::default());
+        let with_plan = Engine::new(cfg, vec![mk(0), mk(1)]).unwrap().run().unwrap();
+        assert_eq!(plain.makespan, with_plan.makespan);
+        assert_eq!(plain.total_energy, with_plan.total_energy);
+        assert_eq!(plain.clients, with_plan.clients);
+        assert!(with_plan.failures.is_empty());
+        assert_eq!(with_plan.tasks_failed, 0);
+    }
+
+    #[test]
+    fn sequential_queue_unblocks_after_predecessor_crash() {
+        let a = one_task_client("a", 0, vec![kernel(3.0, 0.3, 0.0, 0.0)]);
+        let b = one_task_client("b", 1, vec![kernel(3.0, 0.3, 0.0, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.0), 0);
+        let cfg = EngineConfig::new(dev(), SharingMode::Sequential).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![a, b]).unwrap().run().unwrap();
+        // a dies at 1 s; b starts right then and runs its solo 3 s.
+        assert!((r.clients[1].started.value() - 1.0).abs() < 1e-9);
+        assert!(
+            (r.makespan.value() - 4.0).abs() < 1e-9,
+            "makespan {}",
+            r.makespan
+        );
+        assert_eq!(r.tasks_completed, 1);
+        assert_eq!(r.tasks_failed, 1);
+    }
+
+    #[test]
+    fn abort_frees_memory_for_blocked_waiter() {
+        let mut a = one_task_client("big", 0, vec![kernel(10.0, 0.2, 0.0, 0.0)]);
+        a.tasks[0].memory = MemBytes::from_gib(60);
+        let mut b = one_task_client("big2", 1, vec![kernel(2.0, 0.2, 0.0, 0.0)]);
+        b.tasks[0].memory = MemBytes::from_gib(60);
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.0), 0);
+        let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(2)).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![a, b]).unwrap().run().unwrap();
+        // b was blocked on memory until a's abort freed 60 GiB at 1 s.
+        assert_eq!(r.tasks_completed, 1);
+        assert!(!r.clients[1].failed);
+        assert!(
+            (r.makespan.value() - 3.0).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn timesliced_fault_releases_gpu_to_sibling() {
+        let mk = |id| one_task_client("ts", id, vec![kernel(2.0, 0.6, 0.0, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(0.5), 0);
+        let cfg =
+            EngineConfig::new(dev(), SharingMode::timesliced_default()).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![mk(0), mk(1)]).unwrap().run().unwrap();
+        assert_eq!(r.tasks_completed, 1);
+        assert!(!r.clients[1].failed);
+        // The survivor still finishes: the fault released the device.
+        assert!(r.clients[1].completions.len() == 1);
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_deterministic() {
+        let mk = || {
+            let programs: Vec<ClientProgram> = (0..6)
+                .map(|id| one_task_client("w", id, vec![kernel(2.0, 0.3, 0.1, 0.2)]))
+                .collect();
+            let horizons = vec![Seconds::new(2.0); 6];
+            let faults = FaultPlan::seeded(99, &horizons, 0.5)
+                .unwrap()
+                .widen_to_domain();
+            let cfg = EngineConfig::new(dev(), SharingMode::mps_uniform(6)).with_fault_plan(faults);
+            Engine::new(cfg, programs).unwrap().run().unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.clients, b.clients);
+        assert!(
+            !a.failures.is_empty(),
+            "expected at least one fault at p=0.5"
+        );
     }
 
     /// The precomputed completion index must yield exactly the merge-sort

@@ -43,6 +43,14 @@ pub enum EventKind {
     /// Time-slice context switch to `client` (device-level; the client is
     /// in the payload because the event marks the *scheduler's* decision).
     ContextSwitch { to_client: usize },
+    /// The client was aborted by an injected fault. `origin` is the client
+    /// whose fatal fault caused it; equal to the event's own client unless
+    /// the failure domain is shared (MPS server / fused process).
+    ClientFault { origin: usize },
+    /// A fatal client fault took down the shared server, aborting every
+    /// resident sibling (device-level; the per-client `ClientFault`
+    /// events follow).
+    ServerCrash { origin: usize },
 }
 
 /// Append-only event log with bounded growth.

@@ -1,0 +1,275 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] lists fatal client faults to inject into an engine run:
+//! each [`FaultSpec`] aborts its target at a simulated time. The scope
+//! encodes the *failure domain*: a [`FaultScope::Client`] fault kills only
+//! the faulting client (time-slicing, sequential, a MIG instance's
+//! neighbour), while a [`FaultScope::Domain`] fault models the documented
+//! MPS semantics — a fatal client fault brings down the shared server, and
+//! every unfinished sibling dies with it. The mechanism layer
+//! (`mpshare-mps`) widens client faults to domain faults for shared-server
+//! mechanisms; the engine itself just executes whatever scope it is given.
+//!
+//! Everything is seeded and pure: [`FaultPlan::seeded`] derives per-client
+//! Bernoulli draws and fault times from a splitmix64 stream keyed only by
+//! `(seed, client)`, so plans are bit-identical across worker counts, and
+//! an empty plan leaves the engine's behaviour untouched.
+
+use mpshare_types::{Error, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Which clients a fault takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// The fault is contained to the originating client.
+    Client(usize),
+    /// The fault originates at the given client but the failure domain is
+    /// shared (one MPS server / one fused process): every unfinished
+    /// resident client is aborted with it. A no-op if the origin already
+    /// terminated — an exited process cannot crash the server.
+    Domain(usize),
+}
+
+impl FaultScope {
+    /// The client whose fatal fault this is.
+    pub fn origin(self) -> usize {
+        match self {
+            FaultScope::Client(i) | FaultScope::Domain(i) => i,
+        }
+    }
+
+    /// Deterministic tiebreak key for faults injected at the same instant.
+    fn sort_key(self) -> (usize, u8) {
+        match self {
+            FaultScope::Client(i) => (i, 0),
+            FaultScope::Domain(i) => (i, 1),
+        }
+    }
+}
+
+/// One injected fault: the origin client dies fatally at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    pub at: Seconds,
+    pub scope: FaultScope,
+}
+
+/// Record of a fault that actually fired during a run (a planned fault
+/// whose origin had already finished is skipped, not recorded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    pub at: Seconds,
+    /// Client whose fatal fault triggered the abort.
+    pub origin: usize,
+    /// Clients aborted, the origin included (1 unless the failure domain
+    /// is shared).
+    pub victims: usize,
+}
+
+/// A set of faults to inject into one engine run. Times are relative to
+/// the run's own clock (the engine starts at t = 0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn push(&mut self, spec: FaultSpec) {
+        self.faults.push(spec);
+    }
+
+    /// Adds a contained fault: client `client` dies at `at`.
+    pub fn push_client_fault(&mut self, at: Seconds, client: usize) {
+        self.push(FaultSpec {
+            at,
+            scope: FaultScope::Client(client),
+        });
+    }
+
+    /// Adds a shared-domain fault originating at `client`.
+    pub fn push_domain_fault(&mut self, at: Seconds, client: usize) {
+        self.push(FaultSpec {
+            at,
+            scope: FaultScope::Domain(client),
+        });
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// The faults sorted by injection time (ties broken by origin), the
+    /// order the engine consumes them in.
+    pub fn sorted(&self) -> Vec<FaultSpec> {
+        let mut sorted = self.faults.clone();
+        sorted.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("finite fault times")
+                .then_with(|| a.scope.sort_key().cmp(&b.scope.sort_key()))
+        });
+        sorted
+    }
+
+    /// Draws per-client faults: client `i` faults with probability
+    /// `fault_rate`, at a time uniform in `[0, horizons[i])`. The draws
+    /// come from a splitmix64 stream keyed by `(seed, i)` only, so the
+    /// plan is a pure function of its arguments — bit-identical no matter
+    /// how many workers evaluate it.
+    pub fn seeded(seed: u64, horizons: &[Seconds], fault_rate: f64) -> Result<Self> {
+        if !fault_rate.is_finite() || !(0.0..=1.0).contains(&fault_rate) {
+            return Err(Error::InvalidConfig(format!(
+                "fault rate must be in [0, 1], got {fault_rate}"
+            )));
+        }
+        let mut plan = FaultPlan::new();
+        for (i, horizon) in horizons.iter().enumerate() {
+            if unit_hash(seed, &[i as u64, 0]) < fault_rate {
+                let frac = unit_hash(seed, &[i as u64, 1]);
+                plan.push_client_fault(Seconds::new(frac * horizon.value()), i);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Widens every contained fault to the shared failure domain — what a
+    /// fatal client fault means under one MPS server or one fused
+    /// streams process.
+    pub fn widen_to_domain(&self) -> FaultPlan {
+        FaultPlan {
+            faults: self
+                .faults
+                .iter()
+                .map(|f| FaultSpec {
+                    at: f.at,
+                    scope: FaultScope::Domain(f.scope.origin()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restricts the plan to faults originating at `members`, remapping
+    /// origins to positions within `members` — the plan a MIG instance's
+    /// engine sees for its own clients.
+    pub fn restrict(&self, members: &[usize]) -> FaultPlan {
+        FaultPlan {
+            faults: self
+                .faults
+                .iter()
+                .filter_map(|f| {
+                    let local = members.iter().position(|&m| m == f.scope.origin())?;
+                    Some(FaultSpec {
+                        at: f.at,
+                        scope: match f.scope {
+                            FaultScope::Client(_) => FaultScope::Client(local),
+                            FaultScope::Domain(_) => FaultScope::Domain(local),
+                        },
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A uniform draw in `[0, 1)` from a splitmix64 stream keyed by `seed` and
+/// `lanes`. Pure and order-free: the same key yields the same draw on any
+/// worker, which is what keeps seeded fault runs bit-identical across
+/// serial and parallel execution.
+pub fn unit_hash(seed: u64, lanes: &[u64]) -> f64 {
+    let mut state = seed;
+    for &lane in lanes {
+        state = splitmix64(state ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let horizons = vec![Seconds::new(10.0); 16];
+        let a = FaultPlan::seeded(42, &horizons, 0.5).unwrap();
+        let b = FaultPlan::seeded(42, &horizons, 0.5).unwrap();
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, &horizons, 0.5).unwrap();
+        assert_ne!(a, c, "different seeds must differ for 16 clients at p=0.5");
+    }
+
+    #[test]
+    fn seeded_rate_extremes() {
+        let horizons = vec![Seconds::new(5.0); 8];
+        assert!(FaultPlan::seeded(7, &horizons, 0.0).unwrap().is_empty());
+        let all = FaultPlan::seeded(7, &horizons, 1.0).unwrap();
+        assert_eq!(all.len(), 8);
+        for (i, f) in all.faults().iter().enumerate() {
+            assert_eq!(f.scope, FaultScope::Client(i));
+            assert!(f.at.value() < 5.0);
+        }
+    }
+
+    #[test]
+    fn seeded_rejects_bad_rates() {
+        let horizons = [Seconds::new(1.0)];
+        assert!(FaultPlan::seeded(0, &horizons, -0.1).is_err());
+        assert!(FaultPlan::seeded(0, &horizons, 1.1).is_err());
+        assert!(FaultPlan::seeded(0, &horizons, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn widen_and_restrict_compose() {
+        let mut plan = FaultPlan::new();
+        plan.push_client_fault(Seconds::new(1.0), 2);
+        plan.push_client_fault(Seconds::new(2.0), 5);
+        let wide = plan.widen_to_domain();
+        assert_eq!(wide.faults()[0].scope, FaultScope::Domain(2));
+        // Restrict to an "instance" holding original clients 5 and 2 (in
+        // that order): origins remap to local positions.
+        let local = plan.restrict(&[5, 2]);
+        assert_eq!(local.len(), 2);
+        assert_eq!(local.faults()[0].scope, FaultScope::Client(1));
+        assert_eq!(local.faults()[1].scope, FaultScope::Client(0));
+        // A member set not containing the origin drops the fault.
+        assert!(plan.restrict(&[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn sorted_orders_by_time_then_origin() {
+        let mut plan = FaultPlan::new();
+        plan.push_client_fault(Seconds::new(2.0), 0);
+        plan.push_client_fault(Seconds::new(1.0), 3);
+        plan.push_client_fault(Seconds::new(2.0), 1);
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0].scope.origin(), 3);
+        assert_eq!(sorted[1].scope.origin(), 0);
+        assert_eq!(sorted[2].scope.origin(), 1);
+    }
+
+    #[test]
+    fn unit_hash_is_in_range_and_keyed() {
+        for i in 0..1000u64 {
+            let x = unit_hash(123, &[i]);
+            assert!((0.0..1.0).contains(&x));
+        }
+        assert_ne!(unit_hash(1, &[2, 3]), unit_hash(1, &[3, 2]));
+    }
+}

@@ -32,6 +32,7 @@ pub mod contention;
 pub mod device;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod kernel;
 pub mod occupancy;
 pub mod power;
@@ -42,6 +43,7 @@ pub use contention::{Allocation, ContentionSolver, PreparedContender, SolveScrat
 pub use device::DeviceSpec;
 pub use engine::{ClientOutcome, Engine, EngineConfig, EngineStats, RunResult, SharingMode};
 pub use events::{Event, EventKind, EventLog};
+pub use fault::{unit_hash, FaultPlan, FaultRecord, FaultScope, FaultSpec};
 pub use kernel::{KernelSpec, LaunchConfig};
 pub use occupancy::{OccupancyLimits, OccupancyReport};
 pub use power::{PowerModel, PowerState};

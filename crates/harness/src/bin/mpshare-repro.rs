@@ -21,7 +21,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|all> [--out DIR] [--serial]"
+        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|ext_faults|all> [--out DIR] [--serial]"
     );
     std::process::exit(2);
 }
@@ -60,6 +60,7 @@ fn main() -> ExitCode {
         "ext_powercap" => experiments::ext_powercap::run(&device).map(|e| vec![e]),
         "ext_online" => experiments::ext_online::run(&device).map(|e| vec![e]),
         "ext_hetero" => experiments::ext_hetero::run(&device).map(|e| vec![e]),
+        "ext_faults" => experiments::ext_faults::run(&device).map(|e| vec![e]),
         "all" => experiments::run_all(&device),
         _ => usage(),
     };

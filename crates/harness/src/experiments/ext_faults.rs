@@ -1,0 +1,261 @@
+//! Extension experiment: failure domains under a fault-rate sweep.
+//!
+//! The paper's §II-B taxonomy is performance-centric; this artifact adds
+//! the *reliability* axis. CUDA MPS multiplexes every client onto one
+//! shared server process, so a fatal client fault takes the server — and
+//! every resident sibling — down with it. Time-slicing isolates clients in
+//! their own processes, and MIG contains a fault to its hardware instance.
+//! We inject the *same* seeded per-client fault plan under each mechanism
+//! and watch goodput diverge: the blast radius is emergent from the
+//! failure-domain modeling, not a lookup table.
+
+use crate::table::{fmt, Experiment, TextTable};
+use mpshare_gpusim::{DeviceSpec, FaultPlan};
+use mpshare_mps::{GpuRunner, GpuSharing, MigLayout, MigProfile, TimeSliceConfig};
+use mpshare_types::{IdAllocator, Result, Seconds};
+use mpshare_workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+/// Per-client fault probabilities swept.
+pub const RATES: [f64; 4] = [0.0, 0.15, 0.3, 0.5];
+
+/// Seeds averaged at each rate (fault draws are Bernoulli; a single seed
+/// is all-or-nothing per client).
+pub const SEEDS: [u64; 3] = [101, 102, 103];
+
+/// Four co-resident clients: two light solver pairs, enough residency
+/// that shared-domain faults have something to take down.
+fn workloads() -> Vec<WorkflowSpec> {
+    vec![
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 30),
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 30),
+    ]
+}
+
+fn mechanisms(device: &DeviceSpec) -> Result<Vec<(&'static str, GpuSharing)>> {
+    Ok(vec![
+        ("mps", GpuSharing::mps_default(4)),
+        (
+            "time-sliced",
+            GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+        ),
+        (
+            "mig-4g+3g",
+            GpuSharing::Mig {
+                layout: MigLayout::new(device, &[MigProfile::FourSlice, MigProfile::ThreeSlice])?,
+                assignment: vec![0, 1, 0, 1],
+            },
+        ),
+    ])
+}
+
+/// One (rate, mechanism) aggregate over the seed set.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub rate: f64,
+    pub mechanism: &'static str,
+    /// Fraction of submitted tasks that completed, averaged over seeds.
+    pub goodput: f64,
+    /// Goodput relative to the same mechanism at rate 0.
+    pub relative: f64,
+    /// Fraction of all GPU progress that was wasted on aborted tasks.
+    pub wasted: f64,
+    /// Clients killed per run, averaged over seeds.
+    pub failed_clients: f64,
+}
+
+/// One (seed, mechanism) measurement at one rate; mechanism order follows
+/// [`mechanisms`].
+struct Sample {
+    goodput: f64,
+    wasted: f64,
+    failed_clients: f64,
+}
+
+fn run_cell(device: &DeviceSpec, seed: u64, rate: f64) -> Result<Vec<Sample>> {
+    let runner = GpuRunner::new(device.clone());
+    let specs = workloads();
+    let programs = |ids: &mut IdAllocator| -> Result<Vec<_>> {
+        specs
+            .iter()
+            .map(|w| w.to_client_program(device, ids))
+            .collect()
+    };
+    // Fault times land inside each origin's solo wall time; progress rates
+    // never exceed 1, so the same plan fires under every mechanism and the
+    // comparison isolates the failure domain.
+    let horizons: Vec<Seconds> = {
+        let mut ids = IdAllocator::new();
+        programs(&mut ids)?
+            .iter()
+            .map(|p| Seconds::new(0.9 * p.solo_wall_time().value()))
+            .collect()
+    };
+    let plan = FaultPlan::seeded(seed, &horizons, rate)?;
+    let mut out = Vec::new();
+    for (_name, sharing) in mechanisms(device)? {
+        let mut ids = IdAllocator::new();
+        let result = runner.run_with_faults(&sharing, programs(&mut ids)?, &plan)?;
+        let total = result.tasks_completed + result.tasks_failed;
+        out.push(Sample {
+            goodput: if total == 0 {
+                0.0
+            } else {
+                result.tasks_completed as f64 / total as f64
+            },
+            wasted: result.wasted_fraction(),
+            failed_clients: result.clients.iter().filter(|c| c.failed).count() as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs the sweep: every (rate, seed) cell fans out across workers, then
+/// seeds are averaged in deterministic order.
+pub fn rows(device: &DeviceSpec) -> Result<Vec<Row>> {
+    let mut jobs: Vec<(f64, u64)> = Vec::new();
+    for &rate in &RATES {
+        for &seed in &SEEDS {
+            jobs.push((rate, seed));
+        }
+    }
+    let cells: Vec<Vec<Sample>> =
+        mpshare_par::try_par_map(&jobs, |&(rate, seed)| run_cell(device, seed, rate))?;
+
+    let mech_names: Vec<&'static str> = mechanisms(device)?.iter().map(|(name, _)| *name).collect();
+    let mut out: Vec<Row> = Vec::new();
+    for (ri, &rate) in RATES.iter().enumerate() {
+        for (mi, &mechanism) in mech_names.iter().enumerate() {
+            let samples: Vec<&Sample> = (0..SEEDS.len())
+                .map(|si| &cells[ri * SEEDS.len() + si][mi])
+                .collect();
+            let n = samples.len() as f64;
+            let goodput = samples.iter().map(|s| s.goodput).sum::<f64>() / n;
+            let baseline = if ri == 0 {
+                goodput
+            } else {
+                out[mi].goodput // rate-0 rows come first, same mechanism order
+            };
+            out.push(Row {
+                rate,
+                mechanism,
+                goodput,
+                relative: if baseline > 0.0 {
+                    goodput / baseline
+                } else {
+                    0.0
+                },
+                wasted: samples.iter().map(|s| s.wasted).sum::<f64>() / n,
+                failed_clients: samples.iter().map(|s| s.failed_clients).sum::<f64>() / n,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Full experiment.
+pub fn run(device: &DeviceSpec) -> Result<Experiment> {
+    let mut table = TextTable::new([
+        "Fault Rate",
+        "Mechanism",
+        "Goodput",
+        "Rel. Goodput",
+        "Wasted",
+        "Failed Clients",
+    ]);
+    for r in rows(device)? {
+        table.push_row([
+            fmt(r.rate, 2),
+            r.mechanism.to_string(),
+            fmt(r.goodput, 3),
+            fmt(r.relative, 3),
+            fmt(r.wasted, 3),
+            fmt(r.failed_clients, 2),
+        ]);
+    }
+    Ok(Experiment::new(
+        "ext_faults",
+        "Extension: goodput and wasted work under seeded client faults, by sharing mechanism",
+        table,
+    )
+    .with_note(
+        "the same per-client fault plan is injected under every mechanism; \
+         MPS's shared server turns one fatal client fault into a full-GPU \
+         outage while time-slicing contains it to the faulting client and \
+         MIG to its instance — so MPS goodput degrades fastest as the fault \
+         rate rises",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mps_goodput_degrades_fastest() {
+        let rows = rows(&DeviceSpec::a100x()).unwrap();
+        assert_eq!(rows.len(), RATES.len() * 3);
+        let get = |rate: f64, mech: &str| {
+            rows.iter()
+                .find(|r| r.rate == rate && r.mechanism == mech)
+                .unwrap()
+        };
+        let top = *RATES.last().unwrap();
+        // At rate 0 every mechanism completes everything, wastes nothing.
+        for mech in ["mps", "time-sliced", "mig-4g+3g"] {
+            let r = get(0.0, mech);
+            assert_eq!(r.goodput, 1.0, "{mech} fault-free goodput");
+            assert_eq!(r.wasted, 0.0, "{mech} fault-free waste");
+            assert_eq!(r.failed_clients, 0.0);
+        }
+        // The blast radius emerges: shared server < shared instance <
+        // per-client containment.
+        let mps = get(top, "mps");
+        let ts = get(top, "time-sliced");
+        let mig = get(top, "mig-4g+3g");
+        assert!(
+            mps.relative < ts.relative,
+            "mps {} vs time-sliced {}",
+            mps.relative,
+            ts.relative
+        );
+        assert!(
+            mps.relative < mig.relative,
+            "mps {} vs mig {}",
+            mps.relative,
+            mig.relative
+        );
+        // Same fault plan, wider domain: MPS kills at least as many
+        // clients and wastes real work.
+        assert!(mps.failed_clients >= ts.failed_clients);
+        assert!(mps.failed_clients >= mig.failed_clients);
+        assert!(mps.wasted > 0.0);
+    }
+
+    #[test]
+    fn rate_zero_matches_fault_free_run() {
+        let device = DeviceSpec::a100x();
+        let runner = GpuRunner::new(device.clone());
+        let specs = workloads();
+        let mut ids = IdAllocator::new();
+        let programs: Vec<_> = specs
+            .iter()
+            .map(|w| w.to_client_program(&device, &mut ids))
+            .collect::<Result<_>>()
+            .unwrap();
+        let plain = runner
+            .run(&GpuSharing::mps_default(4), programs.clone())
+            .unwrap();
+        let zero = runner
+            .run_with_faults(
+                &GpuSharing::mps_default(4),
+                programs,
+                &FaultPlan::seeded(SEEDS[0], &[Seconds::new(1.0); 4], 0.0).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(plain.makespan, zero.makespan);
+        assert_eq!(plain.tasks_completed, zero.tasks_completed);
+        assert!(zero.failures.is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment modules, one per paper artifact.
 
 pub mod combos;
+pub mod ext_faults;
 pub mod ext_hetero;
 pub mod ext_mechanisms;
 pub mod ext_node;
@@ -35,5 +36,6 @@ pub fn run_all(device: &DeviceSpec) -> Result<Vec<Experiment>> {
     out.push(ext_powercap::run(device)?);
     out.push(ext_online::run(device)?);
     out.push(ext_hetero::run(device)?);
+    out.push(ext_faults::run(device)?);
     Ok(out)
 }

@@ -116,8 +116,12 @@ mod tests {
             makespan: mpshare_types::Seconds::ZERO,
             total_energy: mpshare_types::Energy::ZERO,
             tasks_completed: 0,
+            tasks_failed: 0,
             events: mpshare_gpusim::EventLog::default(),
             completion_order: vec![],
+            failures: vec![],
+            wasted_progress: mpshare_types::Seconds::ZERO,
+            wasted_energy: mpshare_types::Energy::ZERO,
         };
         assert_eq!(render_gantt(&result, 60), "(empty run)\n");
     }

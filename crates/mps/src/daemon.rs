@@ -6,9 +6,9 @@
 //! client contact too). `quit` shuts down all servers, refusing when
 //! clients are still connected unless forced.
 
-use crate::server::MpsServer;
+use crate::server::{ClientHandle, MpsServer};
 use mpshare_gpusim::DeviceSpec;
-use mpshare_types::{Error, GpuId, Result};
+use mpshare_types::{ClientId, Error, GpuId, Result};
 use std::collections::BTreeMap;
 
 /// Daemon lifecycle state.
@@ -76,6 +76,26 @@ impl ControlDaemon {
     /// Whether a server has been spawned for `gpu`.
     pub fn has_server(&self, gpu: GpuId) -> bool {
         self.servers.contains_key(&gpu)
+    }
+
+    /// A fatal fault in client `client` on `gpu`: the shared server and
+    /// every connected sibling go down (no MPS fault containment). The
+    /// daemon reaps the dead server, so the next [`ControlDaemon::server`]
+    /// call spawns a fresh one — the real daemon's restart-on-demand
+    /// behaviour. Returns the victims.
+    pub fn client_fault(&mut self, gpu: GpuId, client: ClientId) -> Result<Vec<ClientHandle>> {
+        if self.state != DaemonState::Running {
+            return Err(Error::InvalidState(
+                "MPS control daemon is not running".into(),
+            ));
+        }
+        let server = self
+            .servers
+            .get_mut(&gpu)
+            .ok_or_else(|| Error::InvalidState(format!("no server running on {gpu}")))?;
+        let victims = server.client_fault(client)?;
+        self.servers.remove(&gpu);
+        Ok(victims)
     }
 
     /// Total clients across all servers.
@@ -154,6 +174,34 @@ mod tests {
         d.server(GpuId::new(0)).unwrap();
         d.quit(false).unwrap();
         assert_eq!(d.state(), DaemonState::Stopped);
+    }
+
+    #[test]
+    fn client_fault_reaps_server_and_respawns_on_demand() {
+        use mpshare_types::ClientId;
+        let mut d = daemon();
+        d.start();
+        let a = d
+            .server(GpuId::new(0))
+            .unwrap()
+            .connect("a", MemBytes::from_gib(1))
+            .unwrap();
+        d.server(GpuId::new(0))
+            .unwrap()
+            .connect("b", MemBytes::from_gib(2))
+            .unwrap();
+        // A fatal fault in a kills the server and both clients.
+        let victims = d.client_fault(GpuId::new(0), a).unwrap();
+        assert_eq!(victims.len(), 2);
+        assert!(!d.has_server(GpuId::new(0)));
+        assert_eq!(d.total_clients(), 0);
+        // Next use spawns a fresh, working server.
+        let s = d.server(GpuId::new(0)).unwrap();
+        assert!(!s.is_crashed());
+        s.connect("after", MemBytes::ZERO).unwrap();
+        // Faulting an unknown client or GPU errors cleanly.
+        assert!(d.client_fault(GpuId::new(0), ClientId::new(99)).is_err());
+        assert!(d.client_fault(GpuId::new(1), ClientId::new(0)).is_err());
     }
 
     #[test]

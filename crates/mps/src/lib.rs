@@ -22,6 +22,6 @@ pub mod timeslice;
 
 pub use daemon::{ControlDaemon, DaemonState};
 pub use mig::{MigInstance, MigLayout, MigProfile};
-pub use runner::{GpuRunner, GpuSharing};
+pub use runner::{FailureDomain, GpuRunner, GpuSharing};
 pub use server::{ActiveThreadPercentage, ClientHandle, MpsServer};
 pub use timeslice::TimeSliceConfig;

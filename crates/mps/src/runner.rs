@@ -16,11 +16,28 @@
 use crate::mig::MigLayout;
 use crate::timeslice::TimeSliceConfig;
 use mpshare_gpusim::{
-    ClientOutcome, ClientProgram, DeviceSpec, Engine, EngineConfig, RunResult, Segment,
+    ClientOutcome, ClientProgram, DeviceSpec, Engine, EngineConfig, FaultPlan, RunResult, Segment,
     SharingMode, Telemetry,
 };
 use mpshare_types::{Error, Fraction, Power, Result, Seconds};
 use serde::{Deserialize, Serialize};
+
+/// How far a fatal client fault spreads under a sharing mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// One shared MPS server: a fatal fault kills every resident client
+    /// (the documented MPS semantics — no fault containment).
+    SharedServer,
+    /// One fused process (CUDA Streams): a fault in any stream kills the
+    /// process, and with it every stream.
+    SharedProcess,
+    /// The fault is contained to the faulting client (sequential and
+    /// time-sliced execution: separate processes, separate contexts).
+    PerClient,
+    /// The fault is contained to the clients sharing the faulting
+    /// client's MIG instance; other instances are hardware-isolated.
+    PerInstance,
+}
 
 /// Which sharing mechanism to run under.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +67,18 @@ impl GpuSharing {
     pub fn mps_default(clients: usize) -> GpuSharing {
         GpuSharing::Mps {
             partitions: vec![Fraction::ONE; clients],
+        }
+    }
+
+    /// The mechanism's failure domain: how far a fatal client fault
+    /// spreads. This is what makes the mechanism taxonomy failure-aware —
+    /// collocation gains trade against blast radius.
+    pub fn failure_domain(&self) -> FailureDomain {
+        match self {
+            GpuSharing::Mps { .. } => FailureDomain::SharedServer,
+            GpuSharing::Streams => FailureDomain::SharedProcess,
+            GpuSharing::Sequential | GpuSharing::TimeSliced(_) => FailureDomain::PerClient,
+            GpuSharing::Mig { .. } => FailureDomain::PerInstance,
         }
     }
 }
@@ -111,24 +140,58 @@ impl GpuRunner {
 
     /// Executes `programs` under `sharing` and returns the merged result.
     pub fn run(&self, sharing: &GpuSharing, programs: Vec<ClientProgram>) -> Result<RunResult> {
+        self.run_with_faults(sharing, programs, &FaultPlan::default())
+    }
+
+    /// Like [`GpuRunner::run`], but injects `faults`. The plan lists
+    /// *client* faults (by program index); this is where the mechanism's
+    /// [`FailureDomain`] takes effect:
+    ///
+    /// * MPS and Streams widen every fault to the shared domain — the
+    ///   origin's fatal fault takes down every unfinished sibling.
+    /// * Sequential and time slicing keep faults contained to the origin.
+    /// * MIG restricts each instance's engine to the faults of its own
+    ///   members, widened within the instance (programs collocated on one
+    ///   instance share its MPS server); other instances never see them.
+    pub fn run_with_faults(
+        &self,
+        sharing: &GpuSharing,
+        programs: Vec<ClientProgram>,
+        faults: &FaultPlan,
+    ) -> Result<RunResult> {
         match sharing {
-            GpuSharing::Sequential => self.run_engine(SharingMode::Sequential, programs),
-            GpuSharing::TimeSliced(cfg) => self.run_engine(cfg.to_sharing_mode(), programs),
+            GpuSharing::Sequential => {
+                self.run_engine(SharingMode::Sequential, programs, faults.clone())
+            }
+            GpuSharing::TimeSliced(cfg) => {
+                self.run_engine(cfg.to_sharing_mode(), programs, faults.clone())
+            }
             GpuSharing::Mps { partitions } => self.run_engine(
                 SharingMode::Mps {
                     partitions: partitions.clone(),
                 },
                 programs,
+                faults.widen_to_domain(),
             ),
-            GpuSharing::Streams => self.run_engine(SharingMode::Streams, programs),
-            GpuSharing::Mig { layout, assignment } => self.run_mig(layout, assignment, programs),
+            GpuSharing::Streams => {
+                self.run_engine(SharingMode::Streams, programs, faults.widen_to_domain())
+            }
+            GpuSharing::Mig { layout, assignment } => {
+                self.run_mig(layout, assignment, programs, faults)
+            }
         }
     }
 
-    fn run_engine(&self, mode: SharingMode, programs: Vec<ClientProgram>) -> Result<RunResult> {
+    fn run_engine(
+        &self,
+        mode: SharingMode,
+        programs: Vec<ClientProgram>,
+        faults: FaultPlan,
+    ) -> Result<RunResult> {
         let config = EngineConfig::new(self.device.clone(), mode)
             .with_sharing_overhead(self.sharing_overhead)
-            .with_event_log(self.record_events);
+            .with_event_log(self.record_events)
+            .with_fault_plan(faults);
         Engine::new(config, programs)?.run()
     }
 
@@ -137,6 +200,7 @@ impl GpuRunner {
         layout: &MigLayout,
         assignment: &[usize],
         programs: Vec<ClientProgram>,
+        faults: &FaultPlan,
     ) -> Result<RunResult> {
         if assignment.len() != programs.len() {
             return Err(Error::InvalidConfig(format!(
@@ -165,13 +229,18 @@ impl GpuRunner {
             }
             let (orig_indices, progs): (Vec<usize>, Vec<ClientProgram>) = batch.into_iter().unzip();
             let device = layout.instances()[inst].device.clone();
+            // The instance sees only its members' faults, widened within
+            // the instance: collocated programs share the instance's MPS
+            // server, but the hardware wall stops anything wider.
+            let instance_faults = faults.restrict(&orig_indices).widen_to_domain();
             let config = EngineConfig::new(
                 device,
                 SharingMode::Mps {
                     partitions: vec![Fraction::ONE; progs.len()],
                 },
             )
-            .with_sharing_overhead(self.sharing_overhead);
+            .with_sharing_overhead(self.sharing_overhead)
+            .with_fault_plan(instance_faults);
             let result = Engine::new(config, progs)?.run();
             sub_results.push((inst, result?, orig_indices));
         }
@@ -217,12 +286,48 @@ impl GpuRunner {
         let clients: Vec<ClientOutcome> = clients.into_iter().map(|(_, c)| c).collect();
         let tasks_completed = clients.iter().map(|c| c.completions.len()).sum();
         let total_energy = telemetry.total_energy();
+
+        // Fault records come back instance-local; remap origins to the
+        // original submission indices and merge in firing order.
+        let mut failures: Vec<mpshare_gpusim::FaultRecord> = Vec::new();
+        for (_, result, orig_indices) in &sub_results {
+            for rec in &result.failures {
+                failures.push(mpshare_gpusim::FaultRecord {
+                    at: rec.at,
+                    origin: orig_indices[rec.origin],
+                    victims: rec.victims,
+                });
+            }
+        }
+        failures.sort_by(|a, b| {
+            a.at.partial_cmp(&b.at)
+                .expect("finite fault times")
+                .then_with(|| a.origin.cmp(&b.origin))
+        });
+        let tasks_failed = sub_results.iter().map(|(_, r, _)| r.tasks_failed).sum();
+        let wasted_progress = Seconds::new(
+            sub_results
+                .iter()
+                .map(|(_, r, _)| r.wasted_progress.value())
+                .sum(),
+        );
+        let wasted_energy = mpshare_types::Energy::from_joules(
+            sub_results
+                .iter()
+                .map(|(_, r, _)| r.wasted_energy.joules())
+                .sum(),
+        );
+
         let mut result = RunResult {
             telemetry,
             clients,
             makespan,
             total_energy,
             tasks_completed,
+            failures,
+            tasks_failed,
+            wasted_progress,
+            wasted_energy,
             // Per-instance logs are not merged (their client indices are
             // instance-local); request traces per instance if needed.
             events: mpshare_gpusim::EventLog::default(),
@@ -499,6 +604,119 @@ mod tests {
             (actual - expected_slowdown).abs() / expected_slowdown < 0.05,
             "slowdown {actual:.3} vs expected {expected_slowdown:.3}"
         );
+    }
+
+    #[test]
+    fn failure_domains_match_mechanism_semantics() {
+        assert_eq!(
+            GpuSharing::mps_default(2).failure_domain(),
+            FailureDomain::SharedServer
+        );
+        assert_eq!(
+            GpuSharing::Streams.failure_domain(),
+            FailureDomain::SharedProcess
+        );
+        assert_eq!(
+            GpuSharing::Sequential.failure_domain(),
+            FailureDomain::PerClient
+        );
+        assert_eq!(
+            GpuSharing::TimeSliced(TimeSliceConfig::driver_default()).failure_domain(),
+            FailureDomain::PerClient
+        );
+        let layout = MigLayout::new(&dev(), &[MigProfile::SevenSlice]).unwrap();
+        assert_eq!(
+            GpuSharing::Mig {
+                layout,
+                assignment: vec![0]
+            }
+            .failure_domain(),
+            FailureDomain::PerInstance
+        );
+    }
+
+    /// The tentpole's core contrast: the same client fault takes down all
+    /// siblings under MPS (shared server), only the origin under time
+    /// slicing, and only the origin's instance under MIG.
+    #[test]
+    fn same_fault_has_mechanism_dependent_blast_radius() {
+        let runner = GpuRunner::new(dev());
+        let programs = || {
+            vec![
+                program("a", 0, 4.0, 0.2),
+                program("b", 1, 4.0, 0.2),
+                program("c", 2, 4.0, 0.2),
+            ]
+        };
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.0), 0);
+
+        let mps = runner
+            .run_with_faults(&GpuSharing::mps_default(3), programs(), &faults)
+            .unwrap();
+        assert_eq!(mps.tasks_completed, 0, "MPS: server crash kills everyone");
+        assert!(mps.clients.iter().all(|c| c.failed));
+        assert_eq!(mps.failures[0].victims, 3);
+
+        let ts = runner
+            .run_with_faults(
+                &GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+                programs(),
+                &faults,
+            )
+            .unwrap();
+        assert_eq!(ts.tasks_completed, 2, "TS: fault contained to origin");
+        assert!(ts.clients[0].failed && !ts.clients[1].failed && !ts.clients[2].failed);
+        assert_eq!(ts.failures[0].victims, 1);
+
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice]).unwrap();
+        let mig = runner
+            .run_with_faults(
+                &GpuSharing::Mig {
+                    layout,
+                    // a and b share instance 0; c is isolated on 1.
+                    assignment: vec![0, 0, 1],
+                },
+                programs(),
+                &faults,
+            )
+            .unwrap();
+        assert_eq!(mig.tasks_completed, 1, "MIG: instance 1 is isolated");
+        assert!(mig.clients[0].failed, "origin dies");
+        assert!(
+            mig.clients[1].failed,
+            "instance-mate dies with the shared server"
+        );
+        assert!(!mig.clients[2].failed, "other instance survives");
+        assert_eq!(mig.failures.len(), 1);
+        assert_eq!(
+            mig.failures[0].origin, 0,
+            "origin remapped to submission index"
+        );
+        assert_eq!(mig.failures[0].victims, 2);
+        assert_eq!(mig.tasks_failed, 2);
+        assert!(mig.wasted_progress.value() > 0.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let runner = GpuRunner::new(dev());
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice]).unwrap();
+        let sharing = GpuSharing::Mig {
+            layout,
+            assignment: vec![0, 1],
+        };
+        let programs = || vec![program("a", 0, 1.0, 0.5), program("b", 1, 2.0, 0.5)];
+        let plain = runner.run(&sharing, programs()).unwrap();
+        let faulted = runner
+            .run_with_faults(&sharing, programs(), &FaultPlan::default())
+            .unwrap();
+        assert_eq!(plain.makespan, faulted.makespan);
+        assert_eq!(plain.total_energy, faulted.total_energy);
+        assert_eq!(plain.clients, faulted.clients);
+        assert!(faulted.failures.is_empty());
     }
 
     #[test]

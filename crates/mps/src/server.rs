@@ -42,10 +42,18 @@ impl ActiveThreadPercentage {
     }
 
     /// Rounds a fraction up to the nearest whole percent (provisioning
-    /// granularity of `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`).
+    /// granularity of `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE`). Rejects
+    /// non-finite values and fractions outside `(0, 1]` instead of
+    /// silently clamping them into range.
     pub fn from_fraction_ceil(frac: Fraction) -> Result<Self> {
-        let pct = (frac.value() * 100.0).ceil() as u8;
-        ActiveThreadPercentage::new(pct.clamp(1, 100))
+        let value = frac.value();
+        if !value.is_finite() || value <= 0.0 || value > 1.0 {
+            return Err(Error::InvalidConfig(format!(
+                "active thread fraction must be finite and in (0, 1], got {value}"
+            )));
+        }
+        let pct = (value * 100.0).ceil() as u8;
+        ActiveThreadPercentage::new(pct)
     }
 }
 
@@ -70,6 +78,9 @@ pub struct MpsServer {
     default_partition: ActiveThreadPercentage,
     clients: BTreeMap<ClientId, ClientHandle>,
     next_client: u64,
+    /// Whether a fatal client fault has taken the server down. A crashed
+    /// server refuses new connections until [`MpsServer::restart`].
+    crashed: bool,
 }
 
 impl MpsServer {
@@ -80,6 +91,7 @@ impl MpsServer {
             default_partition: ActiveThreadPercentage::FULL,
             clients: BTreeMap::new(),
             next_client: 0,
+            crashed: false,
         }
     }
 
@@ -125,6 +137,12 @@ impl MpsServer {
         memory: MemBytes,
         partition: ActiveThreadPercentage,
     ) -> Result<ClientId> {
+        if self.crashed {
+            return Err(Error::InvalidState(format!(
+                "MPS server on {} is down after a fatal client fault; restart it first",
+                self.gpu
+            )));
+        }
         if self.clients.len() >= self.device.max_mps_clients {
             return Err(Error::ClientLimitExceeded {
                 gpu: self.gpu,
@@ -158,14 +176,37 @@ impl MpsServer {
         self.clients.remove(&id).ok_or(Error::UnknownClient(id))
     }
 
+    /// A fatal fault in client `id`. MPS provides no fault containment:
+    /// the shared server goes down and **every** connected client dies
+    /// with it. Returns the full victim list (the faulting client
+    /// included), releasing all their memory. The server refuses further
+    /// connections until [`MpsServer::restart`].
+    pub fn client_fault(&mut self, id: ClientId) -> Result<Vec<ClientHandle>> {
+        if !self.clients.contains_key(&id) {
+            return Err(Error::UnknownClient(id));
+        }
+        self.crashed = true;
+        let victims = std::mem::take(&mut self.clients);
+        Ok(victims.into_values().collect())
+    }
+
+    /// Whether the server is down after a fatal client fault.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Brings a crashed server back up (the control daemon re-spawning
+    /// `nvidia-cuda-mps-server`). Clients must reconnect.
+    pub fn restart(&mut self) {
+        self.crashed = false;
+    }
+
     /// Grows or shrinks a client's memory reservation (models further
     /// `cudaMalloc`/`cudaFree` calls after connect).
     pub fn resize_memory(&mut self, id: ClientId, memory: MemBytes) -> Result<()> {
-        let current = self
-            .clients
-            .get(&id)
-            .ok_or(Error::UnknownClient(id))?
-            .memory;
+        if !self.clients.contains_key(&id) {
+            return Err(Error::UnknownClient(id));
+        }
         let others: MemBytes = self
             .clients
             .values()
@@ -174,10 +215,13 @@ impl MpsServer {
             .sum();
         let available = self.device.memory_capacity.saturating_sub(others);
         if memory > available {
+            // Report absolutes — the requested reservation and what the
+            // device could give this client — matching
+            // `connect_with_partition`'s error semantics.
             return Err(Error::OutOfMemory {
                 gpu: self.gpu,
-                requested: memory.saturating_sub(current),
-                available: available.saturating_sub(current),
+                requested: memory,
+                available,
             });
         }
         self.clients.get_mut(&id).expect("checked above").memory = memory;
@@ -263,6 +307,75 @@ mod tests {
         assert_eq!(p.value(), 1);
         let p = ActiveThreadPercentage::from_fraction_ceil(Fraction::ONE).unwrap();
         assert_eq!(p.value(), 100);
+    }
+
+    #[test]
+    fn from_fraction_rejects_out_of_range_and_non_finite() {
+        // Fraction's own constructor guards [0, 1], so zero is the
+        // reachable out-of-range input; the guard still covers the rest
+        // defensively.
+        let err = ActiveThreadPercentage::from_fraction_ceil(Fraction::ZERO).unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig(_)), "got {err:?}");
+        // Boundary values stay accepted.
+        assert_eq!(
+            ActiveThreadPercentage::from_fraction_ceil(Fraction::ONE)
+                .unwrap()
+                .value(),
+            100
+        );
+        assert_eq!(
+            ActiveThreadPercentage::from_fraction_ceil(Fraction::new(0.0001))
+                .unwrap()
+                .value(),
+            1
+        );
+    }
+
+    #[test]
+    fn resize_memory_error_reports_absolute_request_and_availability() {
+        let mut s = server();
+        let a = s.connect("a", MemBytes::from_gib(10)).unwrap();
+        let _b = s.connect("b", MemBytes::from_gib(40)).unwrap();
+        // Capacity 80 GiB, b holds 40: a can have at most 40.
+        let err = s.resize_memory(a, MemBytes::from_gib(41)).unwrap_err();
+        match err {
+            Error::OutOfMemory {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, MemBytes::from_gib(41));
+                assert_eq!(available, MemBytes::from_gib(40));
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_fault_takes_down_server_and_all_siblings() {
+        let mut s = server();
+        let a = s.connect("a", MemBytes::from_gib(10)).unwrap();
+        let _b = s.connect("b", MemBytes::from_gib(20)).unwrap();
+        let victims = s.client_fault(a).unwrap();
+        assert_eq!(victims.len(), 2, "siblings die with the server");
+        assert!(s.is_crashed());
+        assert_eq!(s.client_count(), 0);
+        assert_eq!(s.free_memory(), s.device().memory_capacity);
+        // A crashed server refuses connections until restarted.
+        let err = s.connect("late", MemBytes::ZERO).unwrap_err();
+        assert!(matches!(err, Error::InvalidState(_)));
+        s.restart();
+        s.connect("after-restart", MemBytes::ZERO).unwrap();
+    }
+
+    #[test]
+    fn client_fault_unknown_client_errors() {
+        let mut s = server();
+        assert_eq!(
+            s.client_fault(ClientId::new(3)),
+            Err(Error::UnknownClient(ClientId::new(3)))
+        );
+        assert!(!s.is_crashed());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Cross-crate fault-injection integration: seeded engine faults,
+//! mechanism-dependent failure domains, and online-dispatcher recovery,
+//! all through the facade crate.
+
+use mpshare::core::{
+    ArrivingWorkflow, ExecutorConfig, MetricPriority, OnlineFaultModel, OnlineScheduler, Planner,
+    PlannerStrategy, RecoveryPolicy,
+};
+use mpshare::gpusim::{DeviceSpec, FaultPlan};
+use mpshare::mps::{FailureDomain, GpuRunner, GpuSharing, TimeSliceConfig};
+use mpshare::profiler::ProfileStore;
+use mpshare::types::{IdAllocator, Seconds};
+use mpshare::workloads::{BenchmarkKind, ProblemSize, WorkflowSpec};
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+fn programs(device: &DeviceSpec) -> Vec<mpshare::gpusim::ClientProgram> {
+    let mut ids = IdAllocator::new();
+    [
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 20),
+        WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 2),
+        WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 20),
+    ]
+    .iter()
+    .map(|w| w.to_client_program(device, &mut ids).unwrap())
+    .collect()
+}
+
+#[test]
+fn empty_fault_plan_is_bitwise_invisible() {
+    let device = device();
+    let runner = GpuRunner::new(device.clone());
+    for sharing in [
+        GpuSharing::Sequential,
+        GpuSharing::mps_default(3),
+        GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+    ] {
+        let plain = runner.run(&sharing, programs(&device)).unwrap();
+        let empty = runner
+            .run_with_faults(&sharing, programs(&device), &FaultPlan::default())
+            .unwrap();
+        // Byte-identical serialization, not just equal headline numbers:
+        // the fault layer must be invisible when disabled.
+        assert_eq!(
+            serde_json::to_string(&plain.clients).unwrap(),
+            serde_json::to_string(&empty.clients).unwrap()
+        );
+        assert_eq!(plain.makespan, empty.makespan);
+        assert_eq!(plain.total_energy, empty.total_energy);
+        assert!(empty.failures.is_empty());
+        assert_eq!(empty.tasks_failed, 0);
+    }
+}
+
+#[test]
+fn seeded_faults_are_deterministic_across_runs() {
+    let device = device();
+    let runner = GpuRunner::new(device.clone());
+    let horizons = vec![Seconds::new(2.0); 3];
+    let plan = FaultPlan::seeded(99, &horizons, 1.0).unwrap();
+    let sharing = GpuSharing::mps_default(3);
+    let a = runner
+        .run_with_faults(&sharing, programs(&device), &plan)
+        .unwrap();
+    let b = runner
+        .run_with_faults(&sharing, programs(&device), &plan)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.clients).unwrap(),
+        serde_json::to_string(&b.clients).unwrap()
+    );
+    assert_eq!(a.failures, b.failures);
+    assert_eq!(a.makespan, b.makespan);
+    assert!(!a.failures.is_empty());
+}
+
+#[test]
+fn failure_domain_taxonomy_is_mechanism_aware() {
+    let device = device();
+    assert_eq!(
+        GpuSharing::mps_default(3).failure_domain(),
+        FailureDomain::SharedServer
+    );
+    assert_eq!(
+        GpuSharing::Streams.failure_domain(),
+        FailureDomain::SharedProcess
+    );
+    assert_eq!(
+        GpuSharing::Sequential.failure_domain(),
+        FailureDomain::PerClient
+    );
+    assert_eq!(
+        GpuSharing::TimeSliced(TimeSliceConfig::driver_default()).failure_domain(),
+        FailureDomain::PerClient
+    );
+    // Same single-client fault, opposite outcomes: the MPS server dies
+    // with all residents, time-slicing loses one process.
+    let runner = GpuRunner::new(device.clone());
+    let mut plan = FaultPlan::new();
+    plan.push_client_fault(Seconds::new(1.0), 0);
+    let mps = runner
+        .run_with_faults(&GpuSharing::mps_default(3), programs(&device), &plan)
+        .unwrap();
+    let ts = runner
+        .run_with_faults(
+            &GpuSharing::TimeSliced(TimeSliceConfig::driver_default()),
+            programs(&device),
+            &plan,
+        )
+        .unwrap();
+    assert_eq!(mps.failures[0].victims, 3);
+    assert_eq!(ts.failures[0].victims, 1);
+    assert!(mps.tasks_completed < ts.tasks_completed);
+}
+
+#[test]
+fn online_dispatcher_recovers_from_injected_faults() {
+    let d = device();
+    let scheduler = OnlineScheduler::new(
+        ExecutorConfig::new(d.clone()),
+        Planner::new(d.clone(), MetricPriority::balanced_product()),
+        PlannerStrategy::Auto,
+    );
+    let arrivals: Vec<ArrivingWorkflow> = vec![
+        ArrivingWorkflow {
+            spec: WorkflowSpec::uniform(BenchmarkKind::Kripke, ProblemSize::X1, 10),
+            arrival: Seconds::ZERO,
+        },
+        ArrivingWorkflow {
+            spec: WorkflowSpec::uniform(BenchmarkKind::AthenaPk, ProblemSize::X4, 1),
+            arrival: Seconds::ZERO,
+        },
+    ];
+    let mut store = ProfileStore::new();
+    let specs: Vec<WorkflowSpec> = arrivals.iter().map(|a| a.spec.clone()).collect();
+    store.profile_workflows(&d, &specs).unwrap();
+
+    let baseline = scheduler.run(&arrivals, &store).unwrap();
+    assert_eq!(baseline.retries, 0);
+
+    let policy = RecoveryPolicy {
+        max_attempts: 10,
+        backoff_base: Seconds::new(2.0),
+        exclusive_after: 2,
+    };
+    // Scan seeds for a run that faults at least once yet still finishes —
+    // the recovery path end to end. Draws are pure, so this is stable.
+    let recovered = (0..64u64)
+        .map(|seed| {
+            scheduler
+                .run_with_recovery(
+                    &arrivals,
+                    &store,
+                    Some(&OnlineFaultModel::new(seed, 0.4).unwrap()),
+                    &policy,
+                )
+                .unwrap()
+        })
+        .find(|o| o.faults > 0 && o.failed_workflows.is_empty())
+        .expect("some seed in 0..64 faults and recovers");
+    assert_eq!(recovered.tasks, baseline.tasks);
+    assert!(recovered.retries > 0);
+    assert!(recovered.makespan > baseline.makespan);
+    assert!(recovered.wasted_energy.joules() > 0.0);
+}
