@@ -6,11 +6,11 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy bench fault-smoke clean
+.PHONY: check build test test-all fmt clippy bench fault-smoke trace-smoke clean
 
 # The full tier-1 gate: release build, tests, formatting, lints, and the
-# fault-determinism smoke run.
-check: build test fmt clippy fault-smoke
+# fault- and trace-determinism smoke runs.
+check: build test fmt clippy fault-smoke trace-smoke
 
 build:
 	$(CARGO) build --release
@@ -56,6 +56,29 @@ fault-smoke: build
 	cmp .fault-smoke/a/ext_faults.json .fault-smoke/c/ext_faults.json
 	@rm -rf .fault-smoke
 	@echo "fault-determinism smoke gate passed"
+
+# Observability determinism gate: two recorded serial runs must produce
+# byte-identical trace and metrics artifacts (the recorder uses simulated
+# time and sequence numbers only — no wall clocks), and a recorded
+# parallel run must still carry every required track and metric family
+# (validate-obs). Experiment outputs must be unaffected by recording.
+trace-smoke: build
+	@rm -rf .trace-smoke
+	@mkdir -p .trace-smoke
+	./target/release/mpshare-repro ext_online --out .trace-smoke/a --serial \
+		--trace-out .trace-smoke/a-trace.json --metrics-out .trace-smoke/a-metrics.json >/dev/null 2>&1
+	./target/release/mpshare-repro ext_online --out .trace-smoke/b --serial \
+		--trace-out .trace-smoke/b-trace.json --metrics-out .trace-smoke/b-metrics.json >/dev/null 2>&1
+	cmp .trace-smoke/a-trace.json .trace-smoke/b-trace.json
+	cmp .trace-smoke/a-metrics.json .trace-smoke/b-metrics.json
+	cmp .trace-smoke/a-metrics.json.prom .trace-smoke/b-metrics.json.prom
+	./target/release/mpshare-repro ext_online --out .trace-smoke/c \
+		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json >/dev/null 2>&1
+	./target/release/mpshare-repro validate-obs \
+		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json
+	cmp .trace-smoke/a/ext_online.json .trace-smoke/c/ext_online.json
+	@rm -rf .trace-smoke
+	@echo "trace-determinism smoke gate passed"
 
 clean:
 	$(CARGO) clean

@@ -195,11 +195,45 @@ fn bench_plan_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability overhead gate: the same runner-level MPS workload
+/// (the layer carrying the obs instrumentation — engine stats, counters,
+/// daemon events) with the global recorder off and on. The `_disabled`
+/// median must stay the no-recording baseline; `_enabled` is expected to
+/// sit within a few percent of it (<3 % target, checked against
+/// BENCH_engine.json).
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let clients = 8usize;
+    let kernels_per_client = 50usize;
+    let run_once = || {
+        let programs: Vec<ClientProgram> = (0..clients)
+            .map(|i| client(&device, i as u64, kernels_per_client))
+            .collect();
+        let runner = mpshare_mps::GpuRunner::new(device.clone());
+        black_box(
+            runner
+                .run(&mpshare_mps::GpuSharing::mps_default(clients), programs)
+                .unwrap(),
+        )
+    };
+    let mut group = c.benchmark_group("engine/recorder_overhead");
+    group.throughput(Throughput::Elements((clients * kernels_per_client) as u64));
+    mpshare_obs::set_enabled(false);
+    group.bench_function("disabled", |b| b.iter(run_once));
+    mpshare_obs::set_enabled(true);
+    group.bench_function("enabled", |b| b.iter(run_once));
+    mpshare_obs::set_enabled(false);
+    // Keep the recorder's buffers from growing across iterations.
+    mpshare_obs::recorder().drain();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_solver,
     bench_engine,
     bench_engine_gap_heavy,
-    bench_plan_search
+    bench_plan_search,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

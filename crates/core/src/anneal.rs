@@ -139,6 +139,10 @@ pub fn anneal(
     // is identical to the earlier worker-thread speculative design.
     const SPECULATION: usize = 8;
 
+    let seed_score = current_score;
+    let mut accepted: u64 = 0;
+    let mut rejected: u64 = 0;
+
     let mut iterations_left = config.iterations;
     while iterations_left > 0 {
         let batch = SPECULATION.min(iterations_left as usize);
@@ -174,6 +178,7 @@ pub fn anneal(
             );
             let delta = score - current_score;
             if delta >= 0.0 || *uniform < (delta / temperature).exp() {
+                accepted += 1;
                 current = candidate.clone();
                 current_estimates = estimates;
                 current_score = score;
@@ -183,7 +188,21 @@ pub fn anneal(
                 }
                 break;
             }
+            rejected += 1;
         }
+    }
+    if mpshare_obs::enabled() {
+        mpshare_obs::counter_add(mpshare_obs::names::ANNEAL_ACCEPTED, accepted);
+        mpshare_obs::counter_add(mpshare_obs::names::ANNEAL_REJECTED, rejected);
+        mpshare_obs::emit(mpshare_obs::Track::Planner, "anneal", None, None, || {
+            serde_json::json!({
+                "iterations": config.iterations,
+                "accepted": accepted,
+                "rejected": rejected,
+                "seed_score": seed_score,
+                "best_score": best_score,
+            })
+        });
     }
     materialize(&best)
 }

@@ -227,11 +227,34 @@ impl Executor {
             .collect()
     }
 
+    /// Records an Executor-track leg span for one baseline/leg run.
+    fn record_leg(leg: &'static str, workflows: usize, outcome: &RunOutcome) {
+        if !mpshare_obs::enabled() {
+            return;
+        }
+        let (makespan, tasks) = (outcome.makespan.value(), outcome.tasks);
+        mpshare_obs::emit(
+            mpshare_obs::Track::Executor,
+            "executor.leg",
+            Some(0.0),
+            Some(makespan),
+            || {
+                serde_json::json!({
+                    "leg": leg,
+                    "workflows": workflows,
+                    "tasks": tasks,
+                })
+            },
+        );
+    }
+
     /// Sequential baseline: all workflows one after another, queue order.
     pub fn run_sequential(&self, workflows: &[WorkflowSpec]) -> Result<RunOutcome> {
         let programs = self.materialize(workflows)?;
         let result = self.runner().run(&GpuSharing::Sequential, programs)?;
-        Ok(RunOutcome::from_result(&result))
+        let outcome = RunOutcome::from_result(&result);
+        Self::record_leg("sequential", workflows.len(), &outcome);
+        Ok(outcome)
     }
 
     /// Time-sliced sharing of the whole queue (the paper's non-MPS
@@ -241,7 +264,9 @@ impl Executor {
         let result = self
             .runner()
             .run(&GpuSharing::TimeSliced(self.config.timeslice), programs)?;
-        Ok(RunOutcome::from_result(&result))
+        let outcome = RunOutcome::from_result(&result);
+        Self::record_leg("time-sliced", workflows.len(), &outcome);
+        Ok(outcome)
     }
 
     /// Naive MPS: the whole queue as one concurrent group with default
@@ -251,7 +276,9 @@ impl Executor {
         let programs = self.materialize(workflows)?;
         let n = programs.len();
         let result = self.runner().run(&GpuSharing::mps_default(n), programs)?;
-        Ok(RunOutcome::from_result(&result))
+        let outcome = RunOutcome::from_result(&result);
+        Self::record_leg("mps-naive", workflows.len(), &outcome);
+        Ok(outcome)
     }
 
     /// Runs one plan group and returns the raw engine result (for trace
@@ -317,8 +344,26 @@ impl Executor {
         let mut latencies = Vec::new();
         let mut ids = IdAllocator::new();
         let mut offset = Seconds::ZERO;
-        for group in &plan.groups {
+        for (group_index, group) in plan.groups.iter().enumerate() {
             let result = self.run_group_raw(workflows, group, &mut ids)?;
+            if mpshare_obs::enabled() {
+                let members = group.workflow_indices.clone();
+                let (start, dur) = (offset.value(), result.makespan.value());
+                let tasks = result.tasks_completed;
+                mpshare_obs::emit(
+                    mpshare_obs::Track::Executor,
+                    "executor.group",
+                    Some(start),
+                    Some(dur),
+                    || {
+                        serde_json::json!({
+                            "group": group_index,
+                            "workflows": members,
+                            "tasks": tasks,
+                        })
+                    },
+                );
+            }
             for (&workflow, client) in group.workflow_indices.iter().zip(&result.clients) {
                 let solo = workflows[workflow]
                     .to_client_program(self.config.build_device(), &mut ids)?

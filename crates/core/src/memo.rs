@@ -116,6 +116,7 @@ impl EstimateMemo {
         let shard = &self.shards[Self::shard_index(&key)];
         if let Some(hit) = shard.read().expect("memo shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            mpshare_obs::counter_add(mpshare_obs::names::ESTIMATE_MEMO_HITS, 1);
             return *hit;
         }
         let mut map = shard.write().expect("memo shard poisoned");
@@ -123,10 +124,12 @@ impl EstimateMemo {
             Entry::Occupied(entry) => {
                 // Lost a race: another worker computed it first.
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                mpshare_obs::counter_add(mpshare_obs::names::ESTIMATE_MEMO_HITS, 1);
                 *entry.get()
             }
             Entry::Vacant(slot) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                mpshare_obs::counter_add(mpshare_obs::names::ESTIMATE_MEMO_MISSES, 1);
                 *slot.insert(compute())
             }
         }

@@ -322,6 +322,7 @@ impl OnlineScheduler {
             for record in &result.failures {
                 own_faults[members[record.origin]] += 1;
                 fault_count += 1;
+                mpshare_obs::counter_add(mpshare_obs::names::SCHED_FAULTS, 1);
             }
             let end = now + outcome.makespan;
             for (local, &w) in members.iter().enumerate() {
@@ -333,16 +334,72 @@ impl OnlineScheduler {
                     wasted_energy += client.dyn_energy;
                     if attempts[w] >= policy.max_attempts {
                         abandoned[w] = true;
+                        mpshare_obs::counter_add(mpshare_obs::names::SCHED_ABANDONED, 1);
+                        let attempt = attempts[w];
+                        mpshare_obs::emit(
+                            mpshare_obs::Track::Scheduler,
+                            "sched.abandon",
+                            Some(end.value()),
+                            None,
+                            || {
+                                serde_json::json!({
+                                    "workflow": w,
+                                    "attempts": attempt,
+                                    "reason": "retry budget exhausted",
+                                })
+                            },
+                        );
                     } else {
                         retries += 1;
                         let backoff =
                             policy.backoff_base.value() * 2f64.powi(attempts[w] as i32 - 1);
                         ready_at[w] = end + Seconds::new(backoff);
+                        mpshare_obs::counter_add(mpshare_obs::names::SCHED_RETRIES, 1);
+                        let attempt = attempts[w];
+                        mpshare_obs::emit(
+                            mpshare_obs::Track::Scheduler,
+                            "sched.retry",
+                            Some(end.value()),
+                            None,
+                            || {
+                                serde_json::json!({
+                                    "workflow": w,
+                                    "attempt": attempt,
+                                    "backoff_s": backoff,
+                                })
+                            },
+                        );
                     }
                 } else {
                     done[w] = true;
                     tasks += client.completions.len();
                 }
+            }
+            mpshare_obs::counter_add(mpshare_obs::names::SCHED_DISPATCHES, 1);
+            if mpshare_obs::enabled() {
+                mpshare_obs::observe(
+                    mpshare_obs::names::QUEUE_DEPTH,
+                    &mpshare_obs::DEPTH_BUCKETS,
+                    pending.len() as f64,
+                );
+                let (group, depth) = (members.clone(), pending.len());
+                let (start, dur) = (now.value(), outcome.makespan.value());
+                let exclusive = offender.is_some();
+                mpshare_obs::emit(
+                    mpshare_obs::Track::Scheduler,
+                    "sched.dispatch",
+                    Some(start),
+                    Some(dur),
+                    || {
+                        serde_json::json!({
+                            "workflows": group,
+                            "queue_depth": depth,
+                            "exclusive": exclusive,
+                            "tasks_completed": result.tasks_completed,
+                            "tasks_failed": result.tasks_failed,
+                        })
+                    },
+                );
             }
             decisions.push(DispatchRecord {
                 at: now,
@@ -358,6 +415,7 @@ impl OnlineScheduler {
         } else {
             tasks as f64 / now.value()
         };
+        mpshare_obs::gauge_set(mpshare_obs::names::GOODPUT, goodput);
         Ok(OnlineOutcome {
             makespan: now,
             energy,
@@ -408,6 +466,7 @@ impl OnlineScheduler {
                 partitions: vec![mpshare_types::Fraction::ONE],
             };
             let result = self.executor.run_group_raw(&specs, &group, &mut ids)?;
+            mpshare_obs::counter_add(mpshare_obs::names::SCHED_DISPATCHES, 1);
             wait_total += now.saturating_sub(arrivals[i].arrival).value();
             decisions.push(DispatchRecord {
                 at: now,
@@ -424,6 +483,7 @@ impl OnlineScheduler {
         } else {
             tasks as f64 / now.value()
         };
+        mpshare_obs::gauge_set(mpshare_obs::names::GOODPUT, goodput);
         Ok(OnlineOutcome {
             makespan: now,
             energy,

@@ -187,6 +187,7 @@ impl Planner {
         if profiles.is_empty() {
             return Err(Error::InvalidConfig("empty workflow queue".into()));
         }
+        mpshare_obs::counter_add(mpshare_obs::names::PLAN_CALLS, 1);
         let plan = match strategy {
             PlannerStrategy::Greedy => self.plan_greedy(profiles, &EstimateMemo::new()),
             PlannerStrategy::BestFit => self.plan_bestfit(profiles, &EstimateMemo::new()),
@@ -210,6 +211,20 @@ impl Planner {
             PlannerStrategy::Exhaustive => self.plan_exhaustive(profiles)?,
         };
         plan.validate(&self.device, profiles)?;
+        if mpshare_obs::enabled() {
+            let (workflows, groups, cardinality) =
+                (profiles.len(), plan.groups.len(), plan.max_cardinality());
+            let score = self.score_plan(&plan, profiles);
+            mpshare_obs::emit(mpshare_obs::Track::Planner, "plan", None, None, || {
+                serde_json::json!({
+                    "strategy": format!("{strategy:?}"),
+                    "workflows": workflows,
+                    "groups": groups,
+                    "max_cardinality": cardinality,
+                    "score": score,
+                })
+            });
+        }
         Ok(plan)
     }
 
@@ -303,6 +318,27 @@ impl Planner {
                         continue;
                     }
                     if group_memory + profiles[cand].max_memory > self.device.memory_capacity {
+                        if mpshare_obs::enabled() {
+                            mpshare_obs::counter_add(mpshare_obs::names::PLAN_CANDIDATES, 1);
+                            mpshare_obs::counter_add(mpshare_obs::names::PLAN_REJECTS, 1);
+                            let group = members.clone();
+                            mpshare_obs::emit(
+                                mpshare_obs::Track::Planner,
+                                "plan.candidate",
+                                None,
+                                None,
+                                || {
+                                    serde_json::json!({
+                                        "strategy": "bestfit",
+                                        "cap": cap,
+                                        "group": group,
+                                        "candidate": cand,
+                                        "accepted": false,
+                                        "reason": "group memory would exceed capacity",
+                                    })
+                                },
+                            );
+                        }
                         continue;
                     }
                     trial_members.clear();
@@ -313,6 +349,35 @@ impl Planner {
                     // growth it causes in the group's makespan.
                     let saving = profiles[cand].duration.value()
                         - (with.makespan.value() - current.makespan.value());
+                    if mpshare_obs::enabled() {
+                        mpshare_obs::counter_add(mpshare_obs::names::PLAN_CANDIDATES, 1);
+                        if saving <= 0.0 {
+                            mpshare_obs::counter_add(mpshare_obs::names::PLAN_REJECTS, 1);
+                        }
+                        let group = members.clone();
+                        mpshare_obs::emit(
+                            mpshare_obs::Track::Planner,
+                            "plan.candidate",
+                            None,
+                            None,
+                            || {
+                                serde_json::json!({
+                                    "strategy": "bestfit",
+                                    "cap": cap,
+                                    "group": group,
+                                    "candidate": cand,
+                                    "accepted": saving > 0.0,
+                                    "reason": if saving > 0.0 {
+                                        "positive predicted time saving"
+                                    } else {
+                                        "predicted makespan growth outweighs saving"
+                                    },
+                                    "predicted_saving_s": saving,
+                                    "predicted_makespan_s": with.makespan.value(),
+                                })
+                            },
+                        );
+                    }
                     if saving > 0.0 && best_candidate.is_none_or(|(best, _)| saving > best) {
                         best_candidate = Some((saving, cand));
                     }
@@ -368,7 +433,38 @@ impl Planner {
                 trial.push(&profiles[cand]);
                 // Criteria 2 & 3: stay under 100 % combined compute/BW and
                 // under memory capacity.
-                if predict(&self.device, &trial).is_compatible() {
+                let prediction = predict(&self.device, &trial);
+                let accepted = prediction.is_compatible();
+                if mpshare_obs::enabled() {
+                    mpshare_obs::counter_add(mpshare_obs::names::PLAN_CANDIDATES, 1);
+                    if !accepted {
+                        mpshare_obs::counter_add(mpshare_obs::names::PLAN_REJECTS, 1);
+                    }
+                    let group = members.clone();
+                    mpshare_obs::emit(
+                        mpshare_obs::Track::Planner,
+                        "plan.candidate",
+                        None,
+                        None,
+                        || {
+                            serde_json::json!({
+                                "strategy": "greedy",
+                                "cap": cap,
+                                "group": group,
+                                "candidate": cand,
+                                "accepted": accepted,
+                                "reason": if accepted {
+                                    "within combined SM/BW/memory limits"
+                                } else {
+                                    "interference rule: combined demand over 100%"
+                                },
+                                "combined_sm": prediction.sm_sum,
+                                "combined_bw": prediction.bw_sum,
+                            })
+                        },
+                    );
+                }
+                if accepted {
                     assigned[cand] = true;
                     members.push(cand);
                 }

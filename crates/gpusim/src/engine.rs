@@ -843,8 +843,10 @@ impl Engine {
                 self.free_memory = self.free_memory.saturating_sub(need);
                 client.held_memory = need;
                 let setup = client.program.tasks[client.task_idx].setup.value();
+                let task = client.program.tasks[client.task_idx].id;
                 client.phase = Phase::Setup { remaining: setup };
                 self.memory_waiters.remove(j);
+                self.record(i, EventKind::MemoryGranted { task });
                 granted = true;
             } else {
                 j += 1;

@@ -32,6 +32,10 @@ pub enum EventKind {
     TaskEnd { task: TaskId },
     /// A client blocked waiting for device memory.
     MemoryBlocked { task: TaskId },
+    /// A blocked client's memory request was satisfied (pairs with the
+    /// preceding `MemoryBlocked` for the same task; the gap between them
+    /// is the client's memory-wait time).
+    MemoryGranted { task: TaskId },
     /// A kernel became resident on the GPU.
     KernelStart { task: TaskId, kernel_index: usize },
     /// A kernel retired.

@@ -2,11 +2,26 @@
 //!
 //! Usage:
 //! ```text
-//! mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|all> [--out DIR] [--serial]
+//! mpshare-repro <experiment|all> [--out DIR] [--serial]
+//!               [--trace-out FILE] [--metrics-out FILE]
+//! mpshare-repro validate-obs --trace-out FILE --metrics-out FILE
 //! ```
 //!
 //! Each experiment prints its table to stdout and writes `.txt`, `.csv`,
 //! and `.json` artifacts under the output directory (default `results/`).
+//!
+//! `--trace-out` (or `MPSHARE_TRACE_OUT`) enables the observability
+//! recorder and writes the unified Chrome-tracing/Perfetto artifact —
+//! control-plane tracks (planner/scheduler/daemon/executor), merged with
+//! the engine timeline of the attributed run when the experiment is
+//! `ext_attrib`. `--metrics-out` (or `MPSHARE_METRICS_OUT`) writes the
+//! metrics registry as JSON at the given path and as Prometheus text at
+//! the same path with `.prom` appended. Recording never changes results:
+//! every artifact under `--out` is byte-identical with and without it.
+//!
+//! `validate-obs` re-opens the two artifacts and checks the invariants
+//! the trace-smoke gate relies on: the control tracks are present in the
+//! trace and the required metric families exist in the export.
 //!
 //! Sweep points fan out across worker threads by default; `--serial` (or
 //! `MPSHARE_SERIAL=1`) forces single-threaded execution. Both modes
@@ -21,7 +36,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|ext_faults|all> [--out DIR] [--serial]"
+        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|ext_faults|ext_attrib|all> [--out DIR] [--serial] [--trace-out FILE] [--metrics-out FILE]\n       mpshare-repro validate-obs --trace-out FILE --metrics-out FILE"
     );
     std::process::exit(2);
 }
@@ -30,11 +45,21 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Option<String> = None;
     let mut out_dir = PathBuf::from("results");
+    let mut trace_out = std::env::var("MPSHARE_TRACE_OUT").ok().map(PathBuf::from);
+    let mut metrics_out = std::env::var("MPSHARE_METRICS_OUT").ok().map(PathBuf::from);
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => usage(),
             },
             "--serial" => mpshare_par::set_serial(true),
@@ -45,25 +70,22 @@ fn main() -> ExitCode {
     }
     let which = which.unwrap_or_else(|| usage());
 
+    if which == "validate-obs" {
+        return match (trace_out, metrics_out) {
+            (Some(trace), Some(metrics)) => validate_obs(&trace, &metrics),
+            _ => usage(),
+        };
+    }
+
+    // Any observability sink enables recording for the whole run.
+    if trace_out.is_some() || metrics_out.is_some() {
+        mpshare_obs::set_enabled(true);
+    }
+
     let device = DeviceSpec::a100x();
     let started = Instant::now();
-    let result: mpshare_types::Result<Vec<Experiment>> = match which.as_str() {
-        "table1" => experiments::table1::run(&device).map(|e| vec![e]),
-        "table2" => experiments::table2::run(&device).map(|e| vec![e]),
-        "fig1" => experiments::fig1::run(&device).map(|e| vec![e]),
-        "fig2" => experiments::fig2::run(&device).map(|e| vec![e]),
-        "fig3" => experiments::fig3::run(&device).map(|e| vec![e]),
-        "fig4" => experiments::fig4::run(&device).map(|e| vec![e]),
-        "fig5" => experiments::fig5::run(&device).map(|e| vec![e]),
-        "ext_node" => experiments::ext_node::run(&device).map(|e| vec![e]),
-        "ext_mechanisms" => experiments::ext_mechanisms::run(&device).map(|e| vec![e]),
-        "ext_powercap" => experiments::ext_powercap::run(&device).map(|e| vec![e]),
-        "ext_online" => experiments::ext_online::run(&device).map(|e| vec![e]),
-        "ext_hetero" => experiments::ext_hetero::run(&device).map(|e| vec![e]),
-        "ext_faults" => experiments::ext_faults::run(&device).map(|e| vec![e]),
-        "all" => experiments::run_all(&device),
-        _ => usage(),
-    };
+    let result: mpshare_types::Result<Vec<Experiment>> =
+        experiments::run_named(&device, &which).unwrap_or_else(|| usage());
 
     let experiments = match result {
         Ok(e) => e,
@@ -75,6 +97,10 @@ fn main() -> ExitCode {
 
     for e in &experiments {
         println!("{}", e.render());
+    }
+    if let Err(err) = write_obs_artifacts(&device, &which, trace_out, metrics_out) {
+        eprintln!("failed to write observability artifacts: {err}");
+        return ExitCode::FAILURE;
     }
     if which == "all" {
         match write_report(&out_dir, &experiments) {
@@ -96,5 +122,128 @@ fn main() -> ExitCode {
             eprintln!("failed to write results: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Drains the recorder and writes the merged trace and metric exports.
+fn write_obs_artifacts(
+    device: &DeviceSpec,
+    which: &str,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+) -> std::io::Result<()> {
+    if let Some(path) = trace_out {
+        // The ext_attrib run is the one experiment with a canonical
+        // engine timeline to merge under the control tracks; it is
+        // deterministic, so re-running it reproduces the exact result
+        // the experiment attributed.
+        let engine = if which == "ext_attrib" || which == "all" {
+            match experiments::ext_attrib::traced_run(device) {
+                Ok((_, _, result)) => Some(result),
+                Err(err) => {
+                    return Err(std::io::Error::other(format!(
+                        "re-running ext_attrib for the trace failed: {err}"
+                    )));
+                }
+            }
+        } else {
+            None
+        };
+        let records = mpshare_obs::recorder().drain();
+        let trace = mpshare_obs::merged_chrome_trace(engine.as_ref(), &records);
+        std::fs::write(&path, trace)?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = metrics_out {
+        let metrics = mpshare_obs::metrics();
+        let json =
+            serde_json::to_string_pretty(&metrics.to_json()).expect("metrics export is valid JSON");
+        std::fs::write(&path, json)?;
+        let mut prom = path.as_os_str().to_owned();
+        prom.push(".prom");
+        std::fs::write(&prom, metrics.to_prometheus())?;
+        eprintln!("wrote {} (+ .prom)", path.display());
+    }
+    Ok(())
+}
+
+/// Checks the trace and metrics artifacts a recorded run produced: the
+/// planner/scheduler/daemon tracks must be present in the trace, and the
+/// cache/fault/goodput metric families in the export.
+fn validate_obs(trace_path: &PathBuf, metrics_path: &PathBuf) -> ExitCode {
+    let mut failures: Vec<String> = Vec::new();
+
+    match std::fs::read_to_string(trace_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).map_err(|e| e.to_string()))
+    {
+        Ok(trace) => {
+            let events = trace
+                .get("traceEvents")
+                .and_then(|v| v.as_array())
+                .cloned()
+                .unwrap_or_default();
+            if events.is_empty() {
+                failures.push("trace has no traceEvents".to_string());
+            }
+            for (pid, track) in [(3u64, "planner"), (4, "scheduler"), (5, "daemon")] {
+                let present = events
+                    .iter()
+                    .any(|e| e.get("pid").and_then(|p| p.as_u64()) == Some(pid));
+                if !present {
+                    failures.push(format!("trace is missing the {track} track (pid {pid})"));
+                }
+            }
+        }
+        Err(err) => failures.push(format!("cannot parse {}: {err}", trace_path.display())),
+    }
+
+    match std::fs::read_to_string(metrics_path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).map_err(|e| e.to_string()))
+    {
+        Ok(metrics) => {
+            use mpshare_obs::names;
+            let has = |section: &str, name: &str| {
+                metrics.get(section).and_then(|s| s.get(name)).is_some()
+            };
+            for counter in [
+                names::PROFILE_CACHE_HITS,
+                names::PROFILE_CACHE_MISSES,
+                names::ESTIMATE_MEMO_HITS,
+                names::ENGINE_RUNS,
+                names::ENGINE_RATE_SOLVES,
+                names::FAULTS_INJECTED,
+                names::CLIENTS_FAILED,
+                names::SCHED_DISPATCHES,
+                names::PLAN_CALLS,
+                names::SERVER_SPAWNS,
+            ] {
+                if !has("counters", counter) {
+                    failures.push(format!("metrics export is missing counter {counter}"));
+                }
+            }
+            for gauge in [names::GOODPUT, names::WASTED_ENERGY_JOULES] {
+                if !has("gauges", gauge) {
+                    failures.push(format!("metrics export is missing gauge {gauge}"));
+                }
+            }
+            for histogram in [names::GROUP_MAKESPAN_SECONDS, names::PHASE_SIM_SECONDS] {
+                if !has("histograms", histogram) {
+                    failures.push(format!("metrics export is missing histogram {histogram}"));
+                }
+            }
+        }
+        Err(err) => failures.push(format!("cannot parse {}: {err}", metrics_path.display())),
+    }
+
+    if failures.is_empty() {
+        eprintln!("observability artifacts OK");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("validate-obs: {f}");
+        }
+        ExitCode::FAILURE
     }
 }

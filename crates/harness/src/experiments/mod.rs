@@ -1,6 +1,7 @@
 //! Experiment modules, one per paper artifact.
 
 pub mod combos;
+pub mod ext_attrib;
 pub mod ext_faults;
 pub mod ext_hetero;
 pub mod ext_mechanisms;
@@ -19,23 +20,75 @@ use crate::table::Experiment;
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::Result;
 
+/// Runs one experiment phase, recording the *simulated* seconds it
+/// consumed (the delta of the engine sim-seconds series — never wall
+/// clock, which the observability layer bans for determinism) into the
+/// per-phase histogram. A no-op wrapper while recording is disabled.
+fn phase<T>(name: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    if !mpshare_obs::enabled() {
+        return f();
+    }
+    let before = mpshare_obs::metrics().gauge_get(mpshare_obs::names::ENGINE_SIM_SECONDS);
+    let out = f()?;
+    let sim_seconds =
+        mpshare_obs::metrics().gauge_get(mpshare_obs::names::ENGINE_SIM_SECONDS) - before;
+    mpshare_obs::observe(
+        mpshare_obs::names::PHASE_SIM_SECONDS,
+        &mpshare_obs::SIM_SECONDS_BUCKETS,
+        sim_seconds,
+    );
+    mpshare_obs::emit(
+        mpshare_obs::Track::Executor,
+        "experiment.phase",
+        None,
+        None,
+        || serde_json::json!({ "experiment": name, "sim_seconds": sim_seconds }),
+    );
+    Ok(out)
+}
+
+/// Runs the experiment named on the `mpshare-repro` command line (one
+/// phase each; `"all"` is [`run_all`]). `None` for an unknown name.
+pub fn run_named(device: &DeviceSpec, which: &str) -> Option<Result<Vec<Experiment>>> {
+    let one = |r: Result<Experiment>| r.map(|e| vec![e]);
+    Some(match which {
+        "table1" => one(phase("table1", || table1::run(device))),
+        "table2" => one(phase("table2", || table2::run(device))),
+        "fig1" => one(phase("fig1", || fig1::run(device))),
+        "fig2" => one(phase("fig2", || fig2::run(device))),
+        "fig3" => one(phase("fig3", || fig3::run(device))),
+        "fig4" => one(phase("fig4", || fig4::run(device))),
+        "fig5" => one(phase("fig5", || fig5::run(device))),
+        "ext_node" => one(phase("ext_node", || ext_node::run(device))),
+        "ext_mechanisms" => one(phase("ext_mechanisms", || ext_mechanisms::run(device))),
+        "ext_powercap" => one(phase("ext_powercap", || ext_powercap::run(device))),
+        "ext_online" => one(phase("ext_online", || ext_online::run(device))),
+        "ext_hetero" => one(phase("ext_hetero", || ext_hetero::run(device))),
+        "ext_faults" => one(phase("ext_faults", || ext_faults::run(device))),
+        "ext_attrib" => one(phase("ext_attrib", || ext_attrib::run(device))),
+        "all" => run_all(device),
+        _ => return None,
+    })
+}
+
 /// Runs every experiment in paper order. The Table III combination runs
 /// (shared by Figures 2 and 3) execute once.
 pub fn run_all(device: &DeviceSpec) -> Result<Vec<Experiment>> {
     let mut out = Vec::new();
-    out.push(table1::run(device)?);
-    out.push(table2::run(device)?);
-    out.push(fig1::run(device)?);
-    let combo_results = combos::run_all(device)?;
+    out.push(phase("table1", || table1::run(device))?);
+    out.push(phase("table2", || table2::run(device))?);
+    out.push(phase("fig1", || fig1::run(device))?);
+    let combo_results = phase("combos", || combos::run_all(device))?;
     out.push(fig2::from_results(&combo_results));
     out.push(fig3::from_results(&combo_results));
-    out.push(fig4::run(device)?);
-    out.push(fig5::run(device)?);
-    out.push(ext_node::run(device)?);
-    out.push(ext_mechanisms::run(device)?);
-    out.push(ext_powercap::run(device)?);
-    out.push(ext_online::run(device)?);
-    out.push(ext_hetero::run(device)?);
-    out.push(ext_faults::run(device)?);
+    out.push(phase("fig4", || fig4::run(device))?);
+    out.push(phase("fig5", || fig5::run(device))?);
+    out.push(phase("ext_node", || ext_node::run(device))?);
+    out.push(phase("ext_mechanisms", || ext_mechanisms::run(device))?);
+    out.push(phase("ext_powercap", || ext_powercap::run(device))?);
+    out.push(phase("ext_online", || ext_online::run(device))?);
+    out.push(phase("ext_hetero", || ext_hetero::run(device))?);
+    out.push(phase("ext_faults", || ext_faults::run(device))?);
+    out.push(phase("ext_attrib", || ext_attrib::run(device))?);
     Ok(out)
 }

@@ -9,6 +9,7 @@
 use crate::server::{ClientHandle, MpsServer};
 use mpshare_gpusim::DeviceSpec;
 use mpshare_types::{ClientId, Error, GpuId, Result};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// Daemon lifecycle state.
@@ -67,10 +68,22 @@ impl ControlDaemon {
             .get(&gpu)
             .ok_or_else(|| Error::InvalidConfig(format!("no such GPU: {gpu}")))?
             .clone();
-        Ok(self
-            .servers
-            .entry(gpu)
-            .or_insert_with(|| MpsServer::new(gpu, device)))
+        Ok(match self.servers.entry(gpu) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                // First client contact: the daemon spawns the GPU's server
+                // lazily, and the control plane records the spawn.
+                mpshare_obs::counter_add(mpshare_obs::names::SERVER_SPAWNS, 1);
+                mpshare_obs::emit(
+                    mpshare_obs::Track::Daemon,
+                    "daemon.server_spawn",
+                    None,
+                    None,
+                    || serde_json::json!({ "gpu": gpu.to_string() }),
+                );
+                e.insert(MpsServer::new(gpu, device))
+            }
+        })
     }
 
     /// Whether a server has been spawned for `gpu`.
@@ -95,6 +108,15 @@ impl ControlDaemon {
             .ok_or_else(|| Error::InvalidState(format!("no server running on {gpu}")))?;
         let victims = server.client_fault(client)?;
         self.servers.remove(&gpu);
+        mpshare_obs::counter_add(mpshare_obs::names::SERVER_REAPS, 1);
+        let n = victims.len();
+        mpshare_obs::emit(
+            mpshare_obs::Track::Daemon,
+            "daemon.server_reap",
+            None,
+            None,
+            || serde_json::json!({ "gpu": gpu.to_string(), "victims": n }),
+        );
         Ok(victims)
     }
 
@@ -113,6 +135,7 @@ impl ControlDaemon {
                 self.total_clients()
             )));
         }
+        mpshare_obs::counter_add(mpshare_obs::names::SERVER_REAPS, self.servers.len() as u64);
         self.servers.clear();
         self.state = DaemonState::Stopped;
         Ok(())

@@ -16,11 +16,86 @@
 use crate::mig::MigLayout;
 use crate::timeslice::TimeSliceConfig;
 use mpshare_gpusim::{
-    ClientOutcome, ClientProgram, DeviceSpec, Engine, EngineConfig, FaultPlan, RunResult, Segment,
-    SharingMode, Telemetry,
+    ClientOutcome, ClientProgram, DeviceSpec, Engine, EngineConfig, EngineStats, FaultPlan,
+    RunResult, Segment, SharingMode, Telemetry,
 };
 use mpshare_types::{Error, Fraction, Power, Result, Seconds};
 use serde::{Deserialize, Serialize};
+
+/// Observability hook for one engine run: hot-path counters from
+/// [`EngineStats`], fault/goodput accounting, and a Daemon-track span
+/// covering the simulated makespan. A no-op unless recording is enabled.
+fn record_engine_run(
+    mode: &'static str,
+    clients: usize,
+    faults_planned: u64,
+    result: &RunResult,
+    stats: EngineStats,
+) {
+    if !mpshare_obs::enabled() {
+        return;
+    }
+    use mpshare_obs::names;
+    mpshare_obs::counter_add(names::ENGINE_RUNS, 1);
+    mpshare_obs::counter_add(names::ENGINE_EVENTS, stats.events);
+    mpshare_obs::counter_add(names::ENGINE_RATE_SOLVES, stats.rate_solves);
+    mpshare_obs::counter_add(names::ENGINE_RESIDENT_CHANGES, stats.resident_changes);
+    mpshare_obs::gauge_add(names::ENGINE_SIM_SECONDS, result.makespan.value());
+    mpshare_obs::observe(
+        names::GROUP_MAKESPAN_SECONDS,
+        &mpshare_obs::SIM_SECONDS_BUCKETS,
+        result.makespan.value(),
+    );
+    mpshare_obs::counter_add(names::FAULTS_INJECTED, faults_planned);
+    let failed = result.clients.iter().filter(|c| c.failed).count() as u64;
+    mpshare_obs::counter_add(names::CLIENTS_FAILED, failed);
+    mpshare_obs::counter_add(names::TASKS_COMPLETED, result.tasks_completed as u64);
+    mpshare_obs::counter_add(names::TASKS_FAILED, result.tasks_failed as u64);
+    mpshare_obs::gauge_add(names::WASTED_ENERGY_JOULES, result.wasted_energy.joules());
+    let (completed, failed_tasks) = (result.tasks_completed, result.tasks_failed);
+    let (events, solves) = (stats.events, stats.rate_solves);
+    let makespan = result.makespan.value();
+    mpshare_obs::emit(
+        mpshare_obs::Track::Daemon,
+        "engine.run",
+        Some(0.0),
+        Some(makespan),
+        || {
+            serde_json::json!({
+                "mode": mode,
+                "clients": clients,
+                "tasks_completed": completed,
+                "tasks_failed": failed_tasks,
+                "events": events,
+                "rate_solves": solves,
+            })
+        },
+    );
+}
+
+/// Records a fault-domain rewrite: the mechanism's [`FailureDomain`]
+/// transforming the submitted client-fault plan (widening under a shared
+/// server/process, restriction to instance members under MIG).
+fn record_domain_rewrite(mechanism: &'static str, domain: FailureDomain, faults: &FaultPlan) {
+    if faults.is_empty() || !mpshare_obs::enabled() {
+        return;
+    }
+    mpshare_obs::counter_add(mpshare_obs::names::FAULT_DOMAIN_REWRITES, 1);
+    let n = faults.len();
+    mpshare_obs::emit(
+        mpshare_obs::Track::Daemon,
+        "daemon.fault_domain_rewrite",
+        None,
+        None,
+        || {
+            serde_json::json!({
+                "mechanism": mechanism,
+                "domain": format!("{domain:?}"),
+                "faults": n,
+            })
+        },
+    );
+}
 
 /// How far a fatal client fault spreads under a sharing mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -160,23 +235,40 @@ impl GpuRunner {
         faults: &FaultPlan,
     ) -> Result<RunResult> {
         match sharing {
-            GpuSharing::Sequential => {
-                self.run_engine(SharingMode::Sequential, programs, faults.clone())
-            }
-            GpuSharing::TimeSliced(cfg) => {
-                self.run_engine(cfg.to_sharing_mode(), programs, faults.clone())
-            }
-            GpuSharing::Mps { partitions } => self.run_engine(
-                SharingMode::Mps {
-                    partitions: partitions.clone(),
-                },
+            GpuSharing::Sequential => self.run_engine(
+                "sequential",
+                SharingMode::Sequential,
                 programs,
-                faults.widen_to_domain(),
+                faults.clone(),
             ),
+            GpuSharing::TimeSliced(cfg) => self.run_engine(
+                "time-sliced",
+                cfg.to_sharing_mode(),
+                programs,
+                faults.clone(),
+            ),
+            GpuSharing::Mps { partitions } => {
+                record_domain_rewrite("mps", FailureDomain::SharedServer, faults);
+                self.run_engine(
+                    "mps",
+                    SharingMode::Mps {
+                        partitions: partitions.clone(),
+                    },
+                    programs,
+                    faults.widen_to_domain(),
+                )
+            }
             GpuSharing::Streams => {
-                self.run_engine(SharingMode::Streams, programs, faults.widen_to_domain())
+                record_domain_rewrite("streams", FailureDomain::SharedProcess, faults);
+                self.run_engine(
+                    "streams",
+                    SharingMode::Streams,
+                    programs,
+                    faults.widen_to_domain(),
+                )
             }
             GpuSharing::Mig { layout, assignment } => {
+                record_domain_rewrite("mig", FailureDomain::PerInstance, faults);
                 self.run_mig(layout, assignment, programs, faults)
             }
         }
@@ -184,15 +276,20 @@ impl GpuRunner {
 
     fn run_engine(
         &self,
+        mode_label: &'static str,
         mode: SharingMode,
         programs: Vec<ClientProgram>,
         faults: FaultPlan,
     ) -> Result<RunResult> {
+        let clients = programs.len();
+        let faults_planned = faults.len() as u64;
         let config = EngineConfig::new(self.device.clone(), mode)
             .with_sharing_overhead(self.sharing_overhead)
             .with_event_log(self.record_events)
             .with_fault_plan(faults);
-        Engine::new(config, programs)?.run()
+        let (result, stats) = Engine::new(config, programs)?.run_with_stats()?;
+        record_engine_run(mode_label, clients, faults_planned, &result, stats);
+        Ok(result)
     }
 
     fn run_mig(
@@ -240,9 +337,17 @@ impl GpuRunner {
                 },
             )
             .with_sharing_overhead(self.sharing_overhead)
-            .with_fault_plan(instance_faults);
-            let result = Engine::new(config, progs)?.run();
-            sub_results.push((inst, result?, orig_indices));
+            .with_fault_plan(instance_faults.clone());
+            let clients = progs.len();
+            let (result, stats) = Engine::new(config, progs)?.run_with_stats()?;
+            record_engine_run(
+                "mig-instance",
+                clients,
+                instance_faults.len() as u64,
+                &result,
+                stats,
+            );
+            sub_results.push((inst, result, orig_indices));
         }
 
         self.merge_mig_results(layout, sub_results)

@@ -187,6 +187,15 @@ impl MpsServer {
         }
         self.crashed = true;
         let victims = std::mem::take(&mut self.clients);
+        mpshare_obs::counter_add(mpshare_obs::names::SERVER_CRASHES, 1);
+        let (gpu, n) = (self.gpu, victims.len());
+        mpshare_obs::emit(
+            mpshare_obs::Track::Daemon,
+            "server.crash",
+            None,
+            None,
+            || serde_json::json!({ "gpu": gpu.to_string(), "origin": id.to_string(), "victims": n }),
+        );
         Ok(victims.into_values().collect())
     }
 

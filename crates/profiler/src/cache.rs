@@ -73,6 +73,7 @@ impl ProfileCache {
             .get(&cache_key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            mpshare_obs::counter_add(mpshare_obs::names::PROFILE_CACHE_HITS, 1);
             return Ok(profile.clone());
         }
         let mut map = shard.write().expect("profile cache poisoned");
@@ -80,10 +81,12 @@ impl ProfileCache {
             Entry::Occupied(e) => {
                 // Lost the read→write race to another thread that computed it.
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                mpshare_obs::counter_add(mpshare_obs::names::PROFILE_CACHE_HITS, 1);
                 Ok(e.get().clone())
             }
             Entry::Vacant(e) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                mpshare_obs::counter_add(mpshare_obs::names::PROFILE_CACHE_MISSES, 1);
                 let profile = compute()?;
                 Ok(e.insert(profile).clone())
             }

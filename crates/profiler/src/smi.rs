@@ -148,4 +148,88 @@ mod tests {
         assert_eq!(log.mean_sm_util(), Percent::ZERO);
         assert_eq!(log.capped_fraction(), 0.0);
     }
+
+    mod sampling_props {
+        use super::*;
+        use mpshare_gpusim::{
+            ClientProgram, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig, SharingMode,
+            TaskProgram,
+        };
+        use mpshare_types::{Fraction, MemBytes, TaskId};
+        use proptest::prelude::*;
+
+        fn trace_for(dur: f64, gap: f64, sm: f64, bw: f64, power: f64, reps: usize) -> Telemetry {
+            let d = DeviceSpec::a100x();
+            let k = KernelSpec::from_launch(&d, LaunchConfig::dense(216, 1024), Seconds::new(dur))
+                .with_sm_demand(Fraction::new(sm))
+                .with_bw_demand(Fraction::new(bw))
+                .with_power_scale(power)
+                .with_host_gap(Seconds::new(gap));
+            let mut t = TaskProgram::new(TaskId::new(0), "t", MemBytes::from_mib(64));
+            t.repeat_kernel(k, reps);
+            let mut c = ClientProgram::new("c");
+            c.push_task(t);
+            Engine::new(EngineConfig::new(d, SharingMode::mps_uniform(1)), vec![c])
+                .unwrap()
+                .run()
+                .unwrap()
+                .telemetry
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Satellite cross-check: left-endpoint sampling of a
+            /// piecewise-constant telemetry trace converges to the exact
+            /// integrals as the interval shrinks, with a provable error
+            /// bound. For a trace of S segments over total time T, each of
+            /// the ≤ S+1 discontinuities perturbs at most one sample
+            /// interval, so the sampled mean deviates from the exact mean
+            /// by at most (S+2)·range·h/T (doubled here for the float
+            /// drift in the sampler's time accumulator).
+            #[test]
+            fn sampled_means_converge_with_bounded_error(
+                dur in 0.3f64..2.5,
+                gap in 0.0f64..0.8,
+                sm in 0.2f64..1.0,
+                bw in 0.1f64..0.9,
+                power in 0.5f64..2.0,
+                reps in 1usize..4,
+            ) {
+                let telemetry = trace_for(dur, gap, sm, bw, power, reps);
+                let total = telemetry.total_time().value();
+                prop_assume!(total > 0.0);
+                let segs = telemetry.segments();
+                let s = segs.len() as f64;
+                let watts =
+                    |f: fn(&mpshare_gpusim::Segment) -> f64| -> (f64, f64) {
+                        let lo = segs.iter().map(f).fold(f64::INFINITY, f64::min);
+                        let hi = segs.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
+                        (lo, hi)
+                    };
+                let (p_lo, p_hi) = watts(|seg| seg.power.watts());
+                let (u_lo, u_hi) = watts(|seg| seg.sm_util * 100.0);
+                let exact_p = telemetry.avg_power().watts();
+                let exact_u = telemetry.avg_sm_util().value();
+
+                for &h in &[0.5, 0.1, 0.02] {
+                    let log = SmiLog::capture(&telemetry, Seconds::new(h));
+                    prop_assert!(!log.is_empty());
+                    let bound = |range: f64| 2.0 * (s + 2.0) * range * h / total + 1e-6;
+                    let p_err = (log.mean_power().watts() - exact_p).abs();
+                    prop_assert!(
+                        p_err <= bound(p_hi - p_lo),
+                        "power error {p_err} exceeds bound {} at h={h}",
+                        bound(p_hi - p_lo)
+                    );
+                    let u_err = (log.mean_sm_util().value() - exact_u).abs();
+                    prop_assert!(
+                        u_err <= bound(u_hi - u_lo),
+                        "sm-util error {u_err} exceeds bound {} at h={h}",
+                        bound(u_hi - u_lo)
+                    );
+                }
+            }
+        }
+    }
 }

@@ -7,105 +7,23 @@
 //! utilization, and board power sampled from the exact piecewise segments.
 
 use mpshare_gpusim::RunResult;
-use serde::Serialize;
-
-/// One Chrome-tracing event (the subset of fields we emit).
-#[derive(Debug, Clone, Serialize)]
-struct TraceEvent {
-    name: String,
-    ph: &'static str,
-    /// Timestamp, microseconds.
-    ts: f64,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    dur: Option<f64>,
-    pid: u64,
-    tid: u64,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    args: Option<serde_json::Value>,
-}
-
-const SECONDS_TO_US: f64 = 1e6;
 
 /// Converts a run result into a Chrome-tracing JSON string.
 ///
 /// * pid 0 carries the device counters (`sm_util`, `bw_util`, `power_w`,
 ///   `clock`).
 /// * pid 1 carries one thread per client; each completed task is a span.
+///   Faulted work is rendered, not dropped: a client aborted mid-task gets
+///   a red (`cname: "terrible"`) span for the lost in-flight work, and
+///   `ClientFault`/`ServerCrash` events become instant markers.
 /// * pid 2 carries kernel-level spans when the run recorded an event log
 ///   (see `GpuRunner::with_event_log`).
+///
+/// The rendering itself lives in `mpshare_obs::perfetto`, which also
+/// produces the merged control-plane + engine trace behind the harness's
+/// `--trace-out` flag; this function is the engine-only view.
 pub fn chrome_trace(result: &RunResult) -> String {
-    let mut events: Vec<TraceEvent> = Vec::new();
-
-    // Thread/track names.
-    for (i, client) in result.clients.iter().enumerate() {
-        events.push(TraceEvent {
-            name: "thread_name".into(),
-            ph: "M",
-            ts: 0.0,
-            dur: None,
-            pid: 1,
-            tid: i as u64,
-            args: Some(serde_json::json!({ "name": client.label })),
-        });
-    }
-
-    // Task spans, reconstructed from completion times: a task occupies the
-    // client from its predecessor's completion (or the client's start).
-    for (i, client) in result.clients.iter().enumerate() {
-        let mut cursor = client.started;
-        for completion in &client.completions {
-            let start = cursor;
-            let end = completion.at;
-            events.push(TraceEvent {
-                name: completion.label.clone(),
-                ph: "X",
-                ts: start.value() * SECONDS_TO_US,
-                dur: Some((end.value() - start.value()).max(0.0) * SECONDS_TO_US),
-                pid: 1,
-                tid: i as u64,
-                args: Some(serde_json::json!({ "task": completion.task.to_string() })),
-            });
-            cursor = end;
-        }
-    }
-
-    // Kernel-level spans (pid 2) when the run carried an event log.
-    for (client, task, kernel_index, start, end) in result.events.kernel_spans() {
-        events.push(TraceEvent {
-            name: format!("kernel {kernel_index}"),
-            ph: "X",
-            ts: start.value() * SECONDS_TO_US,
-            dur: Some((end.value() - start.value()).max(0.0) * SECONDS_TO_US),
-            pid: 2,
-            tid: client as u64,
-            args: Some(serde_json::json!({ "task": task.to_string() })),
-        });
-    }
-
-    // Device counters from the exact segments.
-    for segment in result.telemetry.segments() {
-        let ts = segment.start.value() * SECONDS_TO_US;
-        let counters = [
-            ("sm_util", segment.sm_util * 100.0),
-            ("bw_util", segment.bw_util * 100.0),
-            ("power_w", segment.power.watts()),
-            ("clock", segment.clock_factor * 100.0),
-        ];
-        for (name, value) in counters {
-            events.push(TraceEvent {
-                name: name.into(),
-                ph: "C",
-                ts,
-                dur: None,
-                pid: 0,
-                tid: 0,
-                args: Some(serde_json::json!({ name: value })),
-            });
-        }
-    }
-
-    serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
-        .expect("trace serialization cannot fail")
+    mpshare_obs::perfetto::chrome_trace(result)
 }
 
 #[cfg(test)]
@@ -187,5 +105,99 @@ mod tests {
             }
             assert_eq!(cursor, client.finished);
         }
+    }
+
+    fn long_program(label: &str, id: u64) -> mpshare_gpusim::ClientProgram {
+        use mpshare_gpusim::{KernelSpec, LaunchConfig, TaskProgram};
+        use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
+        let device = DeviceSpec::a100x();
+        let kernel = KernelSpec::from_launch(
+            &device,
+            LaunchConfig::dense(216 * 64, 1024),
+            Seconds::new(4.0),
+        )
+        .with_sm_demand(Fraction::new(0.3));
+        let mut task = TaskProgram::new(TaskId::new(id), label, MemBytes::from_mib(256));
+        task.push_kernel(kernel);
+        let mut program = mpshare_gpusim::ClientProgram::new(label);
+        program.push_task(task);
+        program
+    }
+
+    /// Satellite: faulted work is rendered, not dropped. An MPS-widened
+    /// client fault must produce red "aborted task" spans for the lost
+    /// in-flight work, a thread-scoped `client fault` instant per victim,
+    /// and a global-scoped `server crash` instant on the device track.
+    #[test]
+    fn faulted_run_renders_aborted_spans_and_fault_markers() {
+        use mpshare_gpusim::FaultPlan;
+        use mpshare_types::Seconds;
+
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.0), 0);
+        let result = GpuRunner::new(DeviceSpec::a100x())
+            .with_event_log(true)
+            .run_with_faults(
+                &GpuSharing::mps_default(2),
+                vec![long_program("victim", 0), long_program("sibling", 1)],
+                &faults,
+            )
+            .unwrap();
+        assert!(result.clients.iter().all(|c| c.failed), "MPS widens faults");
+
+        let trace = chrome_trace(&result);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+
+        let aborted: Vec<&serde_json::Value> = events
+            .iter()
+            .filter(|e| e["ph"] == "X" && e["name"] == "aborted task")
+            .collect();
+        assert_eq!(aborted.len(), 2, "both clients lose in-flight work");
+        for span in &aborted {
+            assert_eq!(span["cname"], "terrible", "aborted work renders red");
+            assert_eq!(span["args"]["failed"], true);
+        }
+
+        let client_faults = events
+            .iter()
+            .filter(|e| e["ph"] == "i" && e["name"] == "client fault")
+            .count();
+        assert_eq!(client_faults, 2, "one instant marker per victim");
+
+        let crash = events
+            .iter()
+            .find(|e| e["ph"] == "i" && e["name"] == "server crash")
+            .expect("shared-server crash marker");
+        assert_eq!(crash["pid"], 0, "crash lands on the device track");
+        assert_eq!(crash["s"], "g", "global-scoped instant");
+    }
+
+    /// A contained fault (no event log) still renders the aborted span
+    /// from the client outcome alone — markers need the log, spans do not.
+    #[test]
+    fn aborted_span_renders_without_event_log() {
+        use mpshare_gpusim::FaultPlan;
+        use mpshare_types::Seconds;
+
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(1.0), 0);
+        let result = GpuRunner::new(DeviceSpec::a100x())
+            .run_with_faults(
+                &GpuSharing::mps_default(2),
+                vec![long_program("victim", 0), long_program("sibling", 1)],
+                &faults,
+            )
+            .unwrap();
+        let trace = chrome_trace(&result);
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "X" && e["name"] == "aborted task"));
+        assert!(
+            !events.iter().any(|e| e["ph"] == "i"),
+            "no instants without an event log"
+        );
     }
 }

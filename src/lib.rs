@@ -24,7 +24,11 @@
 //! * [`par`] — the dependency-free parallel fan-out layer: planner
 //!   candidates, executor legs, and experiment sweep points run on worker
 //!   threads with bit-identical results to the serial path (force it with
-//!   [`par::set_serial`] or `MPSHARE_SERIAL=1`).
+//!   [`par::set_serial`] or `MPSHARE_SERIAL=1`);
+//! * [`obs`] — cross-layer observability: the deterministic span/event
+//!   recorder, metrics registry (Prometheus + JSON), merged Perfetto
+//!   export, and the interference-attribution report. Off by default and
+//!   zero-cost when disabled; enable with [`obs::set_enabled`].
 //!
 //! ## Quick start
 //!
@@ -63,6 +67,7 @@ pub use mpshare_core as core;
 pub use mpshare_gpusim as gpusim;
 pub use mpshare_harness as harness;
 pub use mpshare_mps as mps;
+pub use mpshare_obs as obs;
 pub use mpshare_par as par;
 pub use mpshare_profiler as profiler;
 pub use mpshare_types as types;

@@ -116,6 +116,53 @@ fn failure_domain_taxonomy_is_mechanism_aware() {
 }
 
 #[test]
+fn client_fault_events_are_terminal_in_the_log() {
+    // The event log must tell a consistent abort story: every ClientFault
+    // marks a client that really ended then and there (failed, finished
+    // at the fault time), and no kernel activity for that client appears
+    // after its abort.
+    use mpshare::gpusim::EventKind;
+    let device = device();
+    let runner = GpuRunner::new(device.clone()).with_event_log(true);
+    let mut plan = FaultPlan::new();
+    plan.push_client_fault(Seconds::new(1.5), 0);
+    let result = runner
+        .run_with_faults(&GpuSharing::mps_default(3), programs(&device), &plan)
+        .unwrap();
+    let faults: Vec<(usize, Seconds)> = result
+        .events
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ClientFault { .. }))
+        .map(|e| (e.client, e.at))
+        .collect();
+    // The shared MPS server widens the single fault to every resident.
+    assert_eq!(faults.len(), 3, "one ClientFault per aborted client");
+    for &(client, at) in &faults {
+        let outcome = &result.clients[client];
+        assert!(outcome.failed, "client {client} has a terminal phase");
+        assert_eq!(
+            outcome.finished, at,
+            "client {client} must finish exactly at its fault"
+        );
+        for event in result.events.events() {
+            if event.client == client && event.at > at {
+                assert!(
+                    !matches!(
+                        event.kind,
+                        EventKind::KernelStart { .. } | EventKind::KernelEnd { .. }
+                    ),
+                    "client {client} has kernel activity after its abort at {at}"
+                );
+            }
+        }
+    }
+    // And the fault record agrees with the log.
+    assert_eq!(result.failures.len(), 1);
+    assert_eq!(result.failures[0].victims, 3);
+}
+
+#[test]
 fn online_dispatcher_recovers_from_injected_faults() {
     let d = device();
     let scheduler = OnlineScheduler::new(
