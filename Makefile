@@ -6,11 +6,11 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy bench fault-smoke trace-smoke clean
+.PHONY: check build test test-all fmt clippy bench bench-gate fault-smoke trace-smoke clean
 
-# The full tier-1 gate: release build, tests, formatting, lints, and the
-# fault- and trace-determinism smoke runs.
-check: build test fmt clippy fault-smoke trace-smoke
+# The full tier-1 gate: release build, tests, formatting, lints, the
+# fault- and trace-determinism smoke runs, and the bench regression gate.
+check: build test fmt clippy fault-smoke trace-smoke bench-gate
 
 build:
 	$(CARGO) build --release
@@ -43,6 +43,25 @@ bench:
 	fi
 	MPSHARE_BENCH_JSON=$(CURDIR)/BENCH_engine.json \
 		$(CARGO) bench -p mpshare-bench --bench engine_performance
+
+# Bench regression gate: re-measures the engine benchmarks into a scratch
+# summary and compares per-scenario medians against the committed
+# BENCH_engine.json. Any scenario present in both that regressed by more
+# than 25% fails the gate; scenarios present in only one file (added,
+# renamed, or retired benchmarks) are tolerated. Skipped with a note when
+# no baseline has been committed yet.
+bench-gate: build
+	@if [ ! -f $(CURDIR)/BENCH_engine.json ]; then \
+		echo "bench-gate: no BENCH_engine.json baseline; run 'make bench' to record one"; \
+	else \
+		rm -f $(CURDIR)/.bench-gate.json && \
+		MPSHARE_BENCH_JSON=$(CURDIR)/.bench-gate.json \
+			$(CARGO) bench -p mpshare-bench --bench engine_performance && \
+		./target/release/bench_gate $(CURDIR)/BENCH_engine.json \
+			$(CURDIR)/.bench-gate.json --max-regression 0.25 && \
+		rm -f $(CURDIR)/.bench-gate.json && \
+		echo "bench regression gate passed"; \
+	fi
 
 # Fault-injection determinism gate: the seeded ext_faults experiment must
 # be bit-identical run-to-run and across serial vs. parallel execution.

@@ -126,6 +126,23 @@ fn bench_engine_gap_heavy(c: &mut Criterion) {
             })
         },
     );
+    // The same workload with the incremental contention fast path disabled:
+    // the spread against `mps_clients/48` is the measured benefit of the
+    // single-join/leave re-solve on a churn-heavy resident set.
+    group.bench_with_input(
+        BenchmarkId::new("full_resolve", clients),
+        &clients,
+        |b, &clients| {
+            b.iter(|| {
+                let programs: Vec<ClientProgram> = (0..clients)
+                    .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
+                    .collect();
+                let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients))
+                    .with_forced_full_resolve(true);
+                black_box(Engine::new(config, programs).unwrap().run().unwrap())
+            })
+        },
+    );
     group.finish();
 }
 
@@ -160,6 +177,20 @@ fn bench_plan_search(c: &mut Criterion) {
             black_box(
                 planner
                     .plan(&profiles10, PlannerStrategy::Exhaustive)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // The branch-and-bound ceiling: n = 12 (Bell(12) = 4 213 597 raw
+    // partitions, ~36x the n = 10 tree) is tractable only because the
+    // admissible score bound prunes most of the enumeration.
+    let profiles12bb = profiled_queue(&device, 42, 12);
+    group.bench_function("exhaustive_n12", |b| {
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan(&profiles12bb, PlannerStrategy::Exhaustive)
                     .unwrap(),
             )
         })

@@ -1,0 +1,115 @@
+//! Bench regression gate: compares a fresh `MPSHARE_BENCH_JSON` summary
+//! against the committed baseline (BENCH_engine.json) and fails when any
+//! scenario present in *both* files regressed beyond the tolerance.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [--max-regression 0.25]
+//! ```
+//!
+//! Scenarios are matched by name on the median. Names present in only one
+//! file are tolerated (renames, newly added benchmarks, retired ones) and
+//! reported informationally — the gate guards *pre-existing* scenarios.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn load_medians(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e:?}"))?;
+    let scenarios = root
+        .get("scenarios")
+        .and_then(|s| s.as_array())
+        .ok_or_else(|| format!("{path}: missing \"scenarios\" array"))?;
+    let mut out = BTreeMap::new();
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: scenario without a \"name\""))?;
+        let median = s
+            .get("median_ns")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| format!("{path}: scenario {name:?} without \"median_ns\""))?;
+        out.insert(name.to_string(), median);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-regression" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--max-regression needs a value".to_string())?;
+            max_regression = v
+                .parse()
+                .map_err(|e| format!("--max-regression {v:?}: {e}"))?;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err(
+            "usage: bench_gate <baseline.json> <candidate.json> [--max-regression R]".to_string(),
+        );
+    };
+
+    let baseline = load_medians(baseline_path)?;
+    let candidate = load_medians(candidate_path)?;
+
+    let mut failed = false;
+    for (name, &base) in &baseline {
+        let Some(&cand) = candidate.get(name) else {
+            println!("SKIP  {name}: not in candidate (removed or renamed)");
+            continue;
+        };
+        if base == 0 {
+            println!("SKIP  {name}: zero baseline median");
+            continue;
+        }
+        let ratio = cand as f64 / base as f64 - 1.0;
+        let verdict = if ratio > max_regression {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<5} {name}: baseline {base} ns -> candidate {cand} ns ({:+.1}%)",
+            ratio * 100.0
+        );
+    }
+    for name in candidate.keys() {
+        if !baseline.contains_key(name) {
+            println!("NEW   {name}: no baseline yet");
+        }
+    }
+    if failed {
+        println!(
+            "bench gate: regression beyond {:.0}%",
+            max_regression * 100.0
+        );
+    } else {
+        println!(
+            "bench gate: all shared scenarios within {:.0}%",
+            max_regression * 100.0
+        );
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -135,6 +135,7 @@ pub struct Planner {
     priority: MetricPriority,
     partition_strategy: PartitionStrategy,
     sharing_overhead: f64,
+    exhaustive_pruning: bool,
 }
 
 impl Planner {
@@ -144,6 +145,7 @@ impl Planner {
             priority,
             partition_strategy: PartitionStrategy::default_saturation_aware(),
             sharing_overhead: 0.0,
+            exhaustive_pruning: true,
         }
     }
 
@@ -154,6 +156,17 @@ impl Planner {
 
     pub fn with_sharing_overhead(mut self, o: f64) -> Self {
         self.sharing_overhead = o;
+        self
+    }
+
+    /// Enables/disables branch-and-bound pruning in
+    /// [`PlannerStrategy::Exhaustive`]. Pruning is on by default and
+    /// returns the identical plan (the bounds are admissible and the
+    /// incumbent-selection order is preserved); disabling it falls back to
+    /// the plain brute-force enumeration — the reference the equivalence
+    /// property test compares against.
+    pub fn with_exhaustive_pruning(mut self, enabled: bool) -> Self {
+        self.exhaustive_pruning = enabled;
         self
     }
 
@@ -294,6 +307,19 @@ impl Planner {
                 .expect("finite durations")
                 .then(a.cmp(&b))
         });
+        // A candidate's saving never exceeds its solo duration: the
+        // estimator's makespan is append-monotone (float included) when
+        // demands, durations, and the sharing overhead are non-negative,
+        // so the growth term subtracted from the duration is ≥ 0. Under
+        // that precondition the duration-descending candidate order admits
+        // an early break once the incumbent saving reaches the next
+        // candidate's duration.
+        let saving_bound_ok = self.sharing_overhead >= 0.0
+            && profiles.iter().all(|p| {
+                p.duration.value() >= 0.0
+                    && p.avg_sm_util.value() >= 0.0
+                    && p.avg_bw_util.value() >= 0.0
+            });
 
         let mut assigned = vec![false; profiles.len()];
         let mut groups = Vec::new();
@@ -316,6 +342,17 @@ impl Planner {
                 for &cand in &order {
                     if assigned[cand] {
                         continue;
+                    }
+                    // Duration bound: later candidates are shorter still, so
+                    // none can *strictly* beat the incumbent saving — the
+                    // selection is unchanged. Only taken with observability
+                    // off: the audit stream must see every candidate.
+                    if saving_bound_ok && !mpshare_obs::enabled() {
+                        if let Some((best, _)) = best_candidate {
+                            if profiles[cand].duration.value() <= best {
+                                break;
+                            }
+                        }
                     }
                     if group_memory + profiles[cand].max_memory > self.device.memory_capacity {
                         if mpshare_obs::enabled() {
@@ -488,6 +525,14 @@ impl Planner {
     /// the serial recursion's visit order and reduced in that order with a
     /// strictly-greater comparison, so the winning partition is exactly the
     /// one the serial search returns.
+    ///
+    /// By default each sub-tree is searched branch-and-bound
+    /// ([`BranchAndBound`]): partial groupings carry an admissible score
+    /// upper bound, and sub-trees that cannot *strictly* beat the worker's
+    /// incumbent are pruned — the surviving leaf visit order and the
+    /// strictly-greater incumbent rule are those of the brute force, so
+    /// the returned plan is identical ([`Planner::with_exhaustive_pruning`]
+    /// switches back to the plain enumeration).
     fn plan_exhaustive(&self, profiles: &[WorkflowProfile]) -> Result<SchedulePlan> {
         const MAX_N: usize = 12;
         // 4 fixed positions → 15 independent sub-enumerations (Bell(4)).
@@ -508,62 +553,192 @@ impl Planner {
 
         let seq = Self::sequential_baseline(profiles);
         let memo = EstimateMemo::new();
+        let bound = if self.exhaustive_pruning {
+            self.exhaustive_bound(profiles, &seq)
+        } else {
+            None
+        };
         let local_bests = mpshare_par::par_map(&prefixes, |(prefix, max_used)| {
-            let mut assignment = vec![0usize; n];
-            assignment[..prefix_len].copy_from_slice(prefix);
-            let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
-            let mut groups: Vec<Vec<usize>> = Vec::new();
-            // Dense front of the shared memo: with n ≤ 12 every group is
-            // an ascending index list below 64, i.e. a subset mask that
-            // fits a direct-indexed table. A dense hit is an array load;
-            // only the first touch per worker goes through the hashed
-            // shard (which dedups the actual estimate across workers).
-            let mut dense: Vec<Option<GroupEstimate>> = vec![None; 1usize << n];
-            enumerate_partitions(&mut assignment, prefix_len, *max_used, &mut |assign, k| {
-                for g in groups.iter_mut() {
-                    g.clear();
-                }
-                if groups.len() < k {
-                    groups.resize_with(k, Vec::new);
-                }
-                for (i, &g) in assign.iter().enumerate() {
-                    groups[g].push(i);
-                }
-                // Hard constraints: memory and client limit.
-                for g in &groups[..k] {
-                    if g.len() > self.device.max_mps_clients {
-                        return;
-                    }
-                    let mem: mpshare_types::MemBytes =
-                        g.iter().map(|&i| profiles[i].max_memory).sum();
-                    if mem > self.device.memory_capacity {
-                        return;
-                    }
-                }
-                // Score the raw member lists: the score is partition-free,
-                // so only the overall winner is materialized. The sums run
-                // left to right in group-index order, exactly as
-                // `score_member_lists` would.
-                let mut makespan = 0.0;
-                let mut energy = 0.0;
-                for g in &groups[..k] {
-                    let mask: usize = g.iter().fold(0, |m, &i| m | (1 << i));
-                    let e = dense[mask]
-                        .get_or_insert_with(|| self.estimate_members(g, profiles, &memo));
-                    makespan += e.makespan.value();
-                    energy += e.energy.joules();
-                }
-                let score = self.score_totals(&seq, makespan, energy);
-                if best.as_ref().is_none_or(|(s, _)| score > *s) {
-                    best = Some((score, groups[..k].to_vec()));
-                }
-            });
-            best
+            if self.exhaustive_pruning {
+                self.exhaustive_worker_pruned(
+                    profiles,
+                    &seq,
+                    &memo,
+                    bound.as_ref(),
+                    prefix,
+                    *max_used,
+                )
+            } else {
+                self.exhaustive_worker_brute(profiles, &seq, &memo, prefix, *max_used)
+            }
         });
 
         let groups = Self::first_best(local_bests.into_iter().flatten())
             .ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
         Ok(self.materialize(&groups, profiles))
+    }
+
+    /// One worker's plain brute-force sub-enumeration (the reference the
+    /// branch-and-bound path is property-tested against).
+    fn exhaustive_worker_brute(
+        &self,
+        profiles: &[WorkflowProfile],
+        seq: &GroupEstimate,
+        memo: &EstimateMemo,
+        prefix: &[usize],
+        prefix_max: usize,
+    ) -> Option<(f64, Vec<Vec<usize>>)> {
+        let n = profiles.len();
+        let prefix_len = prefix.len();
+        let mut assignment = vec![0usize; n];
+        assignment[..prefix_len].copy_from_slice(prefix);
+        let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        // Dense front of the shared memo: with n ≤ 12 every group is
+        // an ascending index list below 64, i.e. a subset mask that
+        // fits a direct-indexed table. A dense hit is an array load;
+        // only the first touch per worker goes through the hashed
+        // shard (which dedups the actual estimate across workers).
+        let mut dense: Vec<Option<GroupEstimate>> = vec![None; 1usize << n];
+        enumerate_partitions(&mut assignment, prefix_len, prefix_max, &mut |assign, k| {
+            for g in groups.iter_mut() {
+                g.clear();
+            }
+            if groups.len() < k {
+                groups.resize_with(k, Vec::new);
+            }
+            for (i, &g) in assign.iter().enumerate() {
+                groups[g].push(i);
+            }
+            // Hard constraints: memory and client limit.
+            for g in &groups[..k] {
+                if g.len() > self.device.max_mps_clients {
+                    return;
+                }
+                let mem: mpshare_types::MemBytes = g.iter().map(|&i| profiles[i].max_memory).sum();
+                if mem > self.device.memory_capacity {
+                    return;
+                }
+            }
+            // Score the raw member lists: the score is partition-free,
+            // so only the overall winner is materialized. The sums run
+            // left to right in group-index order, exactly as
+            // `score_member_lists` would.
+            let mut makespan = 0.0;
+            let mut energy = 0.0;
+            for g in &groups[..k] {
+                let mask: usize = g.iter().fold(0, |m, &i| m | (1 << i));
+                let e = dense[mask].get_or_insert_with(|| self.estimate_members(g, profiles, memo));
+                makespan += e.makespan.value();
+                energy += e.energy.joules();
+            }
+            let score = self.score_totals(seq, makespan, energy);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, groups[..k].to_vec()));
+            }
+        });
+        best
+    }
+
+    /// One worker's branch-and-bound sub-enumeration: an explicit DFS
+    /// mirroring [`enumerate_partitions`]'s visit order, with hard
+    /// constraints checked at assignment time (a violating group only
+    /// grows down-tree, so every pruned leaf would have early-returned)
+    /// and, when `bound` is available, admissible score-bound pruning
+    /// against the worker-local incumbent.
+    fn exhaustive_worker_pruned(
+        &self,
+        profiles: &[WorkflowProfile],
+        seq: &GroupEstimate,
+        memo: &EstimateMemo,
+        bound: Option<&ExhaustiveBound>,
+        prefix: &[usize],
+        prefix_max: usize,
+    ) -> Option<(f64, Vec<Vec<usize>>)> {
+        let n = profiles.len();
+        let mut search = BranchAndBound {
+            planner: self,
+            profiles,
+            seq,
+            memo,
+            bound,
+            dense: vec![None; 1usize << n],
+            groups: Vec::new(),
+            group_mem: Vec::new(),
+            group_ms: Vec::new(),
+            group_en: Vec::new(),
+            best: None,
+            n,
+        };
+        // Seed the fixed prefix positions. A hard-constraint violation
+        // here voids the whole sub-tree — exactly as every leaf below it
+        // would have early-returned in the brute force.
+        for (pos, &g) in prefix.iter().enumerate() {
+            search.push_member(pos, g)?;
+        }
+        search.dfs(prefix.len(), prefix_max);
+        search.best
+    }
+
+    /// Precomputes the admissible-bound ingredients for one exhaustive
+    /// call, or `None` when the preconditions for bound validity do not
+    /// hold (negative/non-finite inputs, non-positive baseline) — the
+    /// search then runs without score pruning.
+    fn exhaustive_bound(
+        &self,
+        profiles: &[WorkflowProfile],
+        seq: &GroupEstimate,
+    ) -> Option<ExhaustiveBound> {
+        let seq_makespan = seq.makespan.value();
+        let seq_energy = seq.energy.joules();
+        let idle = self.device.idle_power;
+        // Every comparison is written positively so NaN anywhere fails it.
+        let preconditions_ok = self.sharing_overhead >= 0.0
+            && seq_makespan > 0.0
+            && seq_makespan.is_finite()
+            && seq_energy > 0.0
+            && seq_energy.is_finite()
+            && idle.watts() >= 0.0
+            && idle.watts().is_finite();
+        if !preconditions_ok {
+            return None;
+        }
+        let n = profiles.len();
+        let mut r_total = 0.0;
+        for p in profiles {
+            let dur = p.duration.value();
+            let sm = p.avg_sm_util.value();
+            let bw = p.avg_bw_util.value();
+            let dyn_e = p.dynamic_energy(idle).joules();
+            let ok = dur >= 0.0
+                && dur.is_finite()
+                && sm >= 0.0
+                && sm.is_finite()
+                && bw >= 0.0
+                && bw.is_finite()
+                && dyn_e >= 0.0
+                && dyn_e.is_finite();
+            if !ok {
+                return None;
+            }
+            // Any group's makespan ≥ max_dur · (Σsm/100) ≥ Σ dur_i·sm_i/100,
+            // so the whole-queue sum floors every partition's total.
+            r_total += dur * (sm / 100.0);
+        }
+        let mut dyn_suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            dyn_suffix[i] = profiles[i].dynamic_energy(idle).joules() + dyn_suffix[i + 1];
+        }
+        Some(ExhaustiveBound {
+            // The bounds combine float sums folded in a different order
+            // than the leaf scores; the (1 − 1e-9) deflation swamps the
+            // ~1e-15 relative rounding drift, keeping them admissible
+            // bit for bit.
+            r_total: r_total * (1.0 - 1e-9),
+            dyn_suffix,
+            seq_makespan,
+            seq_energy,
+        })
     }
 
     fn materialize(&self, groups: &[Vec<usize>], profiles: &[WorkflowProfile]) -> SchedulePlan {
@@ -713,6 +888,177 @@ fn enumerate_partitions(
         assignment[pos] = g;
         let next_max = max_used.max(g + 1);
         enumerate_partitions(assignment, pos + 1, next_max, visit);
+    }
+}
+
+/// Ingredients of the exhaustive search's admissible score bound, computed
+/// once per [`Planner::plan_exhaustive`] call.
+///
+/// All bounds are *lower* bounds on a completed partition's totals; because
+/// every supported [`MetricPriority`] score is monotone non-decreasing in
+/// `seq/total` for positive inputs, dividing the (positive) sequential
+/// baseline by them yields an upper bound on any descendant leaf's score.
+///
+/// * `r_total` — `Σᵢ durᵢ·smᵢ/100` over the whole queue, deflated by
+///   `1 − 1e-9`. Any group's makespan is at least `max_dur · Σ_g sm/100 ≥
+///   Σ_{i∈g} durᵢ·smᵢ/100` (contention floors at `Σsm/100`, overhead at 1),
+///   so the queue-wide sum floors every partition's makespan total. The
+///   deflation swamps the ≤ ~1e-14 relative drift from re-associating the
+///   float sums, keeping the floor admissible bit for bit.
+/// * `dyn_suffix[i]` — `Σ_{j ≥ i} dynamic_energy(j)`: dynamic energies are
+///   conserved under grouping (each appears in exactly one group's energy),
+///   so unassigned positions contribute at least this much energy.
+struct ExhaustiveBound {
+    r_total: f64,
+    dyn_suffix: Vec<f64>,
+    seq_makespan: f64,
+    seq_energy: f64,
+}
+
+/// Saved per-group state for undoing one [`BranchAndBound::push_member`].
+struct SavedGroup {
+    ms: f64,
+    en: f64,
+    mem: mpshare_types::MemBytes,
+}
+
+/// Depth-first branch-and-bound over one restricted-growth-string sub-tree.
+///
+/// The DFS visits leaves in exactly [`enumerate_partitions`]'s order and
+/// applies the same strictly-greater incumbent rule, so with pruning that
+/// only removes leaves scoring ≤ the incumbent (which can never *replace*
+/// it), the surviving incumbent sequence — and hence the final best — is
+/// identical to the brute force's.
+///
+/// Hard constraints (client count, memory) are checked as members are
+/// assigned: both only grow as a group gains members, so a violation at
+/// assignment time implies every leaf below would have failed the brute
+/// force's leaf check, making the skip exact even without a score bound.
+struct BranchAndBound<'a> {
+    planner: &'a Planner,
+    profiles: &'a [WorkflowProfile],
+    seq: &'a GroupEstimate,
+    memo: &'a EstimateMemo,
+    bound: Option<&'a ExhaustiveBound>,
+    /// Dense mask-indexed estimate table, as in the brute-force worker.
+    dense: Vec<Option<GroupEstimate>>,
+    /// Current partial grouping; slots beyond the live `max_used` may
+    /// linger empty (with zeroed totals) after backtracking.
+    groups: Vec<Vec<usize>>,
+    group_mem: Vec<mpshare_types::MemBytes>,
+    group_ms: Vec<f64>,
+    group_en: Vec<f64>,
+    best: Option<(f64, Vec<Vec<usize>>)>,
+    n: usize,
+}
+
+impl BranchAndBound<'_> {
+    /// Assigns position `pos` to group `g`, updating the group's cached
+    /// estimate. Returns `None` (state unchanged) when the assignment
+    /// violates a hard constraint.
+    fn push_member(&mut self, pos: usize, g: usize) -> Option<SavedGroup> {
+        if g == self.groups.len() {
+            self.groups.push(Vec::new());
+            self.group_mem.push(mpshare_types::MemBytes::ZERO);
+            self.group_ms.push(0.0);
+            self.group_en.push(0.0);
+        }
+        if self.groups[g].len() + 1 > self.planner.device.max_mps_clients {
+            return None;
+        }
+        let mem = self.group_mem[g] + self.profiles[pos].max_memory;
+        if mem > self.planner.device.memory_capacity {
+            return None;
+        }
+        let saved = SavedGroup {
+            ms: self.group_ms[g],
+            en: self.group_en[g],
+            mem: self.group_mem[g],
+        };
+        self.groups[g].push(pos);
+        self.group_mem[g] = mem;
+        let mask: usize = self.groups[g].iter().fold(0, |m, &i| m | (1 << i));
+        let (planner, profiles, memo) = (self.planner, self.profiles, self.memo);
+        let groups = &self.groups;
+        let e = self.dense[mask]
+            .get_or_insert_with(|| planner.estimate_members(&groups[g], profiles, memo));
+        self.group_ms[g] = e.makespan.value();
+        self.group_en[g] = e.energy.joules();
+        Some(saved)
+    }
+
+    /// Undoes the matching [`BranchAndBound::push_member`].
+    fn pop_member(&mut self, pos: usize, g: usize, saved: SavedGroup) {
+        let popped = self.groups[g].pop();
+        debug_assert_eq!(popped, Some(pos));
+        self.group_mem[g] = saved.mem;
+        self.group_ms[g] = saved.ms;
+        self.group_en[g] = saved.en;
+    }
+
+    /// Whether the sub-tree below the current partial grouping (positions
+    /// `0..=pos` assigned, groups `0..used` in use) can be discarded: its
+    /// admissible score upper bound fails to *strictly* beat the incumbent.
+    fn pruned(&self, pos: usize, used: usize) -> bool {
+        let (Some(b), Some((incumbent, _))) = (self.bound, self.best.as_ref()) else {
+            return false;
+        };
+        // Exact float lower bound on any descendant leaf's totals: per-group
+        // estimates are append-monotone (all inputs non-negative — checked
+        // by `exhaustive_bound`), float folds of non-negative terms are
+        // monotone in each term, and the leaf folds groups in this same
+        // index order, so the partial fold is a true prefix bound.
+        let mut ms_part = 0.0;
+        let mut en_part = 0.0;
+        for g in 0..used {
+            ms_part += self.group_ms[g];
+            en_part += self.group_en[g];
+        }
+        let ms_lb = ms_part.max(b.r_total);
+        // Unassigned dynamic energies land in some group eventually; the
+        // deflation covers the fold-reordering drift (see ExhaustiveBound).
+        let en_lb = (en_part + b.dyn_suffix[pos + 1]) * (1.0 - 1e-9);
+        if !(ms_lb > 0.0 && en_lb > 0.0) {
+            return false;
+        }
+        // Upper-bound the leaf score directly through the priority (NOT
+        // `score_totals`: its degenerate 0.0 return is not an upper bound,
+        // but degenerate leaves score 0.0 ≤ any ub, so they prune safely).
+        let ub = self
+            .planner
+            .priority
+            .score(b.seq_makespan / ms_lb, b.seq_energy / en_lb);
+        ub <= *incumbent
+    }
+
+    /// Recursive search over positions `pos..n`, mirroring
+    /// [`enumerate_partitions`]'s `for g in 0..=max_used` order.
+    fn dfs(&mut self, pos: usize, max_used: usize) {
+        if pos == self.n {
+            // Leaf: same left-to-right group-order fold and strictly-greater
+            // incumbent rule as the brute-force visit.
+            let mut makespan = 0.0;
+            let mut energy = 0.0;
+            for g in 0..max_used {
+                makespan += self.group_ms[g];
+                energy += self.group_en[g];
+            }
+            let score = self.planner.score_totals(self.seq, makespan, energy);
+            if self.best.as_ref().is_none_or(|(s, _)| score > *s) {
+                self.best = Some((score, self.groups[..max_used].to_vec()));
+            }
+            return;
+        }
+        for g in 0..=max_used {
+            let Some(saved) = self.push_member(pos, g) else {
+                continue;
+            };
+            let next_max = max_used.max(g + 1);
+            if !self.pruned(pos, next_max) {
+                self.dfs(pos + 1, next_max);
+            }
+            self.pop_member(pos, g, saved);
+        }
     }
 }
 

@@ -93,6 +93,15 @@ impl PreparedContender {
 
 /// Reusable buffers for [`ContentionSolver::solve_prepared_into`], so the
 /// engine's per-event solve allocates nothing after warm-up.
+///
+/// Beyond buffer reuse, the scratch doubles as the *state* of the
+/// incremental solver ([`ContentionSolver::solve_prepared_join_into`] /
+/// [`ContentionSolver::solve_prepared_leave_into`]): each full solve leaves
+/// behind the left-to-right partial sums of its three ordered reductions
+/// (SM demand, wanted bandwidth, used bandwidth) plus flags describing
+/// which paths it took. A single join/leave then only has to re-fold the
+/// sum tails from the changed position and rerun the O(n) final pass,
+/// instead of rebuilding every intermediate vector.
 #[derive(Debug, Default)]
 pub struct SolveScratch {
     r1: Vec<f64>,
@@ -101,6 +110,20 @@ pub struct SolveScratch {
     granted: Vec<f64>,
     order: Vec<usize>,
     bw_used: Vec<f64>,
+    /// `sm_prefix[j]` = fold of the first `j` SM-demand terms (len n+1).
+    sm_prefix: Vec<f64>,
+    /// Same shape for the wanted-bandwidth fold.
+    wanted_prefix: Vec<f64>,
+    /// Same shape for the used-bandwidth fold.
+    bw_prefix: Vec<f64>,
+    /// Last solve hit SM oversubscription (`compute_scale != 1`).
+    scaled: bool,
+    /// Last solve took the bandwidth water-fill path (`granted != wanted`).
+    bw_constrained: bool,
+    /// The vectors above mirror the last solved input; cleared on entry to
+    /// every solve and set only on a completed one, so an aborted
+    /// incremental attempt can never be mistaken for valid state.
+    valid: bool,
 }
 
 /// Stateless solver; holds the device and the device-level sharing overhead.
@@ -181,14 +204,40 @@ impl ContentionSolver {
         out: &mut Vec<Allocation>,
     ) {
         out.clear();
+        scratch.valid = false;
         let n = prepared.len();
         if n == 0 {
+            // Record the empty solve so an incremental join from the idle
+            // state has valid (trivial) prefixes to extend.
+            scratch.r1.clear();
+            scratch.r2.clear();
+            scratch.wanted.clear();
+            scratch.granted.clear();
+            scratch.bw_used.clear();
+            scratch.sm_prefix.clear();
+            scratch.sm_prefix.push(0.0);
+            scratch.wanted_prefix.clear();
+            scratch.wanted_prefix.push(0.0);
+            scratch.bw_prefix.clear();
+            scratch.bw_prefix.push(0.0);
+            scratch.scaled = false;
+            scratch.bw_constrained = false;
+            scratch.valid = true;
             return;
         }
 
         // Steps 1–2 (partition-capped speed, rescaled demands) are baked
         // into `prepared`; proportional SM-throughput contention follows.
-        let total_sm_demand: f64 = prepared.iter().map(|p| p.sm_demand * p.speed_cap).sum();
+        // The explicit fold is bit-identical to `Iterator::sum` (same
+        // left-to-right `acc + term` chain) and leaves the partial sums
+        // behind for the incremental solver.
+        scratch.sm_prefix.clear();
+        scratch.sm_prefix.push(0.0);
+        let mut total_sm_demand = 0.0;
+        for p in prepared {
+            total_sm_demand += p.sm_demand * p.speed_cap;
+            scratch.sm_prefix.push(total_sm_demand);
+        }
         let compute_scale = if total_sm_demand > 1.0 {
             1.0 / total_sm_demand
         } else {
@@ -207,8 +256,16 @@ impl ContentionSolver {
                 .zip(&scratch.r1)
                 .map(|(p, r)| p.bw_demand * r),
         );
-        max_min_share_into(
+        scratch.wanted_prefix.clear();
+        scratch.wanted_prefix.push(0.0);
+        let mut total_wanted = 0.0;
+        for w in &scratch.wanted {
+            total_wanted += *w;
+            scratch.wanted_prefix.push(total_wanted);
+        }
+        let bw_constrained = max_min_share_with_total(
             &scratch.wanted,
+            total_wanted,
             1.0,
             &mut scratch.granted,
             &mut scratch.order,
@@ -239,15 +296,186 @@ impl ContentionSolver {
                 .zip(&scratch.r2)
                 .map(|(p, r)| p.bw_demand * r),
         );
-        let total_bw_used: f64 = scratch.bw_used.iter().sum();
+        scratch.bw_prefix.clear();
+        scratch.bw_prefix.push(0.0);
+        let mut total_bw_used = 0.0;
+        for b in &scratch.bw_used {
+            total_bw_used += *b;
+            scratch.bw_prefix.push(total_bw_used);
+        }
 
-        // Occupancy (and therefore power) follows the pre-pressure rates:
-        // a kernel slowed by cache thrash or client pressure still holds
-        // its SMs and burns power while stalled — `nvidia-smi` reports it
-        // busy. Only *progress* (and the data actually moved on the bus)
-        // takes the slowdown.
+        self.finish_solve(prepared, total_bw_used, &scratch.bw_used, &scratch.r2, out);
+        scratch.scaled = total_sm_demand > 1.0;
+        scratch.bw_constrained = bw_constrained;
+        scratch.valid = true;
+    }
+
+    /// Incremental re-solve after a single contender joined at `pos`
+    /// (`prepared` is the membership *after* the join, in solve order).
+    ///
+    /// Succeeds only on the linear fast path — the previous solve (mirrored
+    /// by `scratch`) and the new one both avoid SM oversubscription and the
+    /// bandwidth water-fill, so every unchanged contender's intermediate
+    /// values are bitwise identical (`compute_scale == 1` makes
+    /// `r1 = speed_cap·1.0 = speed_cap` exact, and `granted == wanted`
+    /// makes `r2 = r1·(g/w).min(1) = r1·1.0 = r1` exact). Only the sum
+    /// tails from `pos` are re-folded — the same `acc + term` chain the
+    /// full solve would execute — and the final pressure pass runs
+    /// unchanged, so the result is bit-identical to a from-scratch solve
+    /// (cross-checked by the engine in debug builds).
+    ///
+    /// Returns `false` — caller must fall back to
+    /// [`Self::solve_prepared_into`] — when the scratch is stale or either
+    /// solve leaves the fast path. The scratch may then be partially
+    /// updated; the full solve rebuilds it entirely.
+    pub fn solve_prepared_join_into(
+        &self,
+        prepared: &[PreparedContender],
+        pos: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<Allocation>,
+    ) -> bool {
+        let n = prepared.len();
+        if !scratch.valid
+            || scratch.scaled
+            || scratch.bw_constrained
+            || pos >= n
+            || scratch.r1.len() + 1 != n
+        {
+            return false;
+        }
+        scratch.valid = false;
+
+        // Re-fold the SM-demand tail with the inserted term.
+        let mut acc = scratch.sm_prefix[pos];
+        scratch.sm_prefix.truncate(pos + 1);
+        for p in &prepared[pos..] {
+            acc += p.sm_demand * p.speed_cap;
+            scratch.sm_prefix.push(acc);
+        }
+        if acc > 1.0 {
+            return false; // compute_scale != 1: every r1 changes.
+        }
+        let compute_scale = 1.0;
+        scratch
+            .r1
+            .insert(pos, prepared[pos].speed_cap * compute_scale);
+        scratch
+            .wanted
+            .insert(pos, prepared[pos].bw_demand * scratch.r1[pos]);
+
+        let mut acc = scratch.wanted_prefix[pos];
+        scratch.wanted_prefix.truncate(pos + 1);
+        for w in &scratch.wanted[pos..] {
+            acc += *w;
+            scratch.wanted_prefix.push(acc);
+        }
+        if acc > 1.0 {
+            return false; // water-fill: granted diverges from wanted.
+        }
+        scratch.r2.insert(pos, scratch.r1[pos]);
+        scratch
+            .bw_used
+            .insert(pos, prepared[pos].bw_demand * scratch.r2[pos]);
+
+        let mut acc = scratch.bw_prefix[pos];
+        scratch.bw_prefix.truncate(pos + 1);
+        for b in &scratch.bw_used[pos..] {
+            acc += *b;
+            scratch.bw_prefix.push(acc);
+        }
+        let total_bw_used = acc;
+
+        self.finish_solve(prepared, total_bw_used, &scratch.bw_used, &scratch.r2, out);
+        scratch.valid = true;
+        true
+    }
+
+    /// Incremental re-solve after the contender at `pos` left (`prepared`
+    /// is the membership *after* the removal). Same fast-path contract as
+    /// [`Self::solve_prepared_join_into`]; removing a non-negative term can
+    /// only shrink the (monotonically rounded) fold totals, but the
+    /// threshold checks are kept for defense in depth.
+    pub fn solve_prepared_leave_into(
+        &self,
+        prepared: &[PreparedContender],
+        pos: usize,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<Allocation>,
+    ) -> bool {
+        let n = prepared.len();
+        if !scratch.valid
+            || scratch.scaled
+            || scratch.bw_constrained
+            || n == 0
+            || pos > n
+            || scratch.r1.len() != n + 1
+        {
+            // n == 0 (last contender leaving) routes to the full solve,
+            // which handles the empty set and re-seeds the scratch.
+            return false;
+        }
+        scratch.valid = false;
+
+        scratch.r1.remove(pos);
+        scratch.wanted.remove(pos);
+        scratch.r2.remove(pos);
+        scratch.bw_used.remove(pos);
+
+        let mut acc = scratch.sm_prefix[pos];
+        scratch.sm_prefix.truncate(pos + 1);
+        for p in &prepared[pos..] {
+            acc += p.sm_demand * p.speed_cap;
+            scratch.sm_prefix.push(acc);
+        }
+        if acc > 1.0 {
+            return false;
+        }
+
+        let mut acc = scratch.wanted_prefix[pos];
+        scratch.wanted_prefix.truncate(pos + 1);
+        for w in &scratch.wanted[pos..] {
+            acc += *w;
+            scratch.wanted_prefix.push(acc);
+        }
+        if acc > 1.0 {
+            return false;
+        }
+
+        let mut acc = scratch.bw_prefix[pos];
+        scratch.bw_prefix.truncate(pos + 1);
+        for b in &scratch.bw_used[pos..] {
+            acc += *b;
+            scratch.bw_prefix.push(acc);
+        }
+        let total_bw_used = acc;
+
+        self.finish_solve(prepared, total_bw_used, &scratch.bw_used, &scratch.r2, out);
+        scratch.valid = true;
+        true
+    }
+
+    /// Step 4 (cache/sharing pressure) and allocation emission, shared
+    /// verbatim between the full and incremental solves so their final
+    /// arithmetic is the same code.
+    ///
+    /// Occupancy (and therefore power) follows the pre-pressure rates:
+    /// a kernel slowed by cache thrash or client pressure still holds
+    /// its SMs and burns power while stalled — `nvidia-smi` reports it
+    /// busy. Only *progress* (and the data actually moved on the bus)
+    /// takes the slowdown.
+    fn finish_solve(
+        &self,
+        prepared: &[PreparedContender],
+        total_bw_used: f64,
+        bw_used: &[f64],
+        r2: &[f64],
+        out: &mut Vec<Allocation>,
+    ) {
+        let n = prepared.len();
+        out.clear();
         for (i, p) in prepared.iter().enumerate() {
-            let own_bw = scratch.bw_used[i];
+            let own_bw = bw_used[i];
             let other_pressure = (total_bw_used - own_bw).max(0.0);
             let corunners = if self.same_process {
                 0.0
@@ -258,8 +486,8 @@ impl ContentionSolver {
                 + p.cache_sensitivity * other_pressure
                 + p.client_sensitivity * corunners.min(CLIENT_PRESSURE_CAP)
                 + self.sharing_overhead * corunners;
-            let rate = scratch.r2[i] / slowdown;
-            let sm_share = p.sm_demand * scratch.r2[i];
+            let rate = r2[i] / slowdown;
+            let sm_share = p.sm_demand * r2[i];
             let bw_share = p.bw_demand * rate;
             let dyn_power_watts = p.power_scale
                 * (self.device.power_per_sm_pct * sm_share * 100.0
@@ -292,16 +520,29 @@ fn max_min_share_into(
     granted: &mut Vec<f64>,
     order: &mut Vec<usize>,
 ) {
+    let total: f64 = wanted.iter().sum();
+    max_min_share_with_total(wanted, total, capacity, granted, order);
+}
+
+/// [`max_min_share_into`] with the demand total precomputed by the caller
+/// (the solver already folds it for its prefix sums). Returns whether the
+/// water-fill path was taken (`granted` diverges from `wanted`).
+fn max_min_share_with_total(
+    wanted: &[f64],
+    total: f64,
+    capacity: f64,
+    granted: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) -> bool {
     let n = wanted.len();
     granted.clear();
     granted.resize(n, 0.0);
     if n == 0 {
-        return;
+        return false;
     }
-    let total: f64 = wanted.iter().sum();
     if total <= capacity {
         granted.copy_from_slice(wanted);
-        return;
+        return false;
     }
 
     // Sort indices by demand ascending; grant in order, recomputing the fair
@@ -319,6 +560,7 @@ fn max_min_share_into(
         remaining_capacity -= g;
         remaining_users -= 1;
     }
+    true
 }
 
 #[cfg(test)]
@@ -491,6 +733,118 @@ mod tests {
         for x in g {
             assert!((x - 0.25).abs() < 1e-12);
         }
+    }
+
+    fn prepare_all(solver: &ContentionSolver, kernels: &[KernelSpec]) -> Vec<PreparedContender> {
+        kernels
+            .iter()
+            .map(|kernel| solver.prepare(kernel, Fraction::ONE))
+            .collect()
+    }
+
+    fn bits(allocs: &[Allocation]) -> Vec<[u64; 4]> {
+        allocs
+            .iter()
+            .map(|a| {
+                [
+                    a.rate.to_bits(),
+                    a.sm_share.to_bits(),
+                    a.bw_share.to_bits(),
+                    a.dyn_power_watts.to_bits(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_join_matches_full_solve_bitwise() {
+        let solver = ContentionSolver::new(dev(), 0.01);
+        let kernels = vec![k(0.1, 0.05), k(0.2, 0.1), k(0.15, 0.2)];
+        let prepared = prepare_all(&solver, &kernels);
+        let mut scratch = SolveScratch::default();
+        let mut out = Vec::new();
+        // Seed with the first two, then join the third at each position.
+        for pos in 0..=2 {
+            let mut base: Vec<PreparedContender> = vec![prepared[0], prepared[1]];
+            solver.solve_prepared_into(&base, &mut scratch, &mut out);
+            base.insert(pos, prepared[2]);
+            let mut inc = Vec::new();
+            assert!(
+                solver.solve_prepared_join_into(&base, pos, &mut scratch, &mut inc),
+                "fast path expected at pos {pos}"
+            );
+            let mut full_scratch = SolveScratch::default();
+            let mut full = Vec::new();
+            solver.solve_prepared_into(&base, &mut full_scratch, &mut full);
+            assert_eq!(bits(&inc), bits(&full), "join at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn incremental_leave_matches_full_solve_bitwise() {
+        let solver = ContentionSolver::new(dev(), 0.01);
+        let kernels = vec![k(0.1, 0.05), k(0.2, 0.1), k(0.15, 0.2)];
+        let prepared = prepare_all(&solver, &kernels);
+        for pos in 0..prepared.len() {
+            let mut scratch = SolveScratch::default();
+            let mut out = Vec::new();
+            solver.solve_prepared_into(&prepared, &mut scratch, &mut out);
+            let mut after = prepared.clone();
+            after.remove(pos);
+            let mut inc = Vec::new();
+            assert!(
+                solver.solve_prepared_leave_into(&after, pos, &mut scratch, &mut inc),
+                "fast path expected at pos {pos}"
+            );
+            let mut full_scratch = SolveScratch::default();
+            let mut full = Vec::new();
+            solver.solve_prepared_into(&after, &mut full_scratch, &mut full);
+            assert_eq!(bits(&inc), bits(&full), "leave at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn incremental_join_from_empty_set() {
+        let solver = ContentionSolver::new(dev(), 0.0);
+        let prepared = prepare_all(&solver, &[k(0.3, 0.1)]);
+        let mut scratch = SolveScratch::default();
+        let mut out = Vec::new();
+        solver.solve_prepared_into(&[], &mut scratch, &mut out);
+        let mut inc = Vec::new();
+        assert!(solver.solve_prepared_join_into(&prepared, 0, &mut scratch, &mut inc));
+        let mut full_scratch = SolveScratch::default();
+        let mut full = Vec::new();
+        solver.solve_prepared_into(&prepared, &mut full_scratch, &mut full);
+        assert_eq!(bits(&inc), bits(&full));
+    }
+
+    #[test]
+    fn incremental_falls_back_off_the_fast_path() {
+        let solver = ContentionSolver::new(dev(), 0.0);
+        let mut scratch = SolveScratch::default();
+        let mut out = Vec::new();
+
+        // Stale scratch.
+        let one = prepare_all(&solver, &[k(0.3, 0.1)]);
+        assert!(!solver.solve_prepared_join_into(&one, 0, &mut scratch, &mut out));
+
+        // Joining pushes SM demand past the device: full solve required.
+        let base = prepare_all(&solver, &[k(0.8, 0.0)]);
+        solver.solve_prepared_into(&base, &mut scratch, &mut out);
+        let both = prepare_all(&solver, &[k(0.8, 0.0), k(0.8, 0.0)]);
+        assert!(!solver.solve_prepared_join_into(&both, 1, &mut scratch, &mut out));
+
+        // Previous solve was bandwidth water-filled: scratch unusable.
+        let hogs = prepare_all(&solver, &[k(0.3, 0.9), k(0.3, 0.9)]);
+        solver.solve_prepared_into(&hogs, &mut scratch, &mut out);
+        let less = prepare_all(&solver, &[k(0.3, 0.9)]);
+        assert!(!solver.solve_prepared_leave_into(&less, 1, &mut scratch, &mut out));
+
+        // A failed attempt leaves the scratch invalid until the next full
+        // solve.
+        solver.solve_prepared_into(&less, &mut scratch, &mut out);
+        let mut inc = Vec::new();
+        assert!(!solver.solve_prepared_leave_into(&[], 0, &mut scratch, &mut inc));
     }
 
     #[test]

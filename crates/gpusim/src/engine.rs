@@ -22,6 +22,7 @@
 
 use crate::contention::{Allocation, ContentionSolver, PreparedContender, SolveScratch};
 use crate::device::DeviceSpec;
+use crate::equeue::MonotoneEventQueue;
 use crate::events::{Event, EventKind, EventLog};
 use crate::fault::{FaultPlan, FaultRecord, FaultScope, FaultSpec};
 use crate::power::{PowerModel, PowerState};
@@ -87,6 +88,12 @@ pub struct EngineConfig {
     /// Faults to inject (empty by default: with no plan installed, every
     /// code path behaves exactly as before).
     pub faults: FaultPlan,
+    /// Testing/benchmark hook: disable the incremental contention solver
+    /// and re-solve every resident-set change from scratch. Results are
+    /// bit-identical either way (that is the incremental solver's
+    /// contract); this exists so equivalence tests and the
+    /// incremental-vs-full bench pair can exercise both paths.
+    pub force_full_resolve: bool,
 }
 
 impl EngineConfig {
@@ -98,6 +105,7 @@ impl EngineConfig {
             max_events: 50_000_000,
             record_events: false,
             faults: FaultPlan::default(),
+            force_full_resolve: false,
         }
     }
 
@@ -113,6 +121,12 @@ impl EngineConfig {
 
     pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// See [`EngineConfig::force_full_resolve`].
+    pub fn with_forced_full_resolve(mut self, force: bool) -> Self {
+        self.force_full_resolve = force;
         self
     }
 }
@@ -401,6 +415,58 @@ pub struct Engine {
     fault_queue: Vec<FaultSpec>,
     next_fault: usize,
     failures: Vec<FaultRecord>,
+    // Incremental transition machinery (DESIGN.md §9). `process_transitions`
+    // only steps clients on the agenda; everything that can enable a
+    // transition (timer expiry, arrival, memory grant, predecessor
+    // termination, a client's own previous transition) re-arms the client.
+    /// Clients that may have an enabled transition now (sorted per pass).
+    agenda: Vec<usize>,
+    /// Dedup flags for `agenda` (indexed by client).
+    agenda_flag: Vec<bool>,
+    /// Reused per-pass buffer for the agenda drain.
+    pass_scratch: Vec<usize>,
+    /// Ascending indices of clients in `Phase::Running` (all modes).
+    running_set: Vec<usize>,
+    /// Clients in `Phase::Setup`/`Phase::Gap`, unordered — the min over
+    /// timer horizons and the per-client countdowns are order-independent.
+    timer_set: Vec<usize>,
+    /// Position of each client in `timer_set` (`usize::MAX` when absent).
+    timer_pos: Vec<usize>,
+    /// Authoritative countdowns for `timer_set` (parallel array). Kept
+    /// dense so the per-event min scan and lockstep decrement touch
+    /// contiguous memory instead of one `ClientState` per timer. While a
+    /// client is in the set, the `remaining` stored in its `Phase` is the
+    /// value at insertion and is not decremented.
+    timer_rem: Vec<f64>,
+    /// Count of clients in a terminal phase (replaces the per-event
+    /// all-clients scan).
+    terminated_count: usize,
+    /// Sequential mode: first non-terminated client index, advanced on
+    /// every termination. `eligible` reduces to `seq_head >= i`.
+    seq_head: usize,
+    /// Static arrival events, sorted by (time, client).
+    arrivals: MonotoneEventQueue,
+    /// Resident-set change since the last solve, for the incremental
+    /// solver. Anything beyond a single join/leave degrades to `Invalid`
+    /// (full re-solve).
+    delta: SolveDelta,
+    incremental_solves: u64,
+    full_solves: u64,
+    max_queue_depth: u64,
+}
+
+/// Accumulated resident-set membership change between rate solves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SolveDelta {
+    /// No membership change recorded (the cache is fresh).
+    None,
+    /// Exactly one client joined the scheduled set.
+    Join(usize),
+    /// Exactly one client left the scheduled set.
+    Leave(usize),
+    /// Multiple or structural changes (time-slice rotations, drain state):
+    /// only a full solve is safe.
+    Invalid,
 }
 
 /// Hot-path counters from one engine run (see [`Engine::run_with_stats`]).
@@ -408,12 +474,23 @@ pub struct Engine {
 pub struct EngineStats {
     /// Discrete events processed (calls to the time-advancement step).
     pub events: u64,
-    /// Full contention/power re-solves performed.
+    /// Contention/power re-solves performed
+    /// (`incremental_solves + full_solves`).
     pub rate_solves: u64,
+    /// Re-solves satisfied by the incremental single-join/leave fast path
+    /// (see [`crate::contention::ContentionSolver::solve_prepared_join_into`]).
+    pub incremental_solves: u64,
+    /// Re-solves that ran the full pipeline (first solve, multi-client
+    /// deltas, time-slice rotations, fast-path bailouts, or
+    /// [`EngineConfig::force_full_resolve`]).
+    pub full_solves: u64,
     /// Resident-set epoch transitions (kernel starts/finishes, context
     /// switches). The cache guarantees `rate_solves <= resident_changes`:
     /// events that only advance time reuse the previous solution.
     pub resident_changes: u64,
+    /// Maximum indexed event-queue depth observed across the run: running
+    /// kernels + armed host timers + undelivered arrivals + pending faults.
+    pub max_queue_depth: u64,
 }
 
 impl Engine {
@@ -469,6 +546,13 @@ impl Engine {
         // before the first arrival — is a cache hit, not a solve.
         let idle_pstate = power.resolve(0.0, 0);
         let fault_queue = config.faults.sorted();
+        let n = programs.len();
+        let arrivals = MonotoneEventQueue::new(
+            programs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.arrival.value(), i)),
+        );
         Ok(Engine {
             config,
             solver,
@@ -500,14 +584,129 @@ impl Engine {
             fault_queue,
             next_fault: 0,
             failures: Vec::new(),
+            // Every client starts Pending, so all are on the initial agenda.
+            agenda: (0..n).collect(),
+            agenda_flag: vec![true; n],
+            pass_scratch: Vec::new(),
+            running_set: Vec::new(),
+            timer_set: Vec::new(),
+            timer_pos: vec![usize::MAX; n],
+            timer_rem: Vec::new(),
+            terminated_count: 0,
+            seq_head: 0,
+            arrivals,
+            delta: SolveDelta::None,
+            incremental_solves: 0,
+            full_solves: 0,
+            max_queue_depth: 0,
         })
     }
 
     /// Marks the resident kernel set (or the GPU's drain state during a
-    /// context switch) as changed: the next [`Engine::advance`] must
-    /// re-solve rates and power.
-    fn bump_epoch(&mut self) {
+    /// context switch) as changed — the next [`Engine::advance`] must
+    /// re-solve rates and power — and folds the membership change into the
+    /// pending [`SolveDelta`] for the incremental solver.
+    fn note_delta(&mut self, change: SolveDelta) {
         self.resident_epoch += 1;
+        self.delta = match self.delta {
+            SolveDelta::None => change,
+            _ => SolveDelta::Invalid,
+        };
+    }
+
+    /// Client `i`'s kernel landed on the GPU. In time-sliced mode kernel
+    /// starts do not imply scheduling (the `active` pointer decides), so
+    /// the delta degrades to `Invalid` there via `try_incremental_*`'s
+    /// mode check; recording `Join` is still correct because those paths
+    /// refuse it.
+    fn bump_epoch_join(&mut self, i: usize) {
+        self.note_delta(SolveDelta::Join(i));
+    }
+
+    /// Client `i`'s kernel left the GPU.
+    fn bump_epoch_leave(&mut self, i: usize) {
+        self.note_delta(SolveDelta::Leave(i));
+    }
+
+    /// Structural change (time-slice rotation / drain): full solve only.
+    fn bump_epoch_invalidate(&mut self) {
+        self.note_delta(SolveDelta::Invalid);
+    }
+
+    /// Re-arms transition processing for client `i` (idempotent per pass).
+    fn push_agenda(&mut self, i: usize) {
+        if !self.agenda_flag[i] {
+            self.agenda_flag[i] = true;
+            self.agenda.push(i);
+        }
+    }
+
+    /// Sorted-insert into the running-client index.
+    fn running_insert(&mut self, i: usize) {
+        if let Err(pos) = self.running_set.binary_search(&i) {
+            self.running_set.insert(pos, i);
+        } else {
+            debug_assert!(false, "client {i} already in running set");
+        }
+    }
+
+    fn running_remove(&mut self, i: usize) {
+        if let Ok(pos) = self.running_set.binary_search(&i) {
+            self.running_set.remove(pos);
+        } else {
+            debug_assert!(false, "client {i} not in running set");
+        }
+    }
+
+    /// Adds client `i` to the host-timer index (Setup/Gap phases),
+    /// seeding its dense countdown from the phase just entered.
+    fn timer_insert(&mut self, i: usize) {
+        let remaining = match self.clients[i].phase {
+            Phase::Setup { remaining } | Phase::Gap { remaining } => remaining,
+            _ => {
+                debug_assert!(false, "client {i} entered timer set without a timer phase");
+                return;
+            }
+        };
+        if self.timer_pos[i] == usize::MAX {
+            self.timer_pos[i] = self.timer_set.len();
+            self.timer_set.push(i);
+            self.timer_rem.push(remaining);
+        } else {
+            debug_assert!(false, "client {i} already in timer set");
+        }
+    }
+
+    /// Removes client `i` from the timer index if present (no-op
+    /// otherwise, e.g. aborting a client that was not in Setup/Gap).
+    fn timer_remove(&mut self, i: usize) {
+        let pos = self.timer_pos[i];
+        if pos == usize::MAX {
+            return;
+        }
+        self.timer_set.swap_remove(pos);
+        self.timer_rem.swap_remove(pos);
+        if pos < self.timer_set.len() {
+            self.timer_pos[self.timer_set[pos]] = pos;
+        }
+        self.timer_pos[i] = usize::MAX;
+    }
+
+    /// Bookkeeping when client `i` enters a terminal phase (Done/Failed):
+    /// counts it and, under Sequential, advances the queue head and arms
+    /// the successor (predecessor termination is what makes it eligible).
+    fn on_termination(&mut self) {
+        self.terminated_count += 1;
+        if matches!(self.config.mode, SharingMode::Sequential) {
+            while self.seq_head < self.clients.len() && self.clients[self.seq_head].is_terminated()
+            {
+                self.seq_head += 1;
+            }
+            if self.seq_head < self.clients.len() {
+                let head = self.seq_head;
+                self.push_agenda(head);
+            }
+        }
     }
 
     fn record(&mut self, client: usize, kind: EventKind) {
@@ -526,7 +725,7 @@ impl Engine {
     pub fn run_with_stats(mut self) -> Result<(RunResult, EngineStats)> {
         loop {
             self.process_transitions()?;
-            if self.clients.iter().all(|c| c.is_terminated()) {
+            if self.terminated_count == self.clients.len() {
                 break;
             }
             self.events += 1;
@@ -592,7 +791,10 @@ impl Engine {
         let stats = EngineStats {
             events: self.events,
             rate_solves: self.rate_solves,
+            incremental_solves: self.incremental_solves,
+            full_solves: self.full_solves,
             resident_changes: self.resident_epoch,
+            max_queue_depth: self.max_queue_depth,
         };
         Ok((result, stats))
     }
@@ -604,8 +806,17 @@ impl Engine {
         }
         match self.config.mode {
             // A crashed predecessor unblocks the queue just like a
-            // completed one: the next job in line starts.
-            SharingMode::Sequential => self.clients[..i].iter().all(|c| c.is_terminated()),
+            // completed one: the next job in line starts. `seq_head` is the
+            // first non-terminated index, so `seq_head >= i` is exactly
+            // "all predecessors terminated" without the scan.
+            SharingMode::Sequential => {
+                debug_assert_eq!(
+                    self.seq_head >= i,
+                    self.clients[..i].iter().all(|c| c.is_terminated()),
+                    "sequential head index out of sync"
+                );
+                self.seq_head >= i
+            }
             _ => true,
         }
     }
@@ -614,17 +825,52 @@ impl Engine {
     /// arrivals, memory grants, task/kernel boundaries. Loops until a fixed
     /// point since one transition can enable another (e.g. a completion
     /// frees memory that unblocks a waiter).
+    ///
+    /// Only clients on the agenda are stepped. `step_client` is a no-op
+    /// for every client off it — a client can only become steppable
+    /// through an arming source (timer/kernel expiry in `advance`, arrival
+    /// delivery, memory grant, predecessor termination, or its own prior
+    /// transition), and each of those pushes the client. Stepping in
+    /// ascending client order per pass preserves the historical per-pass
+    /// iteration order.
     fn process_transitions(&mut self) -> Result<()> {
-        loop {
+        let mut pass = std::mem::take(&mut self.pass_scratch);
+        let result = loop {
             let mut changed = self.apply_due_faults();
-            for i in 0..self.clients.len() {
-                changed |= self.step_client(i)?;
+            pass.clear();
+            pass.append(&mut self.agenda);
+            pass.sort_unstable();
+            for &i in &pass {
+                self.agenda_flag[i] = false;
+            }
+            let mut err = None;
+            for &i in &pass {
+                match self.step_client(i) {
+                    Ok(stepped) => {
+                        if stepped {
+                            changed = true;
+                            // A transition can enable the next one for the
+                            // same client (e.g. Setup expiry with a
+                            // zero-length first kernel).
+                            self.push_agenda(i);
+                        }
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = err {
+                break Err(e);
             }
             changed |= self.grant_memory();
             if !changed {
-                break;
+                break Ok(());
             }
-        }
+        };
+        self.pass_scratch = pass;
+        result?;
         self.fix_timeslice_active();
         Ok(())
     }
@@ -691,10 +937,25 @@ impl Engine {
         self.free_memory += client.held_memory;
         client.held_memory = MemBytes::ZERO;
         self.memory_waiters.retain(|&w| w != i);
+        self.timer_remove(i);
         if was_running {
-            self.bump_epoch();
+            self.running_remove(i);
+            self.bump_epoch_leave(i);
         }
+        self.on_termination();
         self.record(i, EventKind::ClientFault { origin });
+    }
+
+    /// Current countdown for a client in the timer set (Setup/Gap): the
+    /// authoritative value lives in the dense `timer_rem` array.
+    fn timer_remaining(&self, i: usize) -> f64 {
+        let pos = self.timer_pos[i];
+        debug_assert_ne!(
+            pos,
+            usize::MAX,
+            "client {i} has a timer phase but no timer slot"
+        );
+        self.timer_rem[pos]
     }
 
     /// Applies at most one transition for client `i`; returns whether
@@ -710,8 +971,9 @@ impl Engine {
                     Ok(false)
                 }
             }
-            Phase::Setup { remaining } if remaining <= EPS => {
+            Phase::Setup { .. } if self.timer_remaining(i) <= EPS => {
                 self.clients[i].kernel_idx = 0;
+                self.timer_remove(i);
                 self.start_kernel(i);
                 Ok(true)
             }
@@ -719,8 +981,9 @@ impl Engine {
                 self.finish_kernel(i);
                 Ok(true)
             }
-            Phase::Gap { remaining } if remaining <= EPS => {
+            Phase::Gap { .. } if self.timer_remaining(i) <= EPS => {
                 self.clients[i].kernel_idx += 1;
+                self.timer_remove(i);
                 self.start_kernel(i);
                 Ok(true)
             }
@@ -742,6 +1005,7 @@ impl Engine {
             client.held_memory = need;
             let setup = client.program.tasks[client.task_idx].setup.value();
             client.phase = Phase::Setup { remaining: setup };
+            self.timer_insert(i);
             self.record(i, EventKind::TaskStart { task: id, label });
         } else {
             self.clients[i].phase = Phase::WaitingMemory;
@@ -765,7 +1029,8 @@ impl Engine {
             let (id, kernel_index) = (task.id, client.kernel_idx);
             client.phase = Phase::Running { remaining };
             client.prepared = Some(prepared);
-            self.bump_epoch();
+            self.running_insert(i);
+            self.bump_epoch_join(i);
             self.record(
                 i,
                 EventKind::KernelStart {
@@ -794,6 +1059,7 @@ impl Engine {
             } else {
                 client.phase = Phase::Done;
                 client.finished = Some(Seconds::new(self.now));
+                self.on_termination();
             }
             self.record(
                 i,
@@ -808,7 +1074,8 @@ impl Engine {
     /// to the next kernel / task end when the gap is zero).
     fn finish_kernel(&mut self, i: usize) {
         // The kernel leaves the GPU here no matter which phase follows.
-        self.bump_epoch();
+        self.running_remove(i);
+        self.bump_epoch_leave(i);
         let client = &mut self.clients[i];
         client.prepared = None;
         let task = &client.program.tasks[client.task_idx];
@@ -824,6 +1091,7 @@ impl Engine {
         let client = &mut self.clients[i];
         if gap > EPS {
             client.phase = Phase::Gap { remaining: gap };
+            self.timer_insert(i);
         } else {
             client.kernel_idx += 1;
             self.start_kernel(i);
@@ -845,6 +1113,8 @@ impl Engine {
                 let setup = client.program.tasks[client.task_idx].setup.value();
                 let task = client.program.tasks[client.task_idx].id;
                 client.phase = Phase::Setup { remaining: setup };
+                self.timer_insert(i);
+                self.push_agenda(i);
                 self.memory_waiters.remove(j);
                 self.record(i, EventKind::MemoryGranted { task });
                 granted = true;
@@ -884,11 +1154,11 @@ impl Engine {
                 self.next_rr = (i + 1) % n;
                 self.quantum_remaining = quantum;
                 self.switch_remaining = if switching_from_other { switch } else { 0.0 };
-                self.bump_epoch();
+                self.bump_epoch_invalidate();
             }
             None => {
                 if self.active.is_some() || self.switch_remaining > EPS {
-                    self.bump_epoch();
+                    self.bump_epoch_invalidate();
                 }
                 self.active = None;
                 self.quantum_remaining = 0.0;
@@ -907,7 +1177,7 @@ impl Engine {
         else {
             return;
         };
-        let runnable = self.clients.iter().filter(|c| c.is_running()).count();
+        let runnable = self.running_set.len();
         if runnable <= 1 {
             self.quantum_remaining = quantum.value();
             return;
@@ -919,7 +1189,7 @@ impl Engine {
             .expect("at least two runnable clients");
         if Some(next) != self.active {
             self.switch_remaining = switch_overhead.value();
-            self.bump_epoch();
+            self.bump_epoch_invalidate();
             self.record(Event::DEVICE, EventKind::ContextSwitch { to_client: next });
         }
         self.active = Some(next);
@@ -958,12 +1228,43 @@ impl Engine {
     /// Re-solves contention rates and power for the current resident set
     /// into the persistent cache. All intermediate buffers are reused, so
     /// this allocates nothing after warm-up.
+    ///
+    /// When the accumulated [`SolveDelta`] is a single join/leave, the
+    /// previous solution is updated in place through the contention
+    /// solver's incremental entry points; anything else (or a fast-path
+    /// bailout, or [`EngineConfig::force_full_resolve`]) runs the full
+    /// pipeline. Both paths produce bit-identical allocations — the
+    /// incremental one is cross-checked against a from-scratch solve in
+    /// debug builds.
     fn refresh_solution(&mut self) {
+        let delta = std::mem::replace(&mut self.delta, SolveDelta::None);
+        let incremental = !self.config.force_full_resolve
+            && match delta {
+                SolveDelta::Join(i) => self.try_incremental_join(i),
+                SolveDelta::Leave(i) => self.try_incremental_leave(i),
+                SolveDelta::None | SolveDelta::Invalid => false,
+            };
+        if incremental {
+            self.incremental_solves += 1;
+            #[cfg(debug_assertions)]
+            self.cross_check_incremental();
+        } else {
+            self.refresh_full();
+            self.full_solves += 1;
+        }
+        self.apply_solution();
+    }
+
+    /// Full pipeline: rebuild the scheduled set and prepared inputs, then
+    /// solve from scratch (also re-seeding the incremental solver's state).
+    fn refresh_full(&mut self) {
         let mut scheduled = std::mem::take(&mut self.solved_scheduled);
         scheduled.clear();
         match &self.config.mode {
             SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => {
-                scheduled.extend((0..self.clients.len()).filter(|&i| self.clients[i].is_running()));
+                // `running_set` is exactly the ascending list of Running
+                // clients the historical per-client filter produced.
+                scheduled.extend_from_slice(&self.running_set);
             }
             SharingMode::TimeSliced { .. } => {
                 // During a context switch the GPU is drained.
@@ -990,13 +1291,66 @@ impl Engine {
             &mut self.solve_scratch,
             &mut self.allocations_scratch,
         );
+        self.solved_scheduled = scheduled;
+    }
+
+    /// Single-join incremental path: splice the joining client into the
+    /// previous solve's inputs and run the solver's linear fast path.
+    /// Returns `false` (leaving `refresh_full` to rebuild everything) when
+    /// the fast path does not apply.
+    fn try_incremental_join(&mut self, i: usize) -> bool {
+        if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
+            // Kernel starts do not imply scheduling under time slicing.
+            return false;
+        }
+        let Err(pos) = self.solved_scheduled.binary_search(&i) else {
+            debug_assert!(false, "joining client {i} already scheduled");
+            return false;
+        };
+        let Some(prepared) = self.clients[i].prepared else {
+            debug_assert!(false, "joining client {i} has no prepared contender");
+            return false;
+        };
+        self.solved_scheduled.insert(pos, i);
+        self.prepared_scratch.insert(pos, prepared);
+        self.solver.solve_prepared_join_into(
+            &self.prepared_scratch,
+            pos,
+            &mut self.solve_scratch,
+            &mut self.allocations_scratch,
+        )
+    }
+
+    /// Single-leave incremental path (see [`Engine::try_incremental_join`]).
+    fn try_incremental_leave(&mut self, i: usize) -> bool {
+        if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
+            return false;
+        }
+        let Ok(pos) = self.solved_scheduled.binary_search(&i) else {
+            debug_assert!(false, "leaving client {i} was not scheduled");
+            return false;
+        };
+        self.solved_scheduled.remove(pos);
+        self.prepared_scratch.remove(pos);
+        self.solver.solve_prepared_leave_into(
+            &self.prepared_scratch,
+            pos,
+            &mut self.solve_scratch,
+            &mut self.allocations_scratch,
+        )
+    }
+
+    /// Derives the cached rate/power state from `allocations_scratch` and
+    /// `solved_scheduled` — the shared tail of the full and incremental
+    /// solve paths, bit-identical to the historical inline code.
+    fn apply_solution(&mut self) {
         let allocations = &self.allocations_scratch;
         let dyn_power: f64 = allocations.iter().map(|a| a.dyn_power_watts).sum();
         // Streams of one process interleave like a single client as far as
         // the power-peak model is concerned.
         let resident_processes = match self.config.mode {
-            SharingMode::Streams => scheduled.len().min(1),
-            _ => scheduled.len(),
+            SharingMode::Streams => self.solved_scheduled.len().min(1),
+            _ => self.solved_scheduled.len(),
         };
         self.solved_pstate = self.power.resolve(dyn_power, resident_processes);
         let clock_factor = self.solved_pstate.clock_factor;
@@ -1010,9 +1364,35 @@ impl Engine {
             .extend(allocations.iter().map(|a| a.dyn_power_watts * clock_factor));
         self.solved_sm_util = allocations.iter().map(|a| a.sm_share).sum();
         self.solved_bw_util = allocations.iter().map(|a| a.bw_share).sum();
-        self.solved_scheduled = scheduled;
         self.solved_epoch = self.resident_epoch;
         self.rate_solves += 1;
+    }
+
+    /// Debug-build invariant: an incremental solve must equal a
+    /// from-scratch solve of the same membership, bit for bit.
+    #[cfg(debug_assertions)]
+    fn cross_check_incremental(&self) {
+        debug_assert_eq!(
+            self.solved_scheduled,
+            self.scheduled_running(),
+            "incremental solve membership diverged from the engine state"
+        );
+        let mut scratch = SolveScratch::default();
+        let mut full = Vec::new();
+        self.solver
+            .solve_prepared_into(&self.prepared_scratch, &mut scratch, &mut full);
+        let identical = full.len() == self.allocations_scratch.len()
+            && full.iter().zip(&self.allocations_scratch).all(|(a, b)| {
+                a.rate.to_bits() == b.rate.to_bits()
+                    && a.sm_share.to_bits() == b.sm_share.to_bits()
+                    && a.bw_share.to_bits() == b.bw_share.to_bits()
+                    && a.dyn_power_watts.to_bits() == b.dyn_power_watts.to_bits()
+            });
+        debug_assert!(
+            identical,
+            "incremental solve diverged from full solve: {:?} vs {full:?}",
+            self.allocations_scratch
+        );
     }
 
     /// Advances simulated time to the next event, integrating telemetry.
@@ -1045,23 +1425,23 @@ impl Engine {
                 }
             }
         }
-        // Host-side timers (setup and gaps) always progress.
-        for c in &self.clients {
-            match c.phase {
-                Phase::Setup { remaining } | Phase::Gap { remaining } => {
-                    dt = dt.min(remaining);
-                }
-                _ => {}
-            }
+        // Host-side timers (setup and gaps) always progress. `timer_rem`
+        // holds exactly the countdowns of clients in those phases; min() is
+        // order-independent, so scanning the (unsorted) dense array matches
+        // the historical whole-roster scan bit for bit.
+        for &remaining in &self.timer_rem {
+            dt = dt.min(remaining);
         }
-        // Future arrivals.
-        for (i, c) in self.clients.iter().enumerate() {
-            if matches!(c.phase, Phase::Pending) && !self.eligible(i) {
-                let at = c.program.arrival.value();
-                if at > self.now {
-                    dt = dt.min(at - self.now);
-                }
-            }
+        // Future arrivals: earliest queued arrival strictly after `now`
+        // whose client has neither started nor terminated. Equivalent to
+        // the historical `Pending && !eligible` scan (see equeue module),
+        // and min_j (at_j - now) == (min_j at_j) - now by monotonicity of
+        // subtraction, so taking only the queue head is exact.
+        let clients = &self.clients;
+        if let Some(at) = self.arrivals.next_horizon(self.now, |c| {
+            clients[c].started.is_some() || clients[c].is_terminated()
+        }) {
+            dt = dt.min(at - self.now);
         }
         // Pending injected faults.
         if let Some(f) = self.fault_queue.get(self.next_fault) {
@@ -1076,7 +1456,7 @@ impl Engine {
             if self.switch_remaining > EPS {
                 dt = dt.min(self.switch_remaining);
             } else if !self.solved_scheduled.is_empty() {
-                let runnable = self.clients.iter().filter(|c| c.is_running()).count();
+                let runnable = self.running_set.len();
                 if runnable > 1 && self.quantum_remaining > EPS {
                     if self.quantum_remaining <= dt {
                         quantum_event = true;
@@ -1085,6 +1465,13 @@ impl Engine {
                 }
             }
         }
+
+        // Event-queue depth: indexed sources the next horizon is drawn from.
+        let depth = self.running_set.len()
+            + self.timer_set.len()
+            + self.arrivals.pending()
+            + (self.fault_queue.len() - self.next_fault);
+        self.max_queue_depth = self.max_queue_depth.max(depth as u64);
 
         if !dt.is_finite() || dt <= 0.0 {
             return Err(Error::Stalled {
@@ -1119,12 +1506,16 @@ impl Engine {
             active_clients: self.solved_scheduled.len(),
         });
 
-        // Apply progress.
+        // Apply progress. Clients whose kernel or timer expires are pushed
+        // onto the transition agenda so the next `process_transitions`
+        // steps exactly them (plus any cascade) instead of the full roster.
         for slot in 0..self.solved_scheduled.len() {
             let i = self.solved_scheduled[slot];
+            let mut expired = false;
             if let Phase::Running { remaining } = &mut self.clients[i].phase {
                 let progress = self.solved_rates[slot] * dt;
                 *remaining = (*remaining - progress).max(0.0);
+                expired = *remaining <= EPS;
                 let dyn_e = self.solved_dyn_powers[slot] * dt;
                 let client = &mut self.clients[i];
                 client.gpu_progress += progress;
@@ -1132,13 +1523,16 @@ impl Engine {
                 client.dyn_energy += dyn_e;
                 client.task_dyn_energy += dyn_e;
             }
+            if expired {
+                self.push_agenda(i);
+            }
         }
-        for c in &mut self.clients {
-            match &mut c.phase {
-                Phase::Setup { remaining } | Phase::Gap { remaining } => {
-                    *remaining = (*remaining - dt).max(0.0);
-                }
-                _ => {}
+        for idx in 0..self.timer_rem.len() {
+            let remaining = &mut self.timer_rem[idx];
+            *remaining = (*remaining - dt).max(0.0);
+            if *remaining <= EPS {
+                let i = self.timer_set[idx];
+                self.push_agenda(i);
             }
         }
         if matches!(self.config.mode, SharingMode::TimeSliced { .. }) {
@@ -1147,13 +1541,20 @@ impl Engine {
                 if self.switch_remaining <= EPS {
                     // Switch complete: the incoming client's kernel lands
                     // on the (previously drained) GPU.
-                    self.bump_epoch();
+                    self.bump_epoch_invalidate();
                 }
             } else {
                 self.quantum_remaining = (self.quantum_remaining - dt).max(0.0);
             }
         }
         self.now += dt;
+        // Arm transition processing for clients whose arrival entered the
+        // eligibility window (arrival <= now + EPS, mirroring `eligible`).
+        // Each queue entry pops exactly once; re-arming an already-started
+        // client is a harmless no-op step.
+        while let Some(c) = self.arrivals.pop_armed(self.now + EPS) {
+            self.push_agenda(c);
+        }
         if quantum_event && self.quantum_remaining <= EPS {
             self.rotate_timeslice();
         }

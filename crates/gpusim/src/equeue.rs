@@ -1,0 +1,143 @@
+//! Indexed monotone event queue for statically-known event times.
+//!
+//! The engine's `advance` used to rescan every client on every event to find
+//! the next pending arrival. Arrival times are known up front and simulated
+//! time only moves forward, so the scan can be replaced by a sorted queue —
+//! conceptually a binary min-heap keyed by `(time, client)`, flattened to a
+//! sorted array at construction since no entries are ever pushed later — with
+//! two monotone cursors:
+//!
+//! * the **armed** cursor pops each entry exactly once, as soon as its time
+//!   falls within the engine's epsilon window of `now`, to re-arm transition
+//!   processing for that client;
+//! * the **horizon** cursor skips entries that can no longer bound the next
+//!   event (their time has passed, or the caller reports the client expired)
+//!   and yields the earliest surviving time.
+//!
+//! Both cursors only advance (times are popped in the exact order the old
+//! linear scan would have selected them), so the whole run costs O(n log n)
+//! for the initial sort plus O(1) amortized per event, instead of O(n) per
+//! event.
+//!
+//! Entries with non-finite times are rejected at construction; the engine
+//! validates arrival times before reaching this point.
+
+/// Sorted once at construction; `armed`/`horizon` are monotone cursors.
+#[derive(Debug, Clone)]
+pub(crate) struct MonotoneEventQueue {
+    /// `(time, client)` pairs in ascending `(time, client)` order — the pop
+    /// order of a binary min-heap with the client index as tie-break seq.
+    entries: Vec<(f64, usize)>,
+    armed: usize,
+    horizon: usize,
+}
+
+impl MonotoneEventQueue {
+    /// Builds the queue from `(time, client)` pairs. Panics on non-finite
+    /// times: they cannot be ordered and the engine never produces them.
+    pub(crate) fn new(times: impl IntoIterator<Item = (f64, usize)>) -> Self {
+        let mut entries: Vec<(f64, usize)> = times.into_iter().collect();
+        assert!(
+            entries.iter().all(|(t, _)| t.is_finite()),
+            "event queue times must be finite"
+        );
+        entries.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times are totally ordered")
+                .then(a.1.cmp(&b.1))
+        });
+        Self {
+            entries,
+            armed: 0,
+            horizon: 0,
+        }
+    }
+
+    /// Pops the next entry whose time is `<= deadline`, if any. Each entry is
+    /// delivered exactly once; `deadline` must be non-decreasing across calls
+    /// (simulated now + epsilon), which keeps the cursor monotone.
+    pub(crate) fn pop_armed(&mut self, deadline: f64) -> Option<usize> {
+        let &(t, client) = self.entries.get(self.armed)?;
+        if t <= deadline {
+            self.armed += 1;
+            Some(client)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest entry time strictly after `now` whose client is not expired.
+    /// `expired` must be permanent (once true for a client, true forever) —
+    /// skipped entries are never revisited.
+    pub(crate) fn next_horizon(
+        &mut self,
+        now: f64,
+        mut expired: impl FnMut(usize) -> bool,
+    ) -> Option<f64> {
+        while let Some(&(t, client)) = self.entries.get(self.horizon) {
+            if t <= now || expired(client) {
+                self.horizon += 1;
+                continue;
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// Entries the horizon cursor has not yet consumed (pending future
+    /// events) — used for queue-depth accounting.
+    pub(crate) fn pending(&self) -> usize {
+        self.entries.len() - self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_index_order() {
+        let mut q = MonotoneEventQueue::new(vec![(2.0, 1), (1.0, 5), (2.0, 0), (0.5, 3)]);
+        assert_eq!(q.pop_armed(2.5), Some(3));
+        assert_eq!(q.pop_armed(2.5), Some(5));
+        assert_eq!(q.pop_armed(2.5), Some(0));
+        assert_eq!(q.pop_armed(2.5), Some(1));
+        assert_eq!(q.pop_armed(100.0), None);
+    }
+
+    #[test]
+    fn pop_respects_deadline() {
+        let mut q = MonotoneEventQueue::new(vec![(1.0, 0), (2.0, 1)]);
+        assert_eq!(q.pop_armed(0.5), None);
+        assert_eq!(q.pop_armed(1.0), Some(0));
+        assert_eq!(q.pop_armed(1.5), None);
+        assert_eq!(q.pop_armed(2.0), Some(1));
+    }
+
+    #[test]
+    fn horizon_skips_expired_and_past() {
+        let mut q = MonotoneEventQueue::new(vec![(1.0, 0), (2.0, 1), (3.0, 2)]);
+        assert_eq!(q.pending(), 3);
+        // Client 1 expired: skipped permanently even though its time is future.
+        assert_eq!(q.next_horizon(1.0, |c| c == 1), Some(3.0));
+        assert_eq!(q.pending(), 1);
+        // Skips are permanent: client 1 never reappears.
+        assert_eq!(q.next_horizon(1.0, |_| false), Some(3.0));
+        assert_eq!(q.next_horizon(3.0, |_| false), None);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q = MonotoneEventQueue::new(vec![]);
+        assert_eq!(q.pop_armed(f64::MAX), None);
+        assert_eq!(q.next_horizon(0.0, |_| false), None);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_times() {
+        MonotoneEventQueue::new(vec![(f64::NAN, 0)]);
+    }
+}

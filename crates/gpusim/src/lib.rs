@@ -31,6 +31,7 @@
 pub mod contention;
 pub mod device;
 pub mod engine;
+mod equeue;
 pub mod events;
 pub mod fault;
 pub mod kernel;

@@ -39,7 +39,14 @@ fn record_engine_run(
     mpshare_obs::counter_add(names::ENGINE_RUNS, 1);
     mpshare_obs::counter_add(names::ENGINE_EVENTS, stats.events);
     mpshare_obs::counter_add(names::ENGINE_RATE_SOLVES, stats.rate_solves);
+    mpshare_obs::counter_add(names::ENGINE_INCREMENTAL_SOLVES, stats.incremental_solves);
+    mpshare_obs::counter_add(names::ENGINE_FULL_SOLVES, stats.full_solves);
     mpshare_obs::counter_add(names::ENGINE_RESIDENT_CHANGES, stats.resident_changes);
+    mpshare_obs::observe(
+        names::ENGINE_QUEUE_DEPTH,
+        &mpshare_obs::DEPTH_BUCKETS,
+        stats.max_queue_depth as f64,
+    );
     mpshare_obs::gauge_add(names::ENGINE_SIM_SECONDS, result.makespan.value());
     mpshare_obs::observe(
         names::GROUP_MAKESPAN_SECONDS,
@@ -54,6 +61,8 @@ fn record_engine_run(
     mpshare_obs::gauge_add(names::WASTED_ENERGY_JOULES, result.wasted_energy.joules());
     let (completed, failed_tasks) = (result.tasks_completed, result.tasks_failed);
     let (events, solves) = (stats.events, stats.rate_solves);
+    let (incremental, full) = (stats.incremental_solves, stats.full_solves);
+    let queue_depth = stats.max_queue_depth;
     let makespan = result.makespan.value();
     mpshare_obs::emit(
         mpshare_obs::Track::Daemon,
@@ -68,6 +77,9 @@ fn record_engine_run(
                 "tasks_failed": failed_tasks,
                 "events": events,
                 "rate_solves": solves,
+                "incremental_solves": incremental,
+                "full_solves": full,
+                "max_queue_depth": queue_depth,
             })
         },
     );

@@ -24,6 +24,8 @@ pub mod names {
     pub const ENGINE_RUNS: &str = "mpshare_engine_runs_total";
     pub const ENGINE_EVENTS: &str = "mpshare_engine_events_total";
     pub const ENGINE_RATE_SOLVES: &str = "mpshare_engine_rate_solves_total";
+    pub const ENGINE_INCREMENTAL_SOLVES: &str = "mpshare_engine_incremental_solves_total";
+    pub const ENGINE_FULL_SOLVES: &str = "mpshare_engine_full_solves_total";
     pub const ENGINE_RESIDENT_CHANGES: &str = "mpshare_engine_resident_changes_total";
     pub const ENGINE_SIM_SECONDS: &str = "mpshare_engine_sim_seconds_total";
     // Fault / recovery accounting.
@@ -52,6 +54,7 @@ pub mod names {
     // Histograms (simulated seconds / dimensionless).
     pub const GROUP_MAKESPAN_SECONDS: &str = "mpshare_group_makespan_sim_seconds";
     pub const QUEUE_DEPTH: &str = "mpshare_scheduler_queue_depth";
+    pub const ENGINE_QUEUE_DEPTH: &str = "mpshare_engine_event_queue_depth";
     pub const PHASE_SIM_SECONDS: &str = "mpshare_experiment_phase_sim_seconds";
 }
 
@@ -151,6 +154,8 @@ impl MetricsRegistry {
             ENGINE_RUNS,
             ENGINE_EVENTS,
             ENGINE_RATE_SOLVES,
+            ENGINE_INCREMENTAL_SOLVES,
+            ENGINE_FULL_SOLVES,
             ENGINE_RESIDENT_CHANGES,
             FAULTS_INJECTED,
             CLIENTS_FAILED,
@@ -187,6 +192,7 @@ impl MetricsRegistry {
             (GROUP_MAKESPAN_SECONDS, &SIM_SECONDS_BUCKETS[..]),
             (PHASE_SIM_SECONDS, &SIM_SECONDS_BUCKETS[..]),
             (QUEUE_DEPTH, &DEPTH_BUCKETS[..]),
+            (ENGINE_QUEUE_DEPTH, &DEPTH_BUCKETS[..]),
         ] {
             inner
                 .histograms

@@ -1,0 +1,225 @@
+//! Bitwise-equivalence properties for the engine and planner fast paths.
+//!
+//! The hot-path work in this repo — the incremental contention re-solve on
+//! single join/leave and the branch-and-bound exhaustive plan search — is
+//! pure optimization: both must return *bit-identical* results to the
+//! from-scratch paths they replace. These properties drive randomized
+//! workloads (including fault-abort churn) through both paths and compare
+//! the full outputs.
+
+use mpshare::core::{MetricPriority, Planner, PlannerStrategy, WorkflowProfile};
+use mpshare::gpusim::{
+    ClientProgram, DeviceSpec, Engine, EngineConfig, EngineStats, FaultPlan, RunResult, SharingMode,
+};
+use mpshare::types::{Energy, MemBytes, Percent, Power, Seconds};
+use mpshare::workloads::SyntheticSpec;
+use proptest::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+/// Strategy generating one synthetic workload spec (same envelope as
+/// tests/invariants.rs, biased toward host gaps so clients join and leave
+/// the resident set many times).
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        0.02f64..=1.0, // sm_demand
+        0.0f64..=0.6,  // bw_demand
+        0.2f64..=0.9,  // duty cycle (< 1: every client has gaps)
+        1.0f64..=10.0, // duration
+        64u64..=4096,  // memory MiB
+        2usize..=10,   // kernels
+        0.0f64..=1.0,  // cache sensitivity
+        0.0f64..=0.15, // client sensitivity
+    )
+        .prop_map(
+            |(sm, bw, duty, duration, memory_mib, kernels, cache, client)| SyntheticSpec {
+                sm_demand: sm,
+                bw_demand: bw,
+                duty_cycle: duty,
+                duration,
+                memory_mib,
+                kernels,
+                cache_sensitivity: cache,
+                client_sensitivity: client,
+            },
+        )
+}
+
+fn programs_for(specs: &[SyntheticSpec]) -> Vec<ClientProgram> {
+    let d = device();
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_client_program(&d, 1, i as u64 * 100).unwrap())
+        .collect()
+}
+
+/// Runs the programs under the given sharing mode twice — incremental
+/// re-solve allowed vs. forced full re-solve — and returns both outcomes.
+fn run_both(
+    mode: SharingMode,
+    specs: &[SyntheticSpec],
+    faults: &FaultPlan,
+) -> ((RunResult, EngineStats), (RunResult, EngineStats)) {
+    let run = |force: bool| {
+        let config = EngineConfig::new(device(), mode.clone())
+            .with_fault_plan(faults.clone())
+            .with_forced_full_resolve(force);
+        Engine::new(config, programs_for(specs))
+            .unwrap()
+            .run_with_stats()
+            .unwrap()
+    };
+    (run(false), run(true))
+}
+
+/// Random profile pool for the plan-search property: utilizations and
+/// footprints wide enough that both saturated (SM/BW > 100%) and
+/// memory-infeasible groupings occur.
+fn profile_strategy() -> impl Strategy<Value = WorkflowProfile> {
+    (
+        1.0f64..=95.0, // avg sm %
+        0.0f64..=70.0, // avg bw %
+        1u64..=20,     // max memory GiB
+        1.0f64..=30.0, // duration s
+        1usize..=6,    // task count
+    )
+        .prop_map(|(sm, bw, mem_gib, duration, tasks)| {
+            let power = 75.0 + 1.75 * sm + bw;
+            WorkflowProfile {
+                label: format!("prop-{sm:.0}-{bw:.0}"),
+                task_count: tasks,
+                avg_sm_util: Percent::new(sm),
+                avg_bw_util: Percent::new(bw),
+                max_memory: MemBytes::from_gib(mem_gib),
+                duration: Seconds::new(duration),
+                energy: Energy::from_joules(power * duration),
+                avg_power: Power::from_watts(power),
+                busy_fraction: 0.8,
+                saturation_partition: mpshare::types::Fraction::new(0.9),
+            }
+        })
+}
+
+fn priority_strategy() -> impl Strategy<Value = MetricPriority> {
+    (0usize..3).prop_map(|i| match i {
+        0 => MetricPriority::Throughput,
+        1 => MetricPriority::Energy,
+        _ => MetricPriority::balanced_product(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental single-join/leave contention re-solve must be
+    /// invisible: an engine run with the fast path enabled produces a
+    /// `RunResult` bit-identical (via its serialized form — rates, power,
+    /// clocks, energy, telemetry, event log) to one forced onto the full
+    /// re-solve pipeline, across random join/leave/fault sequences.
+    #[test]
+    fn incremental_resolve_matches_full_resolve(
+        specs in prop::collection::vec(spec_strategy(), 1..6),
+        fault_seed in 0u64..1000,
+    ) {
+        let horizons: Vec<Seconds> = programs_for(&specs)
+            .iter()
+            .map(|p| p.solo_wall_time())
+            .collect();
+        // Rate 0.5: roughly half the runs abort clients mid-flight,
+        // exercising the PR 3 fault-abort leave path.
+        let faults = FaultPlan::seeded(fault_seed, &horizons, 0.5).unwrap();
+        let n = specs.len();
+        let ((inc_result, inc_stats), (full_result, full_stats)) =
+            run_both(SharingMode::mps_uniform(n), &specs, &faults);
+
+        prop_assert_eq!(
+            serde_json::to_string(&inc_result).unwrap(),
+            serde_json::to_string(&full_result).unwrap(),
+            "incremental vs full resolve diverged (stats {:?} vs {:?})",
+            inc_stats,
+            full_stats
+        );
+        // The forced path never takes the fast path; both account every
+        // re-solve as exactly one of incremental or full.
+        prop_assert_eq!(full_stats.incremental_solves, 0);
+        prop_assert_eq!(
+            inc_stats.incremental_solves + inc_stats.full_solves,
+            inc_stats.rate_solves
+        );
+        prop_assert_eq!(full_stats.full_solves, full_stats.rate_solves);
+        prop_assert_eq!(inc_stats.events, full_stats.events);
+    }
+
+    /// Same equivalence under fused streams (the other scheduled-resident
+    /// mode the fast path serves).
+    #[test]
+    fn incremental_resolve_matches_full_resolve_streams(
+        specs in prop::collection::vec(spec_strategy(), 1..5),
+    ) {
+        let ((inc_result, inc_stats), (full_result, full_stats)) =
+            run_both(SharingMode::Streams, &specs, &FaultPlan::new());
+        prop_assert_eq!(
+            serde_json::to_string(&inc_result).unwrap(),
+            serde_json::to_string(&full_result).unwrap(),
+            "streams incremental vs full resolve diverged (stats {:?} vs {:?})",
+            inc_stats,
+            full_stats
+        );
+        prop_assert_eq!(full_stats.incremental_solves, 0);
+    }
+
+    /// Branch-and-bound exhaustive planning must return the *same plan* as
+    /// the unpruned enumeration — not just an equally-scored one — on
+    /// random workloads up to n = 10, across every metric priority.
+    #[test]
+    fn pruned_exhaustive_matches_brute_force(
+        profiles in prop::collection::vec(profile_strategy(), 2..8),
+        priority in priority_strategy(),
+    ) {
+        let pruned = Planner::new(device(), priority);
+        let brute = pruned.clone().with_exhaustive_pruning(false);
+        let fast = pruned.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        let slow = brute.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+}
+
+/// One deterministic full-width case at the n = 10 support boundary
+/// (Bell(10) = 115 975 partitions), kept out of the randomized loop so the
+/// suite's runtime stays bounded.
+#[test]
+fn pruned_exhaustive_matches_brute_force_n10() {
+    let mk = |i: u64| {
+        let sm = 10.0 + (i as f64 * 13.7) % 85.0;
+        let bw = (i as f64 * 7.3) % 60.0;
+        let duration = 2.0 + (i as f64 * 3.1) % 20.0;
+        let power = 75.0 + 1.75 * sm + bw;
+        WorkflowProfile {
+            label: format!("n10-{i}"),
+            task_count: 1 + (i as usize % 4),
+            avg_sm_util: Percent::new(sm),
+            avg_bw_util: Percent::new(bw),
+            max_memory: MemBytes::from_gib(1 + i % 16),
+            duration: Seconds::new(duration),
+            energy: Energy::from_joules(power * duration),
+            avg_power: Power::from_watts(power),
+            busy_fraction: 0.8,
+            saturation_partition: mpshare::types::Fraction::new(0.9),
+        }
+    };
+    let profiles: Vec<WorkflowProfile> = (0..10).map(mk).collect();
+    for priority in [
+        MetricPriority::Throughput,
+        MetricPriority::Energy,
+        MetricPriority::balanced_product(),
+    ] {
+        let pruned = Planner::new(device(), priority);
+        let brute = pruned.clone().with_exhaustive_pruning(false);
+        let fast = pruned.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        let slow = brute.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+        assert_eq!(fast, slow, "priority {priority:?}");
+    }
+}

@@ -8,8 +8,10 @@
 //!
 //! When the `MPSHARE_BENCH_JSON` environment variable names a path, the
 //! `criterion_main!`-generated `main` additionally writes every
-//! benchmark's summary (median/mean/min/max nanoseconds per iteration) to
-//! that path as JSON, so `make bench` can commit machine-readable numbers.
+//! benchmark's summary (median / mean / trimmed mean / p10 / p90 /
+//! min / max nanoseconds per iteration) to that path as JSON, so
+//! `make bench` can commit machine-readable numbers and `make bench-gate`
+//! can compare them against the committed baseline.
 
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
@@ -25,6 +27,9 @@ struct Summary {
     name: String,
     median_ns: u128,
     mean_ns: u128,
+    trimmed_mean_ns: u128,
+    p10_ns: u128,
+    p90_ns: u128,
     min_ns: u128,
     max_ns: u128,
     iters: usize,
@@ -42,6 +47,25 @@ fn median(sorted: &[Duration]) -> Duration {
     } else {
         (sorted[n / 2 - 1] + sorted[n / 2]) / 2
     }
+}
+
+/// Mean with the single smallest and largest sample dropped (plain mean
+/// when fewer than three samples): one bad outlier can't move it.
+fn trimmed_mean(sorted: &[Duration]) -> Duration {
+    let trimmed = if sorted.len() >= 3 {
+        &sorted[1..sorted.len() - 1]
+    } else {
+        sorted
+    };
+    let total: Duration = trimmed.iter().sum();
+    total / trimmed.len() as u32
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of pre-sorted samples.
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    let n = sorted.len();
+    let rank = (p * n).div_ceil(100).max(1);
+    sorted[rank - 1]
 }
 
 /// Measures a single benchmark body.
@@ -72,16 +96,22 @@ fn report(name: &str, samples: &[Duration]) {
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
     let med = median(&sorted);
+    let trimmed = trimmed_mean(&sorted);
+    let p10 = percentile(&sorted, 10);
+    let p90 = percentile(&sorted, 90);
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
     println!(
-        "{name}: median {med:?}  mean {mean:?}  min {min:?}  max {max:?}  ({} iters)",
+        "{name}: median {med:?}  mean {mean:?}  trimmed {trimmed:?}  p10 {p10:?}  p90 {p90:?}  min {min:?}  max {max:?}  ({} iters)",
         samples.len()
     );
     summaries().lock().expect("summary store poisoned").push(Summary {
         name: name.to_string(),
         median_ns: med.as_nanos(),
         mean_ns: mean.as_nanos(),
+        trimmed_mean_ns: trimmed.as_nanos(),
+        p10_ns: p10.as_nanos(),
+        p90_ns: p90.as_nanos(),
         min_ns: min.as_nanos(),
         max_ns: max.as_nanos(),
         iters: samples.len(),
@@ -111,10 +141,13 @@ pub fn write_summary_json() {
     for (i, s) in store.iter().enumerate() {
         let comma = if i + 1 < store.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"mean_ns\": {}, \"trimmed_mean_ns\": {}, \"p10_ns\": {}, \"p90_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}}}{comma}\n",
             json_escape(&s.name),
             s.median_ns,
             s.mean_ns,
+            s.trimmed_mean_ns,
+            s.p10_ns,
+            s.p90_ns,
             s.min_ns,
             s.max_ns,
             s.iters
@@ -266,4 +299,32 @@ macro_rules! criterion_main {
             $crate::write_summary_json();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ns: u64) -> Duration {
+        Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let sorted = [d(10), d(20), d(30), d(1000)];
+        assert_eq!(trimmed_mean(&sorted), d(25));
+        // Too few samples to trim: plain mean.
+        assert_eq!(trimmed_mean(&[d(10), d(30)]), d(20));
+        assert_eq!(trimmed_mean(&[d(7)]), d(7));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<Duration> = (1..=10).map(|i| d(i * 100)).collect();
+        assert_eq!(percentile(&sorted, 10), d(100));
+        assert_eq!(percentile(&sorted, 50), d(500));
+        assert_eq!(percentile(&sorted, 90), d(900));
+        assert_eq!(percentile(&sorted, 100), d(1000));
+        assert_eq!(percentile(&[d(42)], 90), d(42));
+    }
 }
