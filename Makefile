@@ -6,14 +6,18 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy bench bench-gate fault-smoke trace-smoke clean
+.PHONY: check build test test-all fmt clippy bench bench-gate fault-smoke trace-smoke fuzz-smoke clean
 
 # The full tier-1 gate: release build, tests, formatting, lints, the
-# fault- and trace-determinism smoke runs, and the bench regression gate.
-check: build test fmt clippy fault-smoke trace-smoke bench-gate
+# fault-, trace-, and fuzz-determinism smoke runs, and the bench
+# regression gate.
+check: build test fmt clippy fault-smoke trace-smoke fuzz-smoke bench-gate
 
+# --workspace so member binaries (mpshare-repro, mpshare-sched,
+# mpshare-fuzz, bench_gate) exist for the smoke gates below even from a
+# clean target dir.
 build:
-	$(CARGO) build --release
+	$(CARGO) build --release --workspace
 
 # Tier-1 tests: the root package's suites (lib, integration, doc-tests).
 test:
@@ -98,6 +102,21 @@ trace-smoke: build
 	cmp .trace-smoke/a/ext_online.json .trace-smoke/c/ext_online.json
 	@rm -rf .trace-smoke
 	@echo "trace-determinism smoke gate passed"
+
+# Fuzz smoke gate: a fixed-seed 500-scenario campaign must be clean and
+# byte-identical serial vs. parallel (the generator, oracle, and report
+# are pure functions of the seed block), and every pinned scenario in
+# configs/zoo/ — shrunk repros of past bugs plus mechanism coverage —
+# must replay with zero violations and its exact pinned digest.
+fuzz-smoke: build
+	@rm -rf .fuzz-smoke
+	@mkdir -p .fuzz-smoke
+	./target/release/mpshare-fuzz run --count 500 --base 0 --out .fuzz-smoke/par.txt
+	./target/release/mpshare-fuzz run --count 500 --base 0 --serial --out .fuzz-smoke/ser.txt
+	cmp .fuzz-smoke/par.txt .fuzz-smoke/ser.txt
+	./target/release/mpshare-fuzz zoo configs/zoo
+	@rm -rf .fuzz-smoke
+	@echo "fuzz smoke gate passed"
 
 clean:
 	$(CARGO) clean

@@ -200,10 +200,11 @@ impl Planner {
         if profiles.is_empty() {
             return Err(Error::InvalidConfig("empty workflow queue".into()));
         }
+        Self::validate_profiles(profiles)?;
         mpshare_obs::counter_add(mpshare_obs::names::PLAN_CALLS, 1);
         let plan = match strategy {
-            PlannerStrategy::Greedy => self.plan_greedy(profiles, &EstimateMemo::new()),
-            PlannerStrategy::BestFit => self.plan_bestfit(profiles, &EstimateMemo::new()),
+            PlannerStrategy::Greedy => self.plan_greedy(profiles, &EstimateMemo::new())?,
+            PlannerStrategy::BestFit => self.plan_bestfit(profiles, &EstimateMemo::new())?,
             PlannerStrategy::Auto => {
                 // One memo spans both legs: the cap sweeps re-try many of
                 // the same groups, and the final comparison scores are all
@@ -213,6 +214,7 @@ impl Planner {
                     || self.plan_greedy(profiles, &memo),
                     || self.plan_bestfit(profiles, &memo),
                 );
+                let (greedy, bestfit) = (greedy?, bestfit?);
                 if self.score_plan_memo(&bestfit, profiles, &memo)
                     > self.score_plan_memo(&greedy, profiles, &memo)
                 {
@@ -241,12 +243,44 @@ impl Planner {
         Ok(plan)
     }
 
+    /// Rejects profiles the packing heuristics cannot order: non-finite or
+    /// negative durations, utilizations, energies, or powers. Degenerate
+    /// values would otherwise poison the sort comparators and the
+    /// estimator, so the planner refuses them up front with an error
+    /// naming the offending profile and field.
+    fn validate_profiles(profiles: &[WorkflowProfile]) -> Result<()> {
+        for (i, p) in profiles.iter().enumerate() {
+            let checks = [
+                ("duration", p.duration.value()),
+                ("avg_sm_util", p.avg_sm_util.value()),
+                ("avg_bw_util", p.avg_bw_util.value()),
+                ("energy", p.energy.joules()),
+                ("avg_power", p.avg_power.watts()),
+                ("busy_fraction", p.busy_fraction),
+                ("saturation_partition", p.saturation_partition.value()),
+            ];
+            for (field, value) in checks {
+                if !value.is_finite() || value < 0.0 {
+                    return Err(Error::InvalidConfig(format!(
+                        "profile {i} ({}): {field} must be finite and non-negative, got {value}",
+                        p.label
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The paper's greedy algorithm, sweeping cardinality caps when the
     /// priority calls for it. Caps are independent candidates, so they are
     /// built and scored on worker threads; the in-order strictly-greater
     /// reduction keeps the earliest maximum, matching the serial sweep
     /// bit for bit.
-    fn plan_greedy(&self, profiles: &[WorkflowProfile], memo: &EstimateMemo) -> SchedulePlan {
+    fn plan_greedy(
+        &self,
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+    ) -> Result<SchedulePlan> {
         let seq = Self::sequential_baseline(profiles);
         let caps = self.priority.candidate_caps(&self.device);
         let scored = mpshare_par::par_map(&caps, |&cap| {
@@ -254,12 +288,21 @@ impl Planner {
             let score = self.score_groups(&plan, profiles, &seq, memo);
             (score, plan)
         });
-        Self::first_best(scored).expect("at least one cap candidate")
+        Self::first_best(scored).ok_or_else(|| {
+            Error::PlanViolation(format!(
+                "priority {:?} produced no cardinality-cap candidates",
+                self.priority
+            ))
+        })
     }
 
     /// Estimator-guided best-fit packing, sweeping the priority's caps in
     /// parallel like [`Planner::plan_greedy`].
-    fn plan_bestfit(&self, profiles: &[WorkflowProfile], memo: &EstimateMemo) -> SchedulePlan {
+    fn plan_bestfit(
+        &self,
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+    ) -> Result<SchedulePlan> {
         let seq = Self::sequential_baseline(profiles);
         let caps = self.priority.candidate_caps(&self.device);
         let scored = mpshare_par::par_map(&caps, |&cap| {
@@ -267,7 +310,12 @@ impl Planner {
             let score = self.score_groups(&plan, profiles, &seq, memo);
             (score, plan)
         });
-        Self::first_best(scored).expect("at least one cap candidate")
+        Self::first_best(scored).ok_or_else(|| {
+            Error::PlanViolation(format!(
+                "priority {:?} produced no cardinality-cap candidates",
+                self.priority
+            ))
+        })
     }
 
     /// In-order reduction keeping the first candidate with the maximal
@@ -298,13 +346,17 @@ impl Planner {
         cap: usize,
         memo: &EstimateMemo,
     ) -> SchedulePlan {
-        let cap = cap.clamp(1, self.device.max_mps_clients);
+        let cap = cap.clamp(1, self.device.max_mps_clients.max(1));
         let mut order: Vec<usize> = (0..profiles.len()).collect();
+        // NaN durations are rejected by `validate_profiles` before any
+        // planning entry point that reaches this sort; treating an
+        // unexpected incomparable pair as equal keeps index order instead
+        // of panicking, and is identical to `partial_cmp` for finite data.
         order.sort_by(|&a, &b| {
             profiles[b]
                 .duration
                 .partial_cmp(&profiles[a].duration)
-                .expect("finite durations")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
         // A candidate's saving never exceeds its solo duration: the
@@ -443,16 +495,19 @@ impl Planner {
     pub fn greedy_with_cap(&self, profiles: &[WorkflowProfile], cap: usize) -> SchedulePlan {
         // Criterion 1: lowest compute utilization first.
         let mut order: Vec<usize> = (0..profiles.len()).collect();
+        // See the duration sort in `bestfit_with_cap_memo`: NaN is
+        // rejected upstream, and incomparable pairs fall back to index
+        // order rather than panicking.
         order.sort_by(|&a, &b| {
             profiles[a]
                 .avg_sm_util
                 .value()
                 .partial_cmp(&profiles[b].avg_sm_util.value())
-                .expect("finite utilizations")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
 
-        let cap = cap.clamp(1, self.device.max_mps_clients);
+        let cap = cap.clamp(1, self.device.max_mps_clients.max(1));
         let mut assigned = vec![false; profiles.len()];
         let mut groups = Vec::new();
         for &seed in &order {
@@ -1309,6 +1364,71 @@ mod tests {
         assert!(planner(MetricPriority::Energy)
             .plan(&[], PlannerStrategy::Greedy)
             .is_err());
+    }
+
+    /// Non-finite profile metrics used to reach the cap-candidate sort and
+    /// panic on `partial_cmp().expect("finite durations")`; they must now
+    /// come back as a typed error naming the profile and field.
+    #[test]
+    fn non_finite_profiles_are_typed_errors_not_panics() {
+        // The unit types reject NaN at construction, but infinite
+        // durations and NaN plain-f64 fields are constructible and used
+        // to reach the sort comparators and panic there.
+        for (field, mutate) in [
+            (
+                "duration",
+                Box::new(|p: &mut WorkflowProfile| p.duration = Seconds::new(f64::INFINITY))
+                    as Box<dyn Fn(&mut WorkflowProfile)>,
+            ),
+            (
+                "busy_fraction",
+                Box::new(|p: &mut WorkflowProfile| p.busy_fraction = f64::NAN),
+            ),
+        ] {
+            let mut profiles = vec![
+                profile("a", 10.0, 1.0, 2, 10.0),
+                profile("b", 30.0, 5.0, 4, 8.0),
+            ];
+            mutate(&mut profiles[1]);
+            for strategy in [
+                PlannerStrategy::Greedy,
+                PlannerStrategy::BestFit,
+                PlannerStrategy::Auto,
+            ] {
+                let err = planner(MetricPriority::balanced_product())
+                    .plan(&profiles, strategy)
+                    .unwrap_err();
+                let msg = err.to_string();
+                assert!(
+                    matches!(err, Error::InvalidConfig(_)),
+                    "{strategy:?}: {msg}"
+                );
+                assert!(
+                    msg.contains("profile 1") && msg.contains("b") && msg.contains(field),
+                    "{strategy:?}: error must name the profile and field: {msg}"
+                );
+            }
+        }
+    }
+
+    /// A device reporting zero MPS client capacity used to panic inside
+    /// `cap.clamp(1, 0)`; it must plan (solo groups) or error, never panic.
+    #[test]
+    fn zero_client_capacity_device_does_not_panic() {
+        let mut device = dev();
+        device.max_mps_clients = 0;
+        let profiles = vec![
+            profile("a", 10.0, 1.0, 2, 10.0),
+            profile("b", 30.0, 5.0, 4, 8.0),
+        ];
+        let p = Planner::new(device, MetricPriority::Energy);
+        for strategy in [PlannerStrategy::Greedy, PlannerStrategy::BestFit] {
+            if let Ok(plan) = p.plan(&profiles, strategy) {
+                for g in &plan.groups {
+                    assert_eq!(g.workflow_indices.len(), 1, "{strategy:?} grouped anyway");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! `mpshare-fuzz` — seeded invariant fuzzing of the mpshare stack.
+//!
+//! ```text
+//! mpshare-fuzz run  --count N [--base SEED] [--out FILE] [--no-shrink] [--serial]
+//! mpshare-fuzz gen  SEED [--pin] [--out FILE]
+//! mpshare-fuzz replay FILE.json [FILE.json ...]
+//! mpshare-fuzz zoo  DIR
+//! ```
+//!
+//! * `run` fuzzes a block of seeds and prints the canonical campaign
+//!   report. Same seeds → byte-identical report, serial or parallel;
+//!   failing scenarios are delta-debugged into minimal inline repros.
+//! * `gen` prints the scenario a seed generates; `--pin` embeds the
+//!   oracle digest so the file can join `configs/zoo/`.
+//! * `replay` re-runs saved scenario files (shrunk repros, hand-written
+//!   configs) through the oracle.
+//! * `zoo` replays every scenario in a directory and fails on any
+//!   violation or pinned-digest drift — the `make fuzz-smoke` gate.
+//!
+//! Exit code 0 = all clean, 1 = violations or drift, 2 = usage/config.
+
+use mpshare_fuzz::{
+    check_scenario, render_report, replay_zoo, run_campaign, CampaignConfig, Scenario,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpshare-fuzz run --count N [--base SEED] [--out FILE] [--no-shrink] [--serial]\n\
+         \x20      mpshare-fuzz gen SEED [--pin] [--out FILE]\n\
+         \x20      mpshare-fuzz replay FILE.json [FILE.json ...]\n\
+         \x20      mpshare-fuzz zoo DIR"
+    );
+    std::process::exit(2);
+}
+
+fn emit(out: Option<&PathBuf>, body: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+        }
+        None => {
+            print!("{body}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<bool, String> {
+    let mut count = None;
+    let mut base = 0u64;
+    let mut out = None;
+    let mut shrink = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--count" => {
+                count = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--base" => {
+                base = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--no-shrink" => shrink = false,
+            "--serial" => mpshare_par::set_serial(true),
+            _ => usage(),
+        }
+    }
+    let config = CampaignConfig {
+        base_seed: base,
+        count: count.unwrap_or_else(|| usage()),
+        shrink,
+    };
+    let campaign = run_campaign(&config);
+    emit(out.as_ref(), &render_report(&campaign))?;
+    let failing = campaign.failing().count();
+    if failing > 0 {
+        eprintln!("{failing} failing scenario(s)");
+    }
+    Ok(failing == 0)
+}
+
+fn cmd_gen(args: &[String]) -> Result<bool, String> {
+    let mut seed = None;
+    let mut pin = false;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pin" => pin = true,
+            "--out" => out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            other => match other.parse() {
+                Ok(s) if seed.is_none() => seed = Some(s),
+                _ => usage(),
+            },
+        }
+    }
+    let mut scenario = Scenario::generate(seed.unwrap_or_else(|| usage()));
+    if pin {
+        let report = check_scenario(&scenario).map_err(|e| e.to_string())?;
+        if !report.violations.is_empty() {
+            for v in &report.violations {
+                eprintln!("{}: {}", v.check, v.detail);
+            }
+            return Err("refusing to pin a digest for a failing scenario".into());
+        }
+        scenario.expected_digest = Some(report.digest);
+    }
+    emit(out.as_ref(), &format!("{}\n", scenario.to_json()))?;
+    Ok(true)
+}
+
+fn cmd_replay(files: &[String]) -> Result<bool, String> {
+    if files.is_empty() {
+        usage();
+    }
+    let mut all_clean = true;
+    for f in files {
+        let outcome = mpshare_fuzz::replay_file(&PathBuf::from(f)).map_err(|e| e.to_string())?;
+        println!("{f}: {}", outcome.describe());
+        all_clean &= outcome.is_clean();
+    }
+    Ok(all_clean)
+}
+
+fn cmd_zoo(args: &[String]) -> Result<bool, String> {
+    let [dir] = args else { usage() };
+    let outcomes = replay_zoo(&PathBuf::from(dir)).map_err(|e| e.to_string())?;
+    let mut all_clean = true;
+    for (path, outcome) in &outcomes {
+        println!("{}: {}", path.display(), outcome.describe());
+        all_clean &= outcome.is_clean();
+    }
+    println!(
+        "zoo: {} scenario(s), {}",
+        outcomes.len(),
+        if all_clean { "all clean" } else { "FAILURES" }
+    );
+    Ok(all_clean)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let outcome = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "gen" => cmd_gen(rest),
+        "replay" => cmd_replay(rest),
+        "zoo" => cmd_zoo(rest),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Campaign runner: fan a block of seeds across worker threads, run the
+//! oracle on each generated scenario, shrink any failures, and render a
+//! canonical text report.
+//!
+//! Determinism: scenario generation is a pure function of the seed, the
+//! oracle digests canonical serializations, and `mpshare_par::par_map`
+//! preserves input order — so the rendered report is byte-identical
+//! whether the campaign runs serial or parallel. `make fuzz-smoke` runs
+//! it both ways and `cmp`s the outputs.
+
+use crate::oracle::{check_scenario, fnv1a64, Violation};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// First seed; the campaign covers `base_seed..base_seed + count`.
+    pub base_seed: u64,
+    pub count: usize,
+    /// Shrink failing scenarios to minimal repros (each probe is a full
+    /// run; disable for quick triage).
+    pub shrink: bool,
+}
+
+/// Per-seed result.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    pub seed: u64,
+    pub name: String,
+    /// Oracle digest (empty when the scenario errored before running).
+    pub digest: String,
+    pub violations: Vec<Violation>,
+    /// Minimal failing scenario, when shrinking was on and reproduced.
+    pub repro: Option<Scenario>,
+}
+
+impl SeedOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    pub config: CampaignConfig,
+    /// One outcome per seed, in seed order.
+    pub outcomes: Vec<SeedOutcome>,
+}
+
+impl Campaign {
+    pub fn failing(&self) -> impl Iterator<Item = &SeedOutcome> {
+        self.outcomes.iter().filter(|o| !o.is_clean())
+    }
+}
+
+/// Predicate used both for detecting and for preserving a failure: the
+/// oracle errors out, or reports ≥ 1 violation.
+fn fails(scenario: &Scenario) -> bool {
+    match check_scenario(scenario) {
+        Err(_) => true,
+        Ok(report) => !report.violations.is_empty(),
+    }
+}
+
+fn run_seed(seed: u64, do_shrink: bool) -> SeedOutcome {
+    let scenario = Scenario::generate(seed);
+    let (digest, violations) = match check_scenario(&scenario) {
+        Ok(report) => (report.digest, report.violations),
+        Err(e) => (
+            String::new(),
+            vec![Violation {
+                check: "error".into(),
+                detail: e.to_string(),
+            }],
+        ),
+    };
+    let repro = if !violations.is_empty() && do_shrink {
+        Some(shrink(&scenario, fails))
+    } else {
+        None
+    };
+    SeedOutcome {
+        seed,
+        name: scenario.name,
+        digest,
+        violations,
+        repro,
+    }
+}
+
+/// Runs the campaign, fanning seeds across workers (`par_map` preserves
+/// order and honours `MPSHARE_SERIAL`).
+pub fn run_campaign(config: &CampaignConfig) -> Campaign {
+    let seeds: Vec<u64> = (0..config.count as u64)
+        .map(|i| config.base_seed + i)
+        .collect();
+    let outcomes = mpshare_par::par_map(&seeds, |&seed| run_seed(seed, config.shrink));
+    Campaign {
+        config: config.clone(),
+        outcomes,
+    }
+}
+
+/// Renders the canonical text report: one line per seed, failures with
+/// their shrunk repros inline, and a campaign digest folding every
+/// per-seed digest (the value `expected_digest` pins for zoo scenarios
+/// is the per-seed one).
+pub fn render_report(campaign: &Campaign) -> String {
+    let mut out = String::new();
+    let base = campaign.config.base_seed;
+    let count = campaign.config.count;
+    out.push_str(&format!(
+        "mpshare-fuzz campaign: seeds {base}..{} ({count} scenarios)\n",
+        base + count as u64
+    ));
+    let mut clean = 0usize;
+    for o in &campaign.outcomes {
+        if o.is_clean() {
+            clean += 1;
+            out.push_str(&format!(
+                "{:>8}  {:<22} ok    {}\n",
+                o.seed, o.name, o.digest
+            ));
+        } else {
+            out.push_str(&format!("{:>8}  {:<22} FAIL\n", o.seed, o.name));
+            for v in &o.violations {
+                out.push_str(&format!("          {}: {}\n", v.check, v.detail));
+            }
+            if let Some(repro) = &o.repro {
+                let compact = serde_json::to_string(repro).expect("scenario serializes");
+                out.push_str(&format!("          repro: {compact}\n"));
+            }
+        }
+    }
+    let failing = campaign.outcomes.len() - clean;
+    out.push_str(&format!(
+        "scenarios: {}, clean: {clean}, failing: {failing}\n",
+        campaign.outcomes.len()
+    ));
+    let mut folded = String::new();
+    for o in &campaign.outcomes {
+        folded.push_str(&o.digest);
+        folded.push('\n');
+    }
+    out.push_str(&format!(
+        "campaign digest: {:016x}\n",
+        fnv1a64(folded.as_bytes())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The serial and parallel campaigns must render byte-identical
+    /// reports — the core determinism contract of the whole harness.
+    #[test]
+    fn serial_and_parallel_campaigns_agree() {
+        let config = CampaignConfig {
+            base_seed: 100,
+            count: 12,
+            shrink: false,
+        };
+        mpshare_par::set_serial(true);
+        let serial = render_report(&run_campaign(&config));
+        mpshare_par::set_serial(false);
+        let parallel = render_report(&run_campaign(&config));
+        mpshare_par::set_serial(false);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn campaign_over_generated_seeds_is_clean() {
+        let config = CampaignConfig {
+            base_seed: 40,
+            count: 10,
+            shrink: false,
+        };
+        let campaign = run_campaign(&config);
+        for o in &campaign.outcomes {
+            assert!(o.is_clean(), "seed {}: {:?}", o.seed, o.violations);
+        }
+    }
+}

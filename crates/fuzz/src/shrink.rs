@@ -1,0 +1,262 @@
+//! Delta-debugging shrinker: given a scenario that fails the oracle,
+//! greedily minimize it while preserving the failure.
+//!
+//! Classic ddmin structure, specialized to the scenario shape: each
+//! round proposes a list of single-step reductions (drop a client, drop
+//! a fault, collapse a program to one task / one kernel, halve a
+//! duration, zero an arrival, strip the power cap…), accepts the first
+//! proposal that still fails, and repeats until no proposal fails or the
+//! probe budget runs out. The result is a local minimum: removing any
+//! single remaining element makes the failure disappear.
+//!
+//! The predicate is caller-supplied so the shrinker can preserve *the
+//! same* failure (e.g. "oracle reports a violation of check X"), not
+//! just any failure.
+
+use crate::scenario::{EngineScenario, MechanismSpec, OnlineScenario, RunSpec, Scenario};
+
+/// Hard cap on predicate evaluations per shrink — each probe is a full
+/// simulator run, so the budget bounds wall-clock.
+const MAX_PROBES: usize = 400;
+
+/// Shrinks `scenario` while `still_failing` holds. Returns the smallest
+/// scenario found (possibly the input itself).
+pub fn shrink(scenario: &Scenario, mut still_failing: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut current = scenario.clone();
+    let mut probes = 0usize;
+    let mut any_reduction = false;
+    loop {
+        let mut reduced = false;
+        for cand in candidates(&current) {
+            if probes >= MAX_PROBES {
+                return current;
+            }
+            probes += 1;
+            if still_failing(&cand) {
+                current = cand;
+                reduced = true;
+                any_reduction = true;
+                break;
+            }
+        }
+        if !reduced {
+            if any_reduction && !current.name.ends_with("/shrunk") {
+                current.name.push_str("/shrunk");
+            }
+            return current;
+        }
+    }
+}
+
+/// Single-step reductions of `sc`, most aggressive first (dropping a
+/// whole client shrinks faster than halving one duration).
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    match &sc.run {
+        RunSpec::Engine(e) => {
+            for cand in engine_candidates(e) {
+                let mut s = sc.clone();
+                s.run = RunSpec::Engine(cand);
+                out.push(s);
+            }
+        }
+        RunSpec::Online(o) => {
+            for cand in online_candidates(o) {
+                let mut s = sc.clone();
+                s.run = RunSpec::Online(cand);
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Removes client `i`, remapping the mechanism and fault indices.
+fn drop_client(e: &EngineScenario, i: usize) -> EngineScenario {
+    let mut r = e.clone();
+    r.clients.remove(i);
+    match &mut r.mechanism {
+        MechanismSpec::Mps { partitions } => {
+            partitions.remove(i);
+        }
+        MechanismSpec::Mig { assignment, .. } => {
+            assignment.remove(i);
+        }
+        _ => {}
+    }
+    r.faults.retain(|f| f.client != i);
+    for f in &mut r.faults {
+        if f.client > i {
+            f.client -= 1;
+        }
+    }
+    r
+}
+
+fn engine_candidates(e: &EngineScenario) -> Vec<EngineScenario> {
+    let mut out = Vec::new();
+    if e.clients.len() > 1 {
+        for i in 0..e.clients.len() {
+            out.push(drop_client(e, i));
+        }
+    }
+    for i in 0..e.faults.len() {
+        let mut r = e.clone();
+        r.faults.remove(i);
+        out.push(r);
+    }
+    if e.power_cap_watts.is_some() {
+        let mut r = e.clone();
+        r.power_cap_watts = None;
+        out.push(r);
+    }
+    if e.sharing_overhead != 0.0 {
+        let mut r = e.clone();
+        r.sharing_overhead = 0.0;
+        out.push(r);
+    }
+    for i in 0..e.clients.len() {
+        let c = &e.clients[i];
+        if c.tasks > 1 {
+            let mut r = e.clone();
+            r.clients[i].tasks = 1;
+            out.push(r);
+        }
+        if c.workload.kernels > 1 {
+            let mut r = e.clone();
+            r.clients[i].workload.kernels = 1;
+            out.push(r);
+        }
+        if c.arrival != 0.0 {
+            let mut r = e.clone();
+            r.clients[i].arrival = 0.0;
+            out.push(r);
+        }
+        if c.workload.duration > 0.2 {
+            let mut r = e.clone();
+            r.clients[i].workload.duration = (c.workload.duration / 2.0).max(0.1);
+            out.push(r);
+        }
+        if c.workload.memory_mib > 128 {
+            let mut r = e.clone();
+            r.clients[i].workload.memory_mib = 128;
+            out.push(r);
+        }
+        if c.workload.cache_sensitivity != 0.0 || c.workload.client_sensitivity != 0.0 {
+            let mut r = e.clone();
+            r.clients[i].workload.cache_sensitivity = 0.0;
+            r.clients[i].workload.client_sensitivity = 0.0;
+            out.push(r);
+        }
+    }
+    out
+}
+
+fn online_candidates(o: &OnlineScenario) -> Vec<OnlineScenario> {
+    let mut out = Vec::new();
+    if o.workflows.len() > 1 {
+        for i in 0..o.workflows.len() {
+            let mut r = o.clone();
+            r.workflows.remove(i);
+            out.push(r);
+        }
+    }
+    if o.fault.is_some() {
+        let mut r = o.clone();
+        r.fault = None;
+        out.push(r);
+    }
+    for i in 0..o.workflows.len() {
+        let w = &o.workflows[i];
+        if w.iterations > 1 {
+            let mut r = o.clone();
+            r.workflows[i].iterations = 1;
+            out.push(r);
+        }
+        if w.arrival != 0.0 {
+            let mut r = o.clone();
+            r.workflows[i].arrival = 0.0;
+            out.push(r);
+        }
+        if w.size > 1.0 {
+            let mut r = o.clone();
+            r.workflows[i].size = 1.0;
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ClientSpec, FaultPoint, RunSpec};
+    use mpshare_workloads::SyntheticSpec;
+
+    fn big_scenario() -> Scenario {
+        Scenario {
+            seed: 1,
+            name: "test/big".into(),
+            expected_digest: None,
+            run: RunSpec::Engine(EngineScenario {
+                clients: (0..4)
+                    .map(|i| ClientSpec {
+                        id: format!("c{i}"),
+                        arrival: 0.5 * i as f64,
+                        tasks: 3,
+                        workload: SyntheticSpec::light(),
+                    })
+                    .collect(),
+                mechanism: MechanismSpec::Mps {
+                    partitions: vec![0.25; 4],
+                },
+                sharing_overhead: 0.01,
+                power_cap_watts: Some(200.0),
+                faults: vec![
+                    FaultPoint { at: 1.0, client: 2 },
+                    FaultPoint { at: 2.0, client: 0 },
+                ],
+            }),
+        }
+    }
+
+    /// Predicate: "client c2 exists with ≥ 1 task" — the shrinker must
+    /// strip everything not needed to keep it true, including the other
+    /// clients, both faults, the power cap, and the overhead.
+    #[test]
+    fn shrinks_to_the_minimal_failing_core() {
+        let failing = |s: &Scenario| match &s.run {
+            RunSpec::Engine(e) => e.clients.iter().any(|c| c.id == "c2"),
+            _ => false,
+        };
+        let min = shrink(&big_scenario(), failing);
+        let RunSpec::Engine(e) = &min.run else {
+            panic!("kind changed")
+        };
+        assert_eq!(e.clients.len(), 1, "{min:?}");
+        assert_eq!(e.clients[0].id, "c2");
+        assert_eq!(e.clients[0].tasks, 1);
+        assert_eq!(e.clients[0].workload.kernels, 1);
+        assert_eq!(e.clients[0].arrival, 0.0);
+        assert!(e.faults.is_empty());
+        assert_eq!(e.power_cap_watts, None);
+        assert_eq!(e.sharing_overhead, 0.0);
+        assert_eq!(
+            e.mechanism,
+            MechanismSpec::Mps {
+                partitions: vec![0.25]
+            }
+        );
+        assert!(min.name.ends_with("/shrunk"));
+        // Shrunk scenarios must still be valid, runnable configs.
+        min.validate().unwrap();
+    }
+
+    /// Shrinking a scenario that never fails returns it unchanged.
+    #[test]
+    fn no_failure_means_no_change() {
+        let sc = big_scenario();
+        let out = shrink(&sc, |_| false);
+        assert_eq!(out.run, sc.run);
+    }
+}

@@ -1,0 +1,87 @@
+//! Zoo replay: pinned scenarios under `configs/zoo/` are the fuzzer's
+//! survivors — shrunk repros of past bugs and curated coverage of every
+//! mechanism. Each carries an `expected_digest`; replay fails on any
+//! invariant violation *or* on digest drift, so behaviour changes that
+//! alter simulator output must consciously re-pin the digest.
+
+use crate::oracle::{check_scenario, Violation};
+use crate::scenario::Scenario;
+use mpshare_types::{Error, Result};
+use std::path::{Path, PathBuf};
+
+/// Result of replaying one pinned scenario.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    pub name: String,
+    pub violations: Vec<Violation>,
+    pub digest: String,
+    pub expected_digest: Option<String>,
+}
+
+impl ReplayOutcome {
+    /// Clean: no violations and (when pinned) no digest drift.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+            && self
+                .expected_digest
+                .as_ref()
+                .is_none_or(|want| *want == self.digest)
+    }
+
+    pub fn describe(&self) -> String {
+        if self.is_clean() {
+            format!("{:<28} ok    {}", self.name, self.digest)
+        } else {
+            let mut s = format!("{:<28} FAIL", self.name);
+            if let Some(want) = &self.expected_digest {
+                if *want != self.digest {
+                    s.push_str(&format!(
+                        "\n    digest drift: expected {want}, got {}",
+                        self.digest
+                    ));
+                }
+            }
+            for v in &self.violations {
+                s.push_str(&format!("\n    {}: {}", v.check, v.detail));
+            }
+            s
+        }
+    }
+}
+
+/// Replays one scenario file.
+pub fn replay_file(path: &Path) -> Result<ReplayOutcome> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| Error::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
+    let scenario = Scenario::from_json(&body)?;
+    let report = check_scenario(&scenario)?;
+    Ok(ReplayOutcome {
+        name: scenario.name,
+        violations: report.violations,
+        digest: report.digest,
+        expected_digest: scenario.expected_digest,
+    })
+}
+
+/// Replays every `*.json` in `dir`, sorted by file name (deterministic
+/// order). Errors if the directory is unreadable or holds no scenarios —
+/// an empty zoo almost certainly means a wrong path, and silently
+/// passing would make the gate vacuous.
+pub fn replay_zoo(dir: &Path) -> Result<Vec<(PathBuf, ReplayOutcome)>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| Error::InvalidConfig(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    if files.is_empty() {
+        return Err(Error::InvalidConfig(format!(
+            "zoo {} holds no scenario .json files",
+            dir.display()
+        )));
+    }
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| replay_file(&p).map(|o| (p, o)))
+        .collect()
+}

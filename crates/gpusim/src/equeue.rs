@@ -140,4 +140,77 @@ mod tests {
     fn rejects_non_finite_times() {
         MonotoneEventQueue::new(vec![(f64::NAN, 0)]);
     }
+
+    /// Drains a queue through an interleaved pop/horizon schedule derived
+    /// from the entry times themselves, recording every observable output.
+    /// Clients `>= expire_above` are reported expired to the horizon
+    /// cursor, exercising the skip path.
+    fn observable_drain(
+        entries: &[(f64, usize)],
+        expire_above: usize,
+    ) -> Vec<(Option<usize>, Option<f64>, usize)> {
+        let mut q = MonotoneEventQueue::new(entries.iter().copied());
+        let mut deadlines: Vec<f64> = entries.iter().map(|&(t, _)| t).collect();
+        deadlines.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut out = Vec::new();
+        for &d in &deadlines {
+            loop {
+                let popped = q.pop_armed(d);
+                let horizon = q.next_horizon(d, |c| c >= expire_above);
+                out.push((popped, horizon, q.pending()));
+                if popped.is_none() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Permuting the insertion order of entries — including exact
+    /// duplicates of the same `(time, client)` pair and distinct clients
+    /// tied at the same time — must not change any observable output:
+    /// pop order, horizons, or pending counts. The engine feeds arrivals
+    /// in client-iteration order, so this is the property that keeps a
+    /// `RunResult` independent of how the arrival list was assembled.
+    #[test]
+    fn insertion_order_of_tied_entries_is_irrelevant() {
+        // Multiset with duplicated pairs and cross-client time ties.
+        let base = vec![
+            (1.0, 2),
+            (1.0, 2), // exact duplicate
+            (1.0, 0),
+            (1.0, 7), // tied time, distinct clients
+            (0.5, 3),
+            (0.5, 3), // duplicate again
+            (2.0, 1),
+            (2.0, 1),
+            (2.0, 4),
+            (0.0, 5),
+        ];
+        for expire_above in [usize::MAX, 4] {
+            let reference = observable_drain(&base, expire_above);
+            // Seeded Fisher-Yates shuffles via the same splitmix64 stream
+            // the fault plans use: reproducible, no external RNG.
+            for seed in 0..64u64 {
+                let mut permuted = base.clone();
+                for i in (1..permuted.len()).rev() {
+                    let draw = crate::fault::unit_hash(seed, &[i as u64]);
+                    let j = (draw * (i + 1) as f64) as usize;
+                    permuted.swap(i, j.min(i));
+                }
+                assert_eq!(
+                    observable_drain(&permuted, expire_above),
+                    reference,
+                    "drain diverged for seed {seed}, expire_above {expire_above}"
+                );
+            }
+            // Reversal and rotation, for non-random adversarial orders.
+            let mut reversed = base.clone();
+            reversed.reverse();
+            assert_eq!(observable_drain(&reversed, expire_above), reference);
+            let mut rotated = base.clone();
+            rotated.rotate_left(3);
+            assert_eq!(observable_drain(&rotated, expire_above), reference);
+        }
+    }
 }

@@ -34,6 +34,7 @@ pub mod engine;
 mod equeue;
 pub mod events;
 pub mod fault;
+pub mod invariant;
 pub mod kernel;
 pub mod occupancy;
 pub mod power;

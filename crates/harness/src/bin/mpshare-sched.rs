@@ -137,6 +137,18 @@ fn run(args: Args) -> Result<(), String> {
     if spec.workflows.is_empty() {
         return Err("queue is empty".into());
     }
+    for (i, w) in spec.workflows.iter().enumerate() {
+        w.validate_fields(&format!("workflows[{i}]"))
+            .map_err(|e| e.to_string())?;
+    }
+    for (i, &[before, after]) in spec.dependencies.iter().enumerate() {
+        let n = spec.workflows.len();
+        if before >= n || after >= n {
+            return Err(format!(
+                "dependencies[{i}]: workflow index out of range (queue has {n} workflows)"
+            ));
+        }
+    }
 
     let device = DeviceSpec::a100x();
 

@@ -196,6 +196,7 @@ pub struct GpuRunner {
     device: DeviceSpec,
     sharing_overhead: f64,
     record_events: bool,
+    force_full_resolve: bool,
 }
 
 impl GpuRunner {
@@ -204,6 +205,7 @@ impl GpuRunner {
             device,
             sharing_overhead: 0.0,
             record_events: false,
+            force_full_resolve: false,
         }
     }
 
@@ -211,6 +213,15 @@ impl GpuRunner {
     /// throttle transitions) — needed for kernel-level trace export.
     pub fn with_event_log(mut self, record: bool) -> Self {
         self.record_events = record;
+        self
+    }
+
+    /// Disables the engine's incremental re-solve fast path on every run
+    /// (including each MIG instance engine), forcing a full contention
+    /// solve at every resident-set change. Results are bit-identical with
+    /// the fast path — the fuzz harness runs both and compares.
+    pub fn with_forced_full_resolve(mut self, force: bool) -> Self {
+        self.force_full_resolve = force;
         self
     }
 
@@ -298,6 +309,7 @@ impl GpuRunner {
         let config = EngineConfig::new(self.device.clone(), mode)
             .with_sharing_overhead(self.sharing_overhead)
             .with_event_log(self.record_events)
+            .with_forced_full_resolve(self.force_full_resolve)
             .with_fault_plan(faults);
         let (result, stats) = Engine::new(config, programs)?.run_with_stats()?;
         record_engine_run(mode_label, clients, faults_planned, &result, stats);
@@ -349,6 +361,8 @@ impl GpuRunner {
                 },
             )
             .with_sharing_overhead(self.sharing_overhead)
+            .with_event_log(self.record_events)
+            .with_forced_full_resolve(self.force_full_resolve)
             .with_fault_plan(instance_faults.clone());
             let clients = progs.len();
             let (result, stats) = Engine::new(config, progs)?.run_with_stats()?;
@@ -421,6 +435,42 @@ impl GpuRunner {
                 .expect("finite fault times")
                 .then_with(|| a.origin.cmp(&b.origin))
         });
+        // Merge per-instance event logs, remapping instance-local client
+        // indices (including fault origins in the payload) back to the
+        // original submission indices. A stable sort by time keeps
+        // same-instant events in instance order — deterministic, since
+        // instances are visited in index order.
+        let events = if self.record_events {
+            let mut merged: Vec<mpshare_gpusim::Event> = Vec::new();
+            for (_, result, orig_indices) in &sub_results {
+                for ev in result.events.events() {
+                    let mut ev = ev.clone();
+                    if ev.client != mpshare_gpusim::Event::DEVICE {
+                        ev.client = orig_indices[ev.client];
+                    }
+                    match &mut ev.kind {
+                        mpshare_gpusim::EventKind::ClientFault { origin }
+                        | mpshare_gpusim::EventKind::ServerCrash { origin } => {
+                            *origin = orig_indices[*origin];
+                        }
+                        mpshare_gpusim::EventKind::ContextSwitch { to_client } => {
+                            *to_client = orig_indices[*to_client];
+                        }
+                        _ => {}
+                    }
+                    merged.push(ev);
+                }
+            }
+            merged.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite event times"));
+            let mut log = mpshare_gpusim::EventLog::new();
+            for ev in merged {
+                log.record(ev.at, ev.client, ev.kind);
+            }
+            log
+        } else {
+            mpshare_gpusim::EventLog::default()
+        };
+
         let tasks_failed = sub_results.iter().map(|(_, r, _)| r.tasks_failed).sum();
         let wasted_progress = Seconds::new(
             sub_results
@@ -445,9 +495,7 @@ impl GpuRunner {
             tasks_failed,
             wasted_progress,
             wasted_energy,
-            // Per-instance logs are not merged (their client indices are
-            // instance-local); request traces per instance if needed.
-            events: mpshare_gpusim::EventLog::default(),
+            events,
             completion_order: Vec::new(),
         };
         result.index_completions();
@@ -834,6 +882,67 @@ mod tests {
         assert_eq!(plain.total_energy, faulted.total_energy);
         assert_eq!(plain.clients, faulted.clients);
         assert!(faulted.failures.is_empty());
+    }
+
+    /// Regression (fuzz-found): `with_event_log` used to be silently
+    /// ignored under MIG — instance engines never recorded, and the merged
+    /// result hardcoded an empty log. The merged log must carry every
+    /// instance's events with client indices remapped to submission order.
+    #[test]
+    fn mig_merges_instance_event_logs() {
+        let runner = GpuRunner::new(dev()).with_event_log(true);
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::FourSlice]).unwrap();
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(0.5), 1);
+        let r = runner
+            .run_with_faults(
+                &GpuSharing::Mig {
+                    layout,
+                    // Client 1 is alone on instance 0; clients 0 and 2
+                    // share instance 1.
+                    assignment: vec![1, 0, 1],
+                },
+                vec![
+                    program("a", 0, 1.0, 0.3),
+                    program("b", 1, 2.0, 0.3),
+                    program("c", 2, 1.0, 0.3),
+                ],
+                &faults,
+            )
+            .unwrap();
+        assert!(!r.events.is_empty(), "merged MIG log must not be empty");
+        // Every submitted client appears in the log under its original
+        // index, and no instance-local index leaks through.
+        for client in 0..3 {
+            assert!(
+                r.events.for_client(client).count() > 0,
+                "client {client} missing from merged log"
+            );
+        }
+        // The fault hit client 1; its ClientFault event must carry the
+        // remapped origin.
+        let fault_events: Vec<_> = r
+            .events
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, mpshare_gpusim::EventKind::ClientFault { .. }))
+            .collect();
+        assert_eq!(fault_events.len(), 1);
+        assert_eq!(fault_events[0].client, 1);
+        assert!(
+            matches!(
+                fault_events[0].kind,
+                mpshare_gpusim::EventKind::ClientFault { origin: 1 }
+            ),
+            "{:?}",
+            fault_events[0].kind
+        );
+        // Time never rewinds in the merged log.
+        let times: Vec<f64> = r.events.events().iter().map(|e| e.at.value()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // And the merged result still satisfies every engine invariant.
+        assert_eq!(r.invariant_violations(Some(3)), Vec::<String>::new());
     }
 
     #[test]

@@ -61,6 +61,52 @@ impl SyntheticSpec {
         }
     }
 
+    /// Checks every field against its documented range, returning an
+    /// error that names the offending field. Deserialized specs bypass
+    /// the constructors' range asserts, so config loaders call this
+    /// before a bad value can panic (or silently misbehave) deep in the
+    /// engine. `ctx` prefixes the error, e.g. `"workflows[2].entries[0]"`.
+    pub fn validate_fields(&self, ctx: &str) -> Result<()> {
+        let in_range = |field: &str, value: f64, lo: f64, hi: f64| -> Result<()> {
+            if !value.is_finite() || value < lo || value > hi {
+                return Err(mpshare_types::Error::InvalidConfig(format!(
+                    "{ctx}: {field} must be finite in [{lo}, {hi}], got {value}"
+                )));
+            }
+            Ok(())
+        };
+        in_range("sm_demand", self.sm_demand, 0.0, 1.0)?;
+        in_range("bw_demand", self.bw_demand, 0.0, 1.0)?;
+        in_range("duty_cycle", self.duty_cycle, 0.0, 1.0)?;
+        if self.duty_cycle == 0.0 {
+            return Err(mpshare_types::Error::InvalidConfig(format!(
+                "{ctx}: duty_cycle must be positive"
+            )));
+        }
+        if !self.duration.is_finite() || self.duration <= 0.0 {
+            return Err(mpshare_types::Error::InvalidConfig(format!(
+                "{ctx}: duration must be finite and positive, got {}",
+                self.duration
+            )));
+        }
+        if self.kernels == 0 {
+            return Err(mpshare_types::Error::InvalidConfig(format!(
+                "{ctx}: kernels must be at least 1"
+            )));
+        }
+        for (field, value) in [
+            ("cache_sensitivity", self.cache_sensitivity),
+            ("client_sensitivity", self.client_sensitivity),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(mpshare_types::Error::InvalidConfig(format!(
+                    "{ctx}: {field} must be finite and non-negative, got {value}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Builds the spec into a single-task client program.
     pub fn to_task(&self, device: &DeviceSpec, id: TaskId) -> Result<TaskProgram> {
         let busy = self.duration * self.duty_cycle;

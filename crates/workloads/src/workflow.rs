@@ -150,6 +150,47 @@ impl WorkflowSpec {
         WorkflowSpec { entries }
     }
 
+    /// Validates a deserialized workflow before it reaches the profiler
+    /// or the engine. `#[serde(transparent)]` problem sizes and plain
+    /// floats bypass the constructors' range asserts at parse time, so a
+    /// queue loader calls this to reject zero/negative sizes, zero
+    /// iteration counts, and non-finite values with an error naming the
+    /// offending field. `ctx` prefixes the error, e.g. `"workflows[2]"`.
+    pub fn validate_fields(&self, ctx: &str) -> Result<()> {
+        if self.entries.is_empty() {
+            return Err(mpshare_types::Error::InvalidConfig(format!(
+                "{ctx}: entries must not be empty"
+            )));
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            let ectx = format!("{ctx}.entries[{i}]");
+            if entry.iterations == 0 {
+                return Err(mpshare_types::Error::InvalidConfig(format!(
+                    "{ectx}: iterations must be at least 1"
+                )));
+            }
+            match &entry.source {
+                TaskSource::Benchmark { size, .. } => {
+                    let factor = size.factor();
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(mpshare_types::Error::InvalidConfig(format!(
+                            "{ectx}: size must be a finite factor ≥ 1, got {factor}"
+                        )));
+                    }
+                }
+                TaskSource::Custom { name, spec } => {
+                    if name.is_empty() {
+                        return Err(mpshare_types::Error::InvalidConfig(format!(
+                            "{ectx}: name must not be empty"
+                        )));
+                    }
+                    spec.validate_fields(&ectx)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// A workflow of `iterations` runs of a single benchmark.
     pub fn uniform(kind: BenchmarkKind, size: ProblemSize, iterations: usize) -> Self {
         WorkflowSpec::new(vec![WorkflowTask::new(kind, size, iterations)])

@@ -64,6 +64,7 @@
 //! ```
 
 pub use mpshare_core as core;
+pub use mpshare_fuzz as fuzz;
 pub use mpshare_gpusim as gpusim;
 pub use mpshare_harness as harness;
 pub use mpshare_mps as mps;

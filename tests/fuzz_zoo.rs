@@ -1,0 +1,67 @@
+//! Zoo regression gate as a tier-1 test: every pinned scenario under
+//! `configs/zoo/` must replay with zero invariant violations and its
+//! exact pinned output digest. The zoo holds shrunk repros of past bugs
+//! (e.g. `mig-fault.json`, which caught MIG dropping its per-instance
+//! event logs on merge) plus curated coverage of every sharing
+//! mechanism, memory pressure, tight power caps, and online fault
+//! recovery — so this test is the replay half of the fuzz harness, with
+//! `mpshare-fuzz run` as the exploration half.
+
+use mpshare::fuzz::{check_scenario, replay_zoo, Scenario};
+use std::path::Path;
+
+fn zoo_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("configs/zoo")
+}
+
+#[test]
+fn every_zoo_scenario_replays_clean_with_pinned_digest() {
+    let outcomes = replay_zoo(&zoo_dir()).expect("zoo directory replays");
+    assert!(
+        outcomes.len() >= 10,
+        "zoo shrank to {} scenarios",
+        outcomes.len()
+    );
+    for (path, outcome) in &outcomes {
+        assert!(
+            outcome.is_clean(),
+            "{}:\n{}",
+            path.display(),
+            outcome.describe()
+        );
+        assert!(
+            outcome.expected_digest.is_some(),
+            "{}: zoo scenarios must pin a digest",
+            path.display()
+        );
+    }
+}
+
+/// The zoo must keep covering the mechanism space — a curation mistake
+/// that drops (say) the only MIG scenario would silently weaken the
+/// gate.
+#[test]
+fn zoo_covers_every_mechanism_and_the_online_path() {
+    let outcomes = replay_zoo(&zoo_dir()).expect("zoo directory replays");
+    let names: Vec<&str> = outcomes.iter().map(|(_, o)| o.name.as_str()).collect();
+    for needle in ["mps", "mig", "ts", "seq", "streams", "online"] {
+        assert!(
+            names.iter().any(|n| n.contains(needle)),
+            "no zoo scenario covers {needle:?}: {names:?}"
+        );
+    }
+}
+
+/// Digest pinning detects drift: flipping a pinned digest must make the
+/// replay report unclean (this is what failing `make fuzz-smoke` after a
+/// behaviour change looks like).
+#[test]
+fn digest_drift_is_detected() {
+    let (path, _) = &replay_zoo(&zoo_dir()).expect("zoo directory replays")[0];
+    let body = std::fs::read_to_string(path).unwrap();
+    let mut scenario = Scenario::from_json(&body).unwrap();
+    scenario.expected_digest = Some("0000000000000000".into());
+    let report = check_scenario(&scenario).unwrap();
+    assert!(report.violations.is_empty());
+    assert_ne!(report.digest, "0000000000000000");
+}
