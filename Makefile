@@ -6,12 +6,12 @@
 
 CARGO ?= cargo
 
-.PHONY: check build test test-all fmt clippy bench bench-gate fault-smoke trace-smoke fuzz-smoke clean
+.PHONY: check build test test-all fmt clippy alloc-gate bench bench-gate fault-smoke trace-smoke fuzz-smoke clean
 
 # The full tier-1 gate: release build, tests, formatting, lints, the
-# fault-, trace-, and fuzz-determinism smoke runs, and the bench
-# regression gate.
-check: build test fmt clippy fault-smoke trace-smoke fuzz-smoke bench-gate
+# allocation gate, the fault-, trace-, and fuzz-determinism smoke runs,
+# and the bench regression gate.
+check: build test fmt clippy alloc-gate fault-smoke trace-smoke fuzz-smoke bench-gate
 
 # --workspace so member binaries (mpshare-repro, mpshare-sched,
 # mpshare-fuzz, bench_gate) exist for the smoke gates below even from a
@@ -32,6 +32,15 @@ fmt:
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# Allocation gate (tests/alloc_gate.rs): a counting global allocator
+# proves the steady-state engine contract (zero heap allocations per
+# `step()` with recycled scratch) and the warm-planner bound (a warm
+# `plan_warm` call allocates no more than the cold `plan` it replaces).
+# Release mode is required: debug builds run the engine's self-checking
+# cross-validation paths, which allocate by design.
+alloc-gate:
+	$(CARGO) test -q --release --test alloc_gate
 
 # Engine + plan-search hot-path benchmarks; per-scenario medians (ns) are
 # written to BENCH_engine.json by the vendored criterion stand-in. A prior

@@ -9,13 +9,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mpshare_core::{
-    anneal, workflow_profile, AnnealConfig, MetricPriority, Planner, PlannerStrategy,
-    WorkflowProfile,
+    anneal, workflow_profile, AnnealConfig, MetricPriority, PlanWarmState, Planner,
+    PlannerStrategy, WorkflowProfile,
 };
-use mpshare_gpusim::contention::Contender;
 use mpshare_gpusim::{
-    ClientProgram, ContentionSolver, DeviceSpec, Engine, EngineConfig, KernelSpec, LaunchConfig,
-    SharingMode, TaskProgram,
+    ClientProgram, ContentionSolver, DeviceSpec, Engine, EngineConfig, EngineScratch, KernelSpec,
+    LaunchConfig, PreparedContender, SharingMode, SolveScratch, TaskProgram, ValidatedPrograms,
 };
 use mpshare_profiler::ProfileStore;
 use mpshare_types::{Fraction, MemBytes, Seconds, TaskId};
@@ -49,14 +48,23 @@ fn bench_solver(c: &mut Criterion) {
         let kernels: Vec<KernelSpec> = (0..n).map(|_| kernel(&device, 1.0)).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &kernels, |b, kernels| {
-            let contenders: Vec<Contender<'_>> = kernels
+            // Measure the engine's actual hot path: prepared contenders,
+            // recycled scratch, allocation-free output buffer. One
+            // unmeasured call grows the scratch to full size so the loop
+            // never pays first-iteration growth (the old `solve` form's
+            // per-call Vec churn showed up as a 4x max/median outlier at
+            // n = 48).
+            let prepared: Vec<PreparedContender> = kernels
                 .iter()
-                .map(|k| Contender {
-                    kernel: k,
-                    partition: Fraction::ONE,
-                })
+                .map(|k| solver.prepare(k, Fraction::ONE))
                 .collect();
-            b.iter(|| black_box(solver.solve(&contenders)))
+            let mut scratch = SolveScratch::with_capacity(prepared.len());
+            let mut out = Vec::with_capacity(prepared.len());
+            solver.solve_prepared_into(&prepared, &mut scratch, &mut out);
+            b.iter(|| {
+                solver.solve_prepared_into(&prepared, &mut scratch, &mut out);
+                black_box(out.last());
+            })
         });
     }
     group.finish();
@@ -72,13 +80,30 @@ fn bench_engine(c: &mut Criterion) {
             BenchmarkId::new("mps_clients", clients),
             &clients,
             |b, &clients| {
+                // Steady-state replay form: the roster is validated once
+                // and round-trips through every run together with the
+                // engine scratch — after the first iteration the
+                // simulation itself allocates nothing (pinned by
+                // tests/alloc_gate.rs) and no per-run clone or
+                // re-validation is measured.
+                let programs: Vec<ClientProgram> = (0..clients)
+                    .map(|i| client(&device, i as u64, kernels_per_client))
+                    .collect();
+                let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
+                let mut roster = Some(ValidatedPrograms::new(&device, programs).unwrap());
+                let mut scratch = EngineScratch::new();
                 b.iter(|| {
-                    let programs: Vec<ClientProgram> = (0..clients)
-                        .map(|i| client(&device, i as u64, kernels_per_client))
-                        .collect();
-                    let config =
-                        EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
-                    black_box(Engine::new(config, programs).unwrap().run().unwrap())
+                    let engine = Engine::new_prevalidated(
+                        config.clone(),
+                        roster.take().unwrap(),
+                        std::mem::take(&mut scratch),
+                    )
+                    .unwrap();
+                    let (result, _stats, recycled_roster, recycled) =
+                        engine.run_recycling().unwrap();
+                    roster = Some(recycled_roster);
+                    scratch = recycled;
+                    black_box(result.makespan);
                 })
             },
         );
@@ -117,12 +142,23 @@ fn bench_engine_gap_heavy(c: &mut Criterion) {
         BenchmarkId::new("mps_clients", clients),
         &clients,
         |b, &clients| {
+            let programs: Vec<ClientProgram> = (0..clients)
+                .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
+                .collect();
+            let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
+            let mut roster = Some(ValidatedPrograms::new(&device, programs).unwrap());
+            let mut scratch = EngineScratch::new();
             b.iter(|| {
-                let programs: Vec<ClientProgram> = (0..clients)
-                    .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
-                    .collect();
-                let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients));
-                black_box(Engine::new(config, programs).unwrap().run().unwrap())
+                let engine = Engine::new_prevalidated(
+                    config.clone(),
+                    roster.take().unwrap(),
+                    std::mem::take(&mut scratch),
+                )
+                .unwrap();
+                let (result, _stats, recycled_roster, recycled) = engine.run_recycling().unwrap();
+                roster = Some(recycled_roster);
+                scratch = recycled;
+                black_box(result.makespan);
             })
         },
     );
@@ -133,13 +169,24 @@ fn bench_engine_gap_heavy(c: &mut Criterion) {
         BenchmarkId::new("full_resolve", clients),
         &clients,
         |b, &clients| {
+            let programs: Vec<ClientProgram> = (0..clients)
+                .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
+                .collect();
+            let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients))
+                .with_forced_full_resolve(true);
+            let mut roster = Some(ValidatedPrograms::new(&device, programs).unwrap());
+            let mut scratch = EngineScratch::new();
             b.iter(|| {
-                let programs: Vec<ClientProgram> = (0..clients)
-                    .map(|i| gap_heavy_client(&device, i as u64, kernels_per_client))
-                    .collect();
-                let config = EngineConfig::new(device.clone(), SharingMode::mps_uniform(clients))
-                    .with_forced_full_resolve(true);
-                black_box(Engine::new(config, programs).unwrap().run().unwrap())
+                let engine = Engine::new_prevalidated(
+                    config.clone(),
+                    roster.take().unwrap(),
+                    std::mem::take(&mut scratch),
+                )
+                .unwrap();
+                let (result, _stats, recycled_roster, recycled) = engine.run_recycling().unwrap();
+                roster = Some(recycled_roster);
+                scratch = recycled;
+                black_box(result.makespan);
             })
         },
     );
@@ -226,6 +273,71 @@ fn bench_plan_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm-started replanning: the online scheduler's steady-state loop,
+/// where consecutive exhaustive planning calls see queues differing by
+/// one dispatch (leave) and/or one arrival (join).
+fn bench_warm_planner(c: &mut Criterion) {
+    let device = DeviceSpec::a100x();
+    let planner = Planner::new(device.clone(), MetricPriority::balanced_product());
+    let mut group = c.benchmark_group("planner/warm");
+
+    let pool = profiled_queue(&device, 42, 16);
+    let n = 10usize;
+
+    // Same queue replanned with carried state: every estimate is a memo
+    // hit and the previous plan seeds the branch-and-bound's incumbent
+    // floor. The spread against planner/search/exhaustive_n10 is the
+    // warm-start win on an unchanged queue.
+    let profiles10: Vec<WorkflowProfile> = pool[..n].to_vec();
+    let ids10: Vec<u64> = (0..n as u64).collect();
+    let mut steady = PlanWarmState::new();
+    planner
+        .plan_warm(
+            &profiles10,
+            &ids10,
+            PlannerStrategy::Exhaustive,
+            &mut steady,
+        )
+        .unwrap();
+    group.bench_function("warm_vs_cold_n10", |b| {
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan_warm(
+                        &profiles10,
+                        &ids10,
+                        PlannerStrategy::Exhaustive,
+                        &mut steady,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Rolling churn: every call drops the queue front (dispatched) and
+    // appends a fresh arrival, so each iteration pays a memo translation
+    // plus the floor-seeded re-search — the full online replan cost.
+    let mut queue: Vec<(u64, WorkflowProfile)> =
+        (0..n).map(|i| (i as u64, pool[i].clone())).collect();
+    let mut next_id = n as u64;
+    let mut churn = PlanWarmState::new();
+    group.bench_function("online_churn_replan", |b| {
+        b.iter(|| {
+            queue.remove(0);
+            queue.push((next_id, pool[next_id as usize % pool.len()].clone()));
+            next_id += 1;
+            let profiles: Vec<WorkflowProfile> = queue.iter().map(|(_, p)| p.clone()).collect();
+            let ids: Vec<u64> = queue.iter().map(|(id, _)| *id).collect();
+            black_box(
+                planner
+                    .plan_warm(&profiles, &ids, PlannerStrategy::Exhaustive, &mut churn)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// The observability overhead gate: the same runner-level MPS workload
 /// (the layer carrying the obs instrumentation — engine stats, counters,
 /// daemon events) with the global recorder off and on. The `_disabled`
@@ -265,6 +377,7 @@ criterion_group!(
     bench_engine,
     bench_engine_gap_heavy,
     bench_plan_search,
+    bench_warm_planner,
     bench_recorder_overhead
 );
 criterion_main!(benches);

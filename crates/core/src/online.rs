@@ -14,7 +14,7 @@
 //! arrival processes.
 
 use crate::executor::{Executor, ExecutorConfig, RunOutcome};
-use crate::planner::{PlanGroup, Planner, PlannerStrategy, SchedulePlan};
+use crate::planner::{PlanGroup, PlanWarmState, Planner, PlannerStrategy, SchedulePlan};
 use crate::wprofile::{workflow_profile, WorkflowProfile};
 use mpshare_gpusim::{unit_hash, DeviceSpec, FaultPlan};
 use mpshare_profiler::ProfileStore;
@@ -233,6 +233,11 @@ impl OnlineScheduler {
         let mut retries = 0usize;
         let mut fault_count = 0usize;
         let mut wasted_energy = Energy::ZERO;
+        // Planner state carried across free points: consecutive pending
+        // sets usually differ by one dispatch (leave) and/or one arrival,
+        // exactly the diff `plan_warm` exploits. Arrival indices are the
+        // stable ids.
+        let mut warm = PlanWarmState::new();
 
         loop {
             // Pending = arrived (or requeued past its backoff), not yet
@@ -269,7 +274,13 @@ impl OnlineScheduler {
                     // Plan the pending set and dispatch its first group.
                     let pending_profiles: Vec<WorkflowProfile> =
                         pending.iter().map(|&i| profiles[i].clone()).collect();
-                    let plan = self.planner.plan(&pending_profiles, self.strategy)?;
+                    let pending_ids: Vec<u64> = pending.iter().map(|&i| i as u64).collect();
+                    let plan = self.planner.plan_warm(
+                        &pending_profiles,
+                        &pending_ids,
+                        self.strategy,
+                        &mut warm,
+                    )?;
                     let group = first_group(&plan)?;
                     // Map local plan indices back to arrival indices.
                     PlanGroup {

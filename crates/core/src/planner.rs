@@ -128,6 +128,84 @@ pub enum PlannerStrategy {
     Exhaustive,
 }
 
+/// Carried planner state between successive [`Planner::plan_warm`] calls
+/// over an evolving workflow queue: the previous queue's stable ids, the
+/// estimate memo keyed against its positions, and the previous plan's
+/// member lists. One value per online-scheduling run; [`PlanWarmState::reset`]
+/// (or any non-incremental queue change) drops everything and the next
+/// call plans cold.
+#[derive(Debug, Default)]
+pub struct PlanWarmState {
+    /// Stable workflow ids of the previous call's queue, in queue order.
+    prev_ids: Vec<u64>,
+    /// Estimate memo keyed by the previous queue's positions; translated
+    /// to the new positions on each warm hit.
+    memo: EstimateMemo,
+    /// The previous plan's member lists (previous queue positions).
+    prev_groups: Option<Vec<Vec<usize>>>,
+    /// Warm-start hits taken so far (mirrors the obs counter, for tests).
+    warm_hits: u64,
+}
+
+impl PlanWarmState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all carried state: the next [`Planner::plan_warm`] call
+    /// plans cold.
+    pub fn reset(&mut self) {
+        self.prev_ids.clear();
+        self.memo = EstimateMemo::new();
+        self.prev_groups = None;
+    }
+
+    /// Number of calls that warm-started (diffed as ≤ 1 leave + ≤ 1 join).
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+}
+
+/// Diffs two id queues as `new = old − (≤ 1 departure) + (≤ 1 arrival)`
+/// with the survivors' relative order preserved. Returns
+/// `Some((leave, join))` — the departed id's position in `old` and the
+/// arrival's position in `new` — or `None` when the queues differ by more
+/// than that (bulk change or reordering → plan cold).
+fn warm_diff(old: &[u64], new: &[u64]) -> Option<(Option<usize>, Option<usize>)> {
+    /// Position whose removal from `longer` yields `shorter`
+    /// (`longer.len() == shorter.len() + 1`), preferring the earliest.
+    fn one_removed(longer: &[u64], shorter: &[u64]) -> Option<usize> {
+        let p = longer
+            .iter()
+            .zip(shorter.iter())
+            .position(|(a, b)| a != b)
+            .unwrap_or(shorter.len());
+        (longer[p + 1..] == shorter[p..]).then_some(p)
+    }
+    match (old.len() as i64) - (new.len() as i64) {
+        0 => match old.iter().zip(new.iter()).position(|(a, b)| a != b) {
+            None => Some((None, None)),
+            Some(p) => {
+                // One out, one in, same length: the first mismatch is
+                // either the departure's old position or the arrival's
+                // new position — try it as the departure first (the
+                // leave-then-join reading), then as the arrival.
+                let mut shrunk = old.to_vec();
+                shrunk.remove(p);
+                if let Some(j) = one_removed(new, &shrunk) {
+                    return Some((Some(p), Some(j)));
+                }
+                let mut shrunk = new.to_vec();
+                shrunk.remove(p);
+                one_removed(old, &shrunk).map(|k| (Some(k), Some(p)))
+            }
+        },
+        1 => one_removed(old, new).map(|k| (Some(k), None)),
+        -1 => one_removed(new, old).map(|j| (None, Some(j))),
+        _ => None,
+    }
+}
+
 /// The collocation planner.
 #[derive(Debug, Clone)]
 pub struct Planner {
@@ -136,6 +214,7 @@ pub struct Planner {
     partition_strategy: PartitionStrategy,
     sharing_overhead: f64,
     exhaustive_pruning: bool,
+    force_cold_start: bool,
 }
 
 impl Planner {
@@ -146,6 +225,7 @@ impl Planner {
             partition_strategy: PartitionStrategy::default_saturation_aware(),
             sharing_overhead: 0.0,
             exhaustive_pruning: true,
+            force_cold_start: false,
         }
     }
 
@@ -167,6 +247,15 @@ impl Planner {
     /// property test compares against.
     pub fn with_exhaustive_pruning(mut self, enabled: bool) -> Self {
         self.exhaustive_pruning = enabled;
+        self
+    }
+
+    /// Forces [`Planner::plan_warm`] to ignore (and reset) any carried
+    /// warm-start state, planning every call cold. The escape hatch for
+    /// proving warm == cold: the fuzz oracle and the equivalence property
+    /// tests run both ways and require bit-identical plans.
+    pub fn with_forced_cold_start(mut self, enabled: bool) -> Self {
+        self.force_cold_start = enabled;
         self
     }
 
@@ -202,34 +291,164 @@ impl Planner {
         }
         Self::validate_profiles(profiles)?;
         mpshare_obs::counter_add(mpshare_obs::names::PLAN_CALLS, 1);
-        let plan = match strategy {
-            PlannerStrategy::Greedy => self.plan_greedy(profiles, &EstimateMemo::new())?,
-            PlannerStrategy::BestFit => self.plan_bestfit(profiles, &EstimateMemo::new())?,
+        let plan = self.plan_with_memo(profiles, strategy, &EstimateMemo::new(), None)?;
+        plan.validate(&self.device, profiles)?;
+        self.emit_plan_obs(strategy, &plan, profiles);
+        Ok(plan)
+    }
+
+    /// Plans like [`Planner::plan`], warm-starting from the previous
+    /// call's carried state when the queue changed by at most one
+    /// departure and one arrival.
+    ///
+    /// `ids` gives a stable identity per queue position (parallel to
+    /// `profiles`): a workflow keeps its id as the queue evolves, letting
+    /// the planner diff consecutive queues. When the diff is a single
+    /// join/leave with relative order preserved, the previous call's
+    /// estimate memo is translated to the new positions — so the search
+    /// re-derives nothing it already knows — and, under
+    /// [`PlannerStrategy::Exhaustive`], the previous plan re-enters as the
+    /// branch-and-bound's incumbent floor, mirroring the engine's
+    /// join/leave splice. Anything else (first call, bulk change,
+    /// reordering, or [`Planner::with_forced_cold_start`]) resets the
+    /// state and plans cold.
+    ///
+    /// The returned plan is bit-identical to [`Planner::plan`] on the same
+    /// queue: a translated memo hit returns exactly the value the
+    /// identical estimate call computes (estimates depend only on the
+    /// member profiles in order, which the id diff preserves), and the
+    /// incumbent floor is the largest float strictly below the score of an
+    /// enumerable leaf, so the branch-and-bound still returns the first
+    /// leaf attaining the maximal score (see DESIGN.md §11; pinned by the
+    /// `warm_equivalence` property tests and the fuzz oracle).
+    pub fn plan_warm(
+        &self,
+        profiles: &[WorkflowProfile],
+        ids: &[u64],
+        strategy: PlannerStrategy,
+        state: &mut PlanWarmState,
+    ) -> Result<SchedulePlan> {
+        if profiles.len() != ids.len() {
+            return Err(Error::InvalidConfig(format!(
+                "{} ids for {} profiles",
+                ids.len(),
+                profiles.len()
+            )));
+        }
+        if profiles.is_empty() {
+            return Err(Error::InvalidConfig("empty workflow queue".into()));
+        }
+        Self::validate_profiles(profiles)?;
+        mpshare_obs::counter_add(mpshare_obs::names::PLAN_CALLS, 1);
+
+        let diff = if self.force_cold_start || state.prev_ids.is_empty() {
+            None
+        } else {
+            warm_diff(&state.prev_ids, ids)
+        };
+        let prev_groups = match diff {
+            Some((leave, join)) => {
+                let remap = move |p: usize| -> Option<usize> {
+                    let shrunk = match leave {
+                        Some(k) if p == k => return None,
+                        Some(k) if p > k => p - 1,
+                        _ => p,
+                    };
+                    Some(match join {
+                        Some(j) if shrunk >= j => shrunk + 1,
+                        _ => shrunk,
+                    })
+                };
+                if leave.is_some() || join.is_some() {
+                    state.memo = state.memo.translated(remap);
+                }
+                state.warm_hits += 1;
+                mpshare_obs::counter_add(mpshare_obs::names::PLAN_WARM_START_HITS, 1);
+                state.prev_groups.take().map(|groups| {
+                    let mut translated: Vec<Vec<usize>> = groups
+                        .iter()
+                        .map(|g| g.iter().filter_map(|&m| remap(m)).collect::<Vec<usize>>())
+                        .filter(|g| !g.is_empty())
+                        .collect();
+                    if let Some(j) = join {
+                        // The arrival was in no previous group; as its own
+                        // singleton the translated plan is a full partition
+                        // of the new queue again.
+                        translated.push(vec![j]);
+                    }
+                    translated
+                })
+            }
+            None => {
+                state.reset();
+                None
+            }
+        };
+
+        let plan = self.plan_with_memo(profiles, strategy, &state.memo, prev_groups.as_deref())?;
+        plan.validate(&self.device, profiles)?;
+        self.emit_plan_obs(strategy, &plan, profiles);
+        state.prev_ids.clear();
+        state.prev_ids.extend_from_slice(ids);
+        state.prev_groups = Some(
+            plan.groups
+                .iter()
+                .map(|g| g.workflow_indices.clone())
+                .collect(),
+        );
+        Ok(plan)
+    }
+
+    /// Strategy dispatch over an explicit memo (empty for cold calls,
+    /// translated for warm ones) and, for the exhaustive search, the
+    /// previous plan's translated member lists to seed the incumbent.
+    fn plan_with_memo(
+        &self,
+        profiles: &[WorkflowProfile],
+        strategy: PlannerStrategy,
+        memo: &EstimateMemo,
+        prev_groups: Option<&[Vec<usize>]>,
+    ) -> Result<SchedulePlan> {
+        match strategy {
+            PlannerStrategy::Greedy => self.plan_greedy(profiles, memo),
+            PlannerStrategy::BestFit => self.plan_bestfit(profiles, memo),
             PlannerStrategy::Auto => {
                 // One memo spans both legs: the cap sweeps re-try many of
                 // the same groups, and the final comparison scores are all
                 // hits.
-                let memo = EstimateMemo::new();
                 let (greedy, bestfit) = mpshare_par::join(
-                    || self.plan_greedy(profiles, &memo),
-                    || self.plan_bestfit(profiles, &memo),
+                    || self.plan_greedy(profiles, memo),
+                    || self.plan_bestfit(profiles, memo),
                 );
                 let (greedy, bestfit) = (greedy?, bestfit?);
-                if self.score_plan_memo(&bestfit, profiles, &memo)
-                    > self.score_plan_memo(&greedy, profiles, &memo)
-                {
-                    bestfit
-                } else {
-                    greedy
-                }
+                Ok(
+                    if self.score_plan_memo(&bestfit, profiles, memo)
+                        > self.score_plan_memo(&greedy, profiles, memo)
+                    {
+                        bestfit
+                    } else {
+                        greedy
+                    },
+                )
             }
-            PlannerStrategy::Exhaustive => self.plan_exhaustive(profiles)?,
-        };
-        plan.validate(&self.device, profiles)?;
+            PlannerStrategy::Exhaustive => {
+                let floor =
+                    prev_groups.and_then(|groups| self.exhaustive_floor(groups, profiles, memo));
+                self.plan_exhaustive(profiles, memo, floor)
+            }
+        }
+    }
+
+    fn emit_plan_obs(
+        &self,
+        strategy: PlannerStrategy,
+        plan: &SchedulePlan,
+        profiles: &[WorkflowProfile],
+    ) {
         if mpshare_obs::enabled() {
             let (workflows, groups, cardinality) =
                 (profiles.len(), plan.groups.len(), plan.max_cardinality());
-            let score = self.score_plan(&plan, profiles);
+            let score = self.score_plan(plan, profiles);
             mpshare_obs::emit(mpshare_obs::Track::Planner, "plan", None, None, || {
                 serde_json::json!({
                     "strategy": format!("{strategy:?}"),
@@ -240,7 +459,6 @@ impl Planner {
                 })
             });
         }
-        Ok(plan)
     }
 
     /// Rejects profiles the packing heuristics cannot order: non-finite or
@@ -588,7 +806,12 @@ impl Planner {
     /// strictly-greater incumbent rule are those of the brute force, so
     /// the returned plan is identical ([`Planner::with_exhaustive_pruning`]
     /// switches back to the plain enumeration).
-    fn plan_exhaustive(&self, profiles: &[WorkflowProfile]) -> Result<SchedulePlan> {
+    fn plan_exhaustive(
+        &self,
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+        floor: Option<f64>,
+    ) -> Result<SchedulePlan> {
         const MAX_N: usize = 12;
         // 4 fixed positions → 15 independent sub-enumerations (Bell(4)).
         const PREFIX_LEN: usize = 4;
@@ -607,7 +830,6 @@ impl Planner {
         });
 
         let seq = Self::sequential_baseline(profiles);
-        let memo = EstimateMemo::new();
         let bound = if self.exhaustive_pruning {
             self.exhaustive_bound(profiles, &seq)
         } else {
@@ -618,18 +840,28 @@ impl Planner {
                 self.exhaustive_worker_pruned(
                     profiles,
                     &seq,
-                    &memo,
+                    memo,
                     bound.as_ref(),
+                    floor,
                     prefix,
                     *max_used,
                 )
             } else {
-                self.exhaustive_worker_brute(profiles, &seq, &memo, prefix, *max_used)
+                self.exhaustive_worker_brute(profiles, &seq, memo, prefix, *max_used)
             }
         });
 
-        let groups = Self::first_best(local_bests.into_iter().flatten())
-            .ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
+        // Drop sentinel incumbents (a warm floor that no leaf in that
+        // worker's sub-tree beat): the floor is strictly below an
+        // enumerable leaf's score, so such workers cannot hold the
+        // overall winner and the first-best reduction is unchanged.
+        let groups = Self::first_best(
+            local_bests
+                .into_iter()
+                .flatten()
+                .filter(|(_, groups)| !groups.is_empty()),
+        )
+        .ok_or_else(|| Error::PlanViolation("no feasible partition exists".into()))?;
         Ok(self.materialize(&groups, profiles))
     }
 
@@ -701,12 +933,14 @@ impl Planner {
     /// grows down-tree, so every pruned leaf would have early-returned)
     /// and, when `bound` is available, admissible score-bound pruning
     /// against the worker-local incumbent.
+    #[allow(clippy::too_many_arguments)]
     fn exhaustive_worker_pruned(
         &self,
         profiles: &[WorkflowProfile],
         seq: &GroupEstimate,
         memo: &EstimateMemo,
         bound: Option<&ExhaustiveBound>,
+        floor: Option<f64>,
         prefix: &[usize],
         prefix_max: usize,
     ) -> Option<(f64, Vec<Vec<usize>>)> {
@@ -722,7 +956,10 @@ impl Planner {
             group_mem: Vec::new(),
             group_ms: Vec::new(),
             group_en: Vec::new(),
-            best: None,
+            // A warm floor enters as a sentinel incumbent (empty member
+            // lists): leaves must *strictly* beat it to be recorded, which
+            // prunes exactly the sub-trees that cannot contain the winner.
+            best: floor.map(|f| (f, Vec::new())),
             n,
         };
         // Seed the fixed prefix positions. A hard-constraint violation
@@ -903,6 +1140,70 @@ impl Planner {
             energy += e.energy.joules();
         }
         self.score_totals(seq, makespan, energy)
+    }
+
+    /// Computes the warm incumbent floor for the exhaustive search: the
+    /// largest float strictly below the score of the previous plan's
+    /// translated partition, or `None` when that partition is not a
+    /// feasible enumerable leaf of the new queue (so no floor can be
+    /// proven) or pruning is off (no incumbent seeding without pruning).
+    ///
+    /// Why the floor preserves bit-identity: the seeded partition is
+    /// itself an enumerable leaf scoring `s0 > floor`, so the true maximum
+    /// is `≥ s0 > floor`. A worker whose local best never strictly exceeds
+    /// the floor therefore cannot contain the overall winner; dropping its
+    /// sentinel leaves the first-best reduction's result unchanged, and a
+    /// worker that does beat the floor records the same first strictly
+    /// greatest leaf it would have found cold.
+    fn exhaustive_floor(
+        &self,
+        prev_groups: &[Vec<usize>],
+        profiles: &[WorkflowProfile],
+        memo: &EstimateMemo,
+    ) -> Option<f64> {
+        if !self.exhaustive_pruning {
+            return None;
+        }
+        let n = profiles.len();
+        let mut covered = vec![false; n];
+        let mut canonical: Vec<Vec<usize>> = Vec::with_capacity(prev_groups.len());
+        for group in prev_groups {
+            if group.is_empty() || group.len() > self.device.max_mps_clients {
+                return None;
+            }
+            let mut members = group.clone();
+            members.sort_unstable();
+            for &i in &members {
+                if i >= n || covered[i] {
+                    return None;
+                }
+                covered[i] = true;
+            }
+            let mem: mpshare_types::MemBytes =
+                members.iter().map(|&i| profiles[i].max_memory).sum();
+            if mem > self.device.memory_capacity {
+                return None;
+            }
+            canonical.push(members);
+        }
+        if !covered.iter().all(|&c| c) {
+            return None;
+        }
+        // Leaf order: the restricted-growth enumeration assigns group ids
+        // by first appearance, so a leaf's groups sort by minimal member
+        // and each group's members ascend. Scoring in exactly that order
+        // makes `s0` the leaf's bit-exact score.
+        canonical.sort_unstable_by_key(|g| g[0]);
+        let seq = Self::sequential_baseline(profiles);
+        let s0 =
+            self.score_member_lists(canonical.iter().map(|g| g.as_slice()), profiles, &seq, memo);
+        if s0 > 0.0 && s0.is_finite() {
+            // Largest float strictly below a positive finite s0
+            // (`f64::next_down`, spelled out for the pinned toolchain).
+            Some(f64::from_bits(s0.to_bits() - 1))
+        } else {
+            None
+        }
     }
 }
 
@@ -1144,6 +1445,36 @@ mod tests {
 
     fn planner(priority: MetricPriority) -> Planner {
         Planner::new(dev(), priority)
+    }
+
+    #[test]
+    fn warm_diff_detects_single_changes() {
+        // Unchanged queue.
+        assert_eq!(warm_diff(&[1, 2, 3], &[1, 2, 3]), Some((None, None)));
+        // Single departures: front, middle, back.
+        assert_eq!(warm_diff(&[1, 2, 3], &[2, 3]), Some((Some(0), None)));
+        assert_eq!(warm_diff(&[1, 2, 3], &[1, 3]), Some((Some(1), None)));
+        assert_eq!(warm_diff(&[1, 2, 3], &[1, 2]), Some((Some(2), None)));
+        // Single arrivals: front, middle, back.
+        assert_eq!(warm_diff(&[2, 3], &[1, 2, 3]), Some((None, Some(0))));
+        assert_eq!(warm_diff(&[1, 3], &[1, 2, 3]), Some((None, Some(1))));
+        assert_eq!(warm_diff(&[1, 2], &[1, 2, 3]), Some((None, Some(2))));
+        // Leave + join at the same length.
+        assert_eq!(warm_diff(&[1, 2, 3], &[2, 3, 4]), Some((Some(0), Some(2))));
+        assert_eq!(warm_diff(&[1, 2, 3], &[4, 1, 2]), Some((Some(2), Some(0))));
+        assert_eq!(warm_diff(&[1, 2, 3], &[1, 4, 3]), Some((Some(1), Some(1))));
+        // Singleton handoff is still one out, one in.
+        assert_eq!(warm_diff(&[7], &[9]), Some((Some(0), Some(0))));
+    }
+
+    #[test]
+    fn warm_diff_rejects_bulk_changes() {
+        // Two departures, two arrivals, or a reorder → cold.
+        assert_eq!(warm_diff(&[1, 2, 3, 4], &[1, 4]), None);
+        assert_eq!(warm_diff(&[1, 2], &[1, 2, 3, 4]), None);
+        assert_eq!(warm_diff(&[1, 2, 3], &[3, 2, 1]), None);
+        assert_eq!(warm_diff(&[1, 2, 3], &[2, 1, 4]), None);
+        assert_eq!(warm_diff(&[1, 2], &[3, 4]), None);
     }
 
     #[test]

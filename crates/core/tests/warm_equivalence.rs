@@ -1,0 +1,266 @@
+//! Property tests pinning the warm-started planner to the cold one:
+//! over an evolving queue (arbitrary joins, leaves, and churn), every
+//! `plan_warm` call must return a plan bit-identical to `plan` on the
+//! same queue — same groups, same member order, same partition bits.
+
+use mpshare_core::{
+    MetricPriority, PlanWarmState, Planner, PlannerStrategy, SchedulePlan, WorkflowProfile,
+};
+use mpshare_gpusim::DeviceSpec;
+use mpshare_types::{Energy, Fraction, MemBytes, Percent, Power, Seconds};
+use proptest::prelude::*;
+
+fn device() -> DeviceSpec {
+    DeviceSpec::a100x()
+}
+
+fn profile_strategy() -> impl Strategy<Value = WorkflowProfile> {
+    (
+        1.0f64..=99.0,  // sm
+        0.0f64..=60.0,  // bw
+        1u64..=70,      // memory GiB
+        1.0f64..=500.0, // duration
+        0.2f64..=1.0,   // busy fraction
+        0.1f64..=1.0,   // saturation partition
+        1usize..=20,    // tasks
+    )
+        .prop_map(|(sm, bw, mem, duration, busy, saturation, tasks)| {
+            let power = 75.0 + 1.75 * sm + bw;
+            WorkflowProfile {
+                label: format!("wf(sm={sm:.0})"),
+                task_count: tasks,
+                avg_sm_util: Percent::new(sm),
+                avg_bw_util: Percent::new(bw),
+                max_memory: MemBytes::from_gib(mem),
+                duration: Seconds::new(duration),
+                energy: Energy::from_joules(power * duration),
+                avg_power: Power::from_watts(power),
+                busy_fraction: busy,
+                saturation_partition: Fraction::new(saturation),
+            }
+        })
+}
+
+/// One queue mutation between planning calls.
+#[derive(Debug, Clone)]
+enum Churn {
+    /// Remove the workflow at (current-length-modulo) position.
+    Leave(usize),
+    /// Insert a fresh workflow at (current-length-modulo) position.
+    Join(usize, WorkflowProfile),
+    /// Leave then join — the richest diff `plan_warm` still warm-starts.
+    Swap(usize, usize, WorkflowProfile),
+    /// Replace most of the queue: forces a cold re-plan mid-sequence.
+    Bulk(Vec<WorkflowProfile>),
+}
+
+fn churn_strategy() -> impl Strategy<Value = Churn> {
+    (
+        0usize..9, // weighted selector: 3 leave, 3 join, 2 swap, 1 bulk
+        0usize..8,
+        0usize..8,
+        profile_strategy(),
+        prop::collection::vec(profile_strategy(), 1..5),
+    )
+        .prop_map(|(pick, a, b, p, bulk)| match pick {
+            0..=2 => Churn::Leave(a),
+            3..=5 => Churn::Join(a, p),
+            6..=7 => Churn::Swap(a, b, p),
+            _ => Churn::Bulk(bulk),
+        })
+}
+
+/// Bit-level plan equality: group structure, member order, partition bits.
+fn assert_plans_identical(warm: &SchedulePlan, cold: &SchedulePlan) -> Result<(), TestCaseError> {
+    prop_assert_eq!(warm.groups.len(), cold.groups.len(), "group count");
+    for (w, c) in warm.groups.iter().zip(cold.groups.iter()) {
+        prop_assert_eq!(&w.workflow_indices, &c.workflow_indices);
+        prop_assert_eq!(w.partitions.len(), c.partitions.len());
+        for (wp, cp) in w.partitions.iter().zip(c.partitions.iter()) {
+            prop_assert_eq!(
+                wp.value().to_bits(),
+                cp.value().to_bits(),
+                "partition bits {} vs {}",
+                wp.value(),
+                cp.value()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Applies one churn step to the queue, keeping ids stable and unique.
+fn apply(queue: &mut Vec<(u64, WorkflowProfile)>, next_id: &mut u64, step: &Churn) {
+    match step {
+        Churn::Leave(at) => {
+            if queue.len() > 1 {
+                let at = at % queue.len();
+                queue.remove(at);
+            }
+        }
+        Churn::Join(at, p) => {
+            let at = at % (queue.len() + 1);
+            queue.insert(at, (*next_id, p.clone()));
+            *next_id += 1;
+        }
+        Churn::Swap(out, into, p) => {
+            if queue.len() > 1 {
+                let out = out % queue.len();
+                queue.remove(out);
+            }
+            let into = into % (queue.len() + 1);
+            queue.insert(into, (*next_id, p.clone()));
+            *next_id += 1;
+        }
+        Churn::Bulk(profiles) => {
+            queue.clear();
+            for p in profiles {
+                queue.push((*next_id, p.clone()));
+                *next_id += 1;
+            }
+        }
+    }
+}
+
+fn run_equivalence(
+    initial: Vec<WorkflowProfile>,
+    churns: Vec<Churn>,
+    strategy: PlannerStrategy,
+    cap: usize,
+) -> Result<(), TestCaseError> {
+    let d = device();
+    let planner = Planner::new(d.clone(), MetricPriority::balanced_product());
+    let mut warm = PlanWarmState::new();
+    let mut next_id = 0u64;
+    let mut queue: Vec<(u64, WorkflowProfile)> = initial
+        .into_iter()
+        .map(|p| {
+            let id = next_id;
+            next_id += 1;
+            (id, p)
+        })
+        .collect();
+
+    for step in std::iter::once(None).chain(churns.iter().map(Some)) {
+        if let Some(step) = step {
+            apply(&mut queue, &mut next_id, step);
+        }
+        queue.truncate(cap); // keep exhaustive runs tractable
+        let profiles: Vec<WorkflowProfile> = queue.iter().map(|(_, p)| p.clone()).collect();
+        let ids: Vec<u64> = queue.iter().map(|(id, _)| *id).collect();
+        let warm_plan = planner
+            .plan_warm(&profiles, &ids, strategy, &mut warm)
+            .unwrap();
+        let cold_plan = planner.plan(&profiles, strategy).unwrap();
+        assert_plans_identical(&warm_plan, &cold_plan)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustive: the warm incumbent floor and the translated memo must
+    /// not change which leaf the branch-and-bound returns.
+    #[test]
+    fn warm_exhaustive_matches_cold(
+        initial in prop::collection::vec(profile_strategy(), 2..6),
+        churns in prop::collection::vec(churn_strategy(), 1..6),
+    ) {
+        run_equivalence(initial, churns, PlannerStrategy::Exhaustive, 7)?;
+    }
+
+    /// Auto (greedy ∥ best-fit with a shared memo): translated memo hits
+    /// must be bit-identical to fresh estimates.
+    #[test]
+    fn warm_auto_matches_cold(
+        initial in prop::collection::vec(profile_strategy(), 2..8),
+        churns in prop::collection::vec(churn_strategy(), 1..8),
+    ) {
+        run_equivalence(initial, churns, PlannerStrategy::Auto, 12)?;
+    }
+
+    /// Forced cold start is a true escape hatch: state never accumulates
+    /// and every call matches plain `plan`.
+    #[test]
+    fn forced_cold_start_never_warm_starts(
+        initial in prop::collection::vec(profile_strategy(), 2..5),
+        churns in prop::collection::vec(churn_strategy(), 1..4),
+    ) {
+        let d = device();
+        let planner = Planner::new(d.clone(), MetricPriority::balanced_product())
+            .with_forced_cold_start(true);
+        let mut warm = PlanWarmState::new();
+        let mut next_id = 0u64;
+        let mut queue: Vec<(u64, WorkflowProfile)> = Vec::new();
+        for p in initial {
+            queue.push((next_id, p));
+            next_id += 1;
+        }
+        for step in &churns {
+            apply(&mut queue, &mut next_id, step);
+            queue.truncate(6);
+            let profiles: Vec<WorkflowProfile> = queue.iter().map(|(_, p)| p.clone()).collect();
+            let ids: Vec<u64> = queue.iter().map(|(id, _)| *id).collect();
+            let warm_plan = planner
+                .plan_warm(&profiles, &ids, PlannerStrategy::Exhaustive, &mut warm)
+                .unwrap();
+            let cold_plan = planner.plan(&profiles, PlannerStrategy::Exhaustive).unwrap();
+            assert_plans_identical(&warm_plan, &cold_plan)?;
+        }
+        prop_assert_eq!(warm.warm_hits(), 0);
+    }
+}
+
+/// A steady join/leave drip must actually take the warm path (the whole
+/// point), not silently fall back to cold every call.
+#[test]
+fn steady_churn_takes_warm_path() {
+    let d = device();
+    let planner = Planner::new(d, MetricPriority::balanced_product());
+    let mut warm = PlanWarmState::new();
+    let base: Vec<WorkflowProfile> = (0..5)
+        .map(|i| WorkflowProfile {
+            label: format!("wf{i}"),
+            task_count: 4,
+            avg_sm_util: Percent::new(20.0 + 10.0 * i as f64),
+            avg_bw_util: Percent::new(10.0),
+            max_memory: MemBytes::from_gib(8),
+            duration: Seconds::new(100.0),
+            energy: Energy::from_joules(250.0 * 100.0),
+            avg_power: Power::from_watts(250.0),
+            busy_fraction: 0.8,
+            saturation_partition: Fraction::new(0.5),
+        })
+        .collect();
+
+    let mut queue: Vec<(u64, WorkflowProfile)> = base
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p))
+        .collect();
+    let first_fresh_id = queue.len() as u64;
+    let mut calls = 0u64;
+    for round in 0..6 {
+        let profiles: Vec<WorkflowProfile> = queue.iter().map(|(_, p)| p.clone()).collect();
+        let ids: Vec<u64> = queue.iter().map(|(id, _)| *id).collect();
+        let warm_plan = planner
+            .plan_warm(&profiles, &ids, PlannerStrategy::Exhaustive, &mut warm)
+            .unwrap();
+        let cold_plan = planner
+            .plan(&profiles, PlannerStrategy::Exhaustive)
+            .unwrap();
+        assert_eq!(warm_plan.groups.len(), cold_plan.groups.len());
+        calls += 1;
+        // Front leaves, a fresh workflow joins at the back: the canonical
+        // online-scheduler shape.
+        queue.remove(0);
+        queue.push((
+            first_fresh_id + round as u64,
+            base[round % base.len()].clone(),
+        ));
+    }
+    // Every call after the first diffs as one leave + one join.
+    assert_eq!(warm.warm_hits(), calls - 1);
+}

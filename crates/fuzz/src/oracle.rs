@@ -332,10 +332,10 @@ fn check_online(sc: &OnlineScenario) -> Result<OracleReport> {
         StrategyChoice::BestFit => PlannerStrategy::BestFit,
         StrategyChoice::Auto => PlannerStrategy::Auto,
     };
-    let run_once = || -> Result<OnlineOutcome> {
+    let run_once = |force_cold: bool| -> Result<OnlineOutcome> {
         let scheduler = OnlineScheduler::new(
             ExecutorConfig::new(device.clone()),
-            Planner::new(device.clone(), priority),
+            Planner::new(device.clone(), priority).with_forced_cold_start(force_cold),
             strategy,
         );
         match &sc.fault {
@@ -349,7 +349,7 @@ fn check_online(sc: &OnlineScenario) -> Result<OracleReport> {
         }
     };
 
-    let outcome = run_once()?;
+    let outcome = run_once(false)?;
     let mut violations = Vec::new();
     let total_tasks = sc.total_tasks();
 
@@ -449,12 +449,25 @@ fn check_online(sc: &OnlineScenario) -> Result<OracleReport> {
     // byte-identically (planner, dispatcher, and fault draws are all
     // seeded and order-free).
     let canon = serde_json::to_string(&outcome).expect("outcome serializes");
-    let second = run_once()?;
+    let second = run_once(false)?;
     let canon2 = serde_json::to_string(&second).expect("outcome serializes");
     if canon != canon2 {
         violations.push(Violation::new(
             "determinism",
             "two identical online runs produced different outcomes".to_string(),
+        ));
+    }
+
+    // Warm-vs-cold planner equivalence: the scheduler replans with
+    // warm-started state carried across free points; forcing every
+    // planning call cold through the planner's escape hatch must yield a
+    // byte-identical outcome, or the warm path changed a decision.
+    let cold = run_once(true)?;
+    let canon_cold = serde_json::to_string(&cold).expect("outcome serializes");
+    if canon != canon_cold {
+        violations.push(Violation::new(
+            "warm_cold",
+            "warm-started online run diverged from the forced-cold run".to_string(),
         ));
     }
 

@@ -126,6 +126,39 @@ pub struct SolveScratch {
     valid: bool,
 }
 
+impl SolveScratch {
+    /// A scratch with every internal vector pre-sized for `n` contenders,
+    /// so no solve up to that membership ever grows a buffer. The engine
+    /// sizes its scratch to the client count at construction; benchmarks
+    /// size theirs outside the measured loop.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut scratch = SolveScratch::default();
+        scratch.reserve(n);
+        scratch
+    }
+
+    /// Ensures capacity for `n` contenders (see [`SolveScratch::with_capacity`]).
+    pub fn reserve(&mut self, n: usize) {
+        self.r1.reserve(n);
+        self.r2.reserve(n);
+        self.wanted.reserve(n);
+        self.granted.reserve(n);
+        self.order.reserve(n);
+        self.bw_used.reserve(n);
+        self.sm_prefix.reserve(n + 1);
+        self.wanted_prefix.reserve(n + 1);
+        self.bw_prefix.reserve(n + 1);
+    }
+
+    /// Marks the scratch as holding no previous solution, so the next
+    /// incremental join/leave falls back to a full solve. Called when a
+    /// recycled scratch moves to a new engine: the new run must not splice
+    /// into the previous run's prefix sums.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
+
 /// Stateless solver; holds the device and the device-level sharing overhead.
 #[derive(Debug, Clone)]
 pub struct ContentionSolver {
@@ -238,17 +271,58 @@ impl ContentionSolver {
             total_sm_demand += p.sm_demand * p.speed_cap;
             scratch.sm_prefix.push(total_sm_demand);
         }
-        let compute_scale = if total_sm_demand > 1.0 {
-            1.0 / total_sm_demand
-        } else {
-            1.0
-        };
+
+        if total_sm_demand <= 1.0 {
+            // Fast path: `compute_scale == 1.0` exactly, so
+            // `r1 = speed_cap·1.0 = speed_cap` bit for bit. One fused,
+            // branch-free pass over dense slots computes r1, the wanted
+            // bandwidth, and its running fold (same `acc + term` chain the
+            // multi-pass pipeline executed, so every value is identical).
+            scratch.r1.clear();
+            scratch.wanted.clear();
+            scratch.wanted_prefix.clear();
+            scratch.wanted_prefix.push(0.0);
+            let mut total_wanted = 0.0;
+            for p in prepared {
+                let r = p.speed_cap;
+                let w = p.bw_demand * r;
+                scratch.r1.push(r);
+                scratch.wanted.push(w);
+                total_wanted += w;
+                scratch.wanted_prefix.push(total_wanted);
+            }
+            if total_wanted <= 1.0 {
+                // No water-fill either: `granted == wanted` makes
+                // `r2 = r1·(g/w).min(1) = r1·1.0 = r1` exact (x/x == 1.0
+                // for any finite non-zero x, and w == 0 keeps r2 = r1), and
+                // `bw_used = bw_demand·r2 = bw_demand·r1 = wanted` is the
+                // same multiplication of the same operands. The per-element
+                // branch of the historical r2 pass collapses to copies.
+                scratch.granted.clear();
+                scratch.granted.extend_from_slice(&scratch.wanted);
+                scratch.r2.clear();
+                scratch.r2.extend_from_slice(&scratch.r1);
+                scratch.bw_used.clear();
+                scratch.bw_used.extend_from_slice(&scratch.wanted);
+                scratch.bw_prefix.clear();
+                scratch.bw_prefix.extend_from_slice(&scratch.wanted_prefix);
+                self.finish_solve(prepared, total_wanted, &scratch.bw_used, &scratch.r2, out);
+                scratch.scaled = false;
+                scratch.bw_constrained = false;
+                scratch.valid = true;
+                return;
+            }
+            // Bandwidth-constrained tail (r1/wanted already computed).
+            self.solve_constrained_tail(prepared, total_wanted, false, scratch, out);
+            return;
+        }
+
+        // SM-oversubscribed path: every r1 carries the proportional scale.
+        let compute_scale = 1.0 / total_sm_demand;
         scratch.r1.clear();
         scratch
             .r1
             .extend(prepared.iter().map(|p| p.speed_cap * compute_scale));
-
-        // Step 3: max-min fair bandwidth. wanted_i = bw_demand_i · r1_i.
         scratch.wanted.clear();
         scratch.wanted.extend(
             prepared
@@ -263,6 +337,21 @@ impl ContentionSolver {
             total_wanted += *w;
             scratch.wanted_prefix.push(total_wanted);
         }
+        self.solve_constrained_tail(prepared, total_wanted, true, scratch, out);
+    }
+
+    /// Steps 3–4 for solves that left the fused fast path: max-min
+    /// bandwidth water-fill, the historical per-element r2 pass, the
+    /// used-bandwidth fold, and the shared pressure pass. Verbatim the
+    /// tail of the historical single-function pipeline.
+    fn solve_constrained_tail(
+        &self,
+        prepared: &[PreparedContender],
+        total_wanted: f64,
+        scaled: bool,
+        scratch: &mut SolveScratch,
+        out: &mut Vec<Allocation>,
+    ) {
         let bw_constrained = max_min_share_with_total(
             &scratch.wanted,
             total_wanted,
@@ -287,8 +376,6 @@ impl ContentionSolver {
                 ),
         );
 
-        // Step 4: cache/sharing pressure. Pressure on kernel i is the BW
-        // consumption of everyone else plus a flat per-co-runner term.
         scratch.bw_used.clear();
         scratch.bw_used.extend(
             prepared
@@ -305,7 +392,7 @@ impl ContentionSolver {
         }
 
         self.finish_solve(prepared, total_bw_used, &scratch.bw_used, &scratch.r2, out);
-        scratch.scaled = total_sm_demand > 1.0;
+        scratch.scaled = scaled;
         scratch.bw_constrained = bw_constrained;
         scratch.valid = true;
     }
@@ -474,18 +561,23 @@ impl ContentionSolver {
     ) {
         let n = prepared.len();
         out.clear();
+        // Loop-invariant per-co-runner terms, hoisted: the per-element
+        // arithmetic below multiplies/adds the same values in the same
+        // order as the historical in-loop computation.
+        let corunners = if self.same_process {
+            0.0
+        } else {
+            (n as f64 - 1.0).max(0.0)
+        };
+        let capped_corunners = corunners.min(CLIENT_PRESSURE_CAP);
+        let overhead_term = self.sharing_overhead * corunners;
         for (i, p) in prepared.iter().enumerate() {
             let own_bw = bw_used[i];
             let other_pressure = (total_bw_used - own_bw).max(0.0);
-            let corunners = if self.same_process {
-                0.0
-            } else {
-                (n as f64 - 1.0).max(0.0)
-            };
             let slowdown = 1.0
                 + p.cache_sensitivity * other_pressure
-                + p.client_sensitivity * corunners.min(CLIENT_PRESSURE_CAP)
-                + self.sharing_overhead * corunners;
+                + p.client_sensitivity * capped_corunners
+                + overhead_term;
             let rate = r2[i] / slowdown;
             let sm_share = p.sm_demand * r2[i];
             let bw_share = p.bw_demand * rate;

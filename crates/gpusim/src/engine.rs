@@ -26,7 +26,7 @@ use crate::equeue::MonotoneEventQueue;
 use crate::events::{Event, EventKind, EventLog};
 use crate::fault::{FaultPlan, FaultRecord, FaultScope, FaultSpec};
 use crate::power::{PowerModel, PowerState};
-use crate::program::ClientProgram;
+use crate::program::{ClientProgram, ValidatedPrograms};
 use crate::telemetry::{Segment, Telemetry};
 use mpshare_types::{Energy, Error, Fraction, MemBytes, Result, Seconds, TaskId};
 use serde::{Deserialize, Serialize};
@@ -295,18 +295,22 @@ impl RunResult {
 /// Progress-resolution epsilon: counters within this of zero are complete.
 const EPS: f64 = 1e-9;
 
-#[derive(Debug, Clone, PartialEq)]
+/// Per-client lifecycle phase. Pure tag — the associated countdowns live
+/// in dense arrays ([`ClientColumns::run_rem`] for running kernels, the
+/// engine's `timer_rem` for setup/gap timers), so phase dispatch never
+/// touches a payload and the hot loops iterate plain `f64` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Process not yet arrived (or not yet eligible under Sequential).
     Pending,
     /// Blocked waiting for device memory for the current task.
     WaitingMemory,
-    /// Host-side setup of the current task; `remaining` seconds left.
-    Setup { remaining: f64 },
-    /// Current kernel resident on the GPU; `remaining` solo-seconds left.
-    Running { remaining: f64 },
-    /// Host-side gap after a kernel; `remaining` seconds left.
-    Gap { remaining: f64 },
+    /// Host-side setup of the current task (countdown in `timer_rem`).
+    Setup,
+    /// Current kernel resident on the GPU (solo-seconds in `run_rem`).
+    Running,
+    /// Host-side gap after a kernel (countdown in `timer_rem`).
+    Gap,
     /// All tasks finished.
     Done,
     /// Aborted by an injected fault; terminal like `Done`, but the
@@ -314,62 +318,142 @@ enum Phase {
     Failed,
 }
 
-#[derive(Debug)]
-struct ClientState {
-    program: ClientProgram,
-    task_idx: usize,
-    kernel_idx: usize,
-    phase: Phase,
-    held_memory: MemBytes,
-    started: Option<Seconds>,
-    finished: Option<Seconds>,
-    gpu_progress: f64,
-    completions: Vec<TaskCompletion>,
-    /// Invariant solve inputs of the current kernel, computed once when it
-    /// starts (valid only while `phase` is `Running`).
-    prepared: Option<PreparedContender>,
-    /// GPU progress on the current (uncompleted) task; reset when the
-    /// task completes, harvested as wasted work on abort.
-    task_progress: f64,
-    /// Dynamic energy attributed to the current task (same lifecycle).
-    task_dyn_energy: f64,
-    /// Total dynamic energy attributed to this client over the run.
-    dyn_energy: f64,
-    /// Wasted work harvested at abort time.
-    wasted_progress: f64,
-    wasted_energy: f64,
-    failed: bool,
+impl Phase {
+    /// Terminal either way: completed all tasks or aborted by a fault.
+    #[inline]
+    fn is_terminated(self) -> bool {
+        matches!(self, Phase::Done | Phase::Failed)
+    }
 }
 
-impl ClientState {
-    fn new(program: ClientProgram) -> Self {
-        ClientState {
-            program,
-            task_idx: 0,
-            kernel_idx: 0,
-            phase: Phase::Pending,
-            held_memory: MemBytes::ZERO,
-            started: None,
-            finished: None,
-            gpu_progress: 0.0,
-            completions: Vec::new(),
-            prepared: None,
-            task_progress: 0.0,
-            task_dyn_energy: 0.0,
-            dyn_energy: 0.0,
-            wasted_progress: 0.0,
-            wasted_energy: 0.0,
-            failed: false,
+/// Placeholder for slots whose client has no kernel resident. Never read:
+/// `prepared` is consulted only for clients in `Phase::Running`, and every
+/// kernel start overwrites its slot.
+const IDLE_PREPARED: PreparedContender = PreparedContender {
+    speed_cap: 0.0,
+    sm_demand: 0.0,
+    bw_demand: 0.0,
+    cache_sensitivity: 0.0,
+    client_sensitivity: 0.0,
+    power_scale: 0.0,
+};
+
+/// Structure-of-arrays per-client state (DESIGN.md §11).
+///
+/// The engine's hot loops (the event-horizon scan, the progress/energy
+/// application, the timer decrement) each touch one or two scalar fields
+/// of every client per event. Flattening the former per-client struct
+/// into dense slot-indexed columns means those loops stream contiguous
+/// `f64` arrays instead of striding across ~200-byte records, and the
+/// columns are recycled across runs through [`EngineScratch`] so a
+/// steady-state [`Engine::step`] allocates nothing (pinned by
+/// `tests/alloc_gate.rs`).
+#[derive(Debug, Default)]
+struct ClientColumns {
+    phase: Vec<Phase>,
+    task_idx: Vec<usize>,
+    kernel_idx: Vec<usize>,
+    /// Solo-seconds left of the current kernel (valid while `Running`).
+    run_rem: Vec<f64>,
+    held_memory: Vec<MemBytes>,
+    started: Vec<Option<Seconds>>,
+    finished: Vec<Option<Seconds>>,
+    /// Integrated GPU progress time (Σ rate·dt over the client's kernels).
+    gpu_progress: Vec<f64>,
+    /// GPU progress on the current (uncompleted) task; reset when the
+    /// task completes, harvested as wasted work on abort.
+    task_progress: Vec<f64>,
+    /// Dynamic energy attributed to the current task (same lifecycle).
+    task_dyn_energy: Vec<f64>,
+    /// Total dynamic energy attributed to the client over the run.
+    dyn_energy: Vec<f64>,
+    /// Wasted work harvested at abort time.
+    wasted_progress: Vec<f64>,
+    wasted_energy: Vec<f64>,
+    failed: Vec<bool>,
+    /// Invariant solve inputs of the current kernel, computed once when it
+    /// starts (valid only while the client is `Running`).
+    prepared: Vec<PreparedContender>,
+    completions: Vec<Vec<TaskCompletion>>,
+}
+
+impl ClientColumns {
+    /// Resets every column to the initial state for `n` clients, keeping
+    /// allocated capacity from a previous run.
+    fn reset(&mut self, n: usize) {
+        self.phase.clear();
+        self.phase.resize(n, Phase::Pending);
+        self.task_idx.clear();
+        self.task_idx.resize(n, 0);
+        self.kernel_idx.clear();
+        self.kernel_idx.resize(n, 0);
+        self.run_rem.clear();
+        self.run_rem.resize(n, 0.0);
+        self.held_memory.clear();
+        self.held_memory.resize(n, MemBytes::ZERO);
+        self.started.clear();
+        self.started.resize(n, None);
+        self.finished.clear();
+        self.finished.resize(n, None);
+        self.gpu_progress.clear();
+        self.gpu_progress.resize(n, 0.0);
+        self.task_progress.clear();
+        self.task_progress.resize(n, 0.0);
+        self.task_dyn_energy.clear();
+        self.task_dyn_energy.resize(n, 0.0);
+        self.dyn_energy.clear();
+        self.dyn_energy.resize(n, 0.0);
+        self.wasted_progress.clear();
+        self.wasted_progress.resize(n, 0.0);
+        self.wasted_energy.clear();
+        self.wasted_energy.resize(n, 0.0);
+        self.failed.clear();
+        self.failed.resize(n, false);
+        self.prepared.clear();
+        self.prepared.resize(n, IDLE_PREPARED);
+        for c in &mut self.completions {
+            c.clear();
         }
+        self.completions.resize_with(n, Vec::new);
     }
+}
 
-    /// Terminal either way: completed all tasks or aborted by a fault.
-    fn is_terminated(&self) -> bool {
-        matches!(self.phase, Phase::Done | Phase::Failed)
-    }
+/// Reusable engine buffers, recycled across runs.
+///
+/// [`Engine::new_reusing`] moves these buffers into the engine (clearing
+/// and re-sizing them for the new client roster) and
+/// [`Engine::run_reusing`] hands them back when the run completes, so a
+/// sweep or benchmark that simulates many rosters back to back performs
+/// no per-run buffer allocation beyond the results it keeps
+/// ([`RunResult`] owns its telemetry, completions and failures). A
+/// default-constructed scratch is empty; `Engine::new` is
+/// `new_reusing` with one.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    cols: ClientColumns,
+    memory_waiters: Vec<usize>,
+    agenda: Vec<usize>,
+    agenda_flag: Vec<bool>,
+    pass_scratch: Vec<usize>,
+    running_set: Vec<usize>,
+    timer_set: Vec<usize>,
+    timer_pos: Vec<usize>,
+    timer_rem: Vec<f64>,
+    solved_scheduled: Vec<usize>,
+    solved_rates: Vec<f64>,
+    solved_dyn_powers: Vec<f64>,
+    prepared_scratch: Vec<PreparedContender>,
+    allocations_scratch: Vec<Allocation>,
+    solve_scratch: SolveScratch,
+    /// Telemetry segment count of the previous run; the next engine
+    /// pre-reserves this many so an identical (or smaller) run never
+    /// grows the telemetry vector mid-steady-state.
+    segments_hint: usize,
+}
 
-    fn is_running(&self) -> bool {
-        matches!(self.phase, Phase::Running { .. })
+impl EngineScratch {
+    pub fn new() -> Self {
+        EngineScratch::default()
     }
 }
 
@@ -379,7 +463,10 @@ pub struct Engine {
     config: EngineConfig,
     solver: ContentionSolver,
     power: PowerModel,
-    clients: Vec<ClientState>,
+    /// Read-only client programs, indexed like every column.
+    programs: Vec<ClientProgram>,
+    /// Dense slot-indexed per-client state (SoA; see [`ClientColumns`]).
+    cols: ClientColumns,
     free_memory: MemBytes,
     /// FIFO of clients blocked on memory, in blocking order.
     memory_waiters: Vec<usize>,
@@ -434,9 +521,7 @@ pub struct Engine {
     timer_pos: Vec<usize>,
     /// Authoritative countdowns for `timer_set` (parallel array). Kept
     /// dense so the per-event min scan and lockstep decrement touch
-    /// contiguous memory instead of one `ClientState` per timer. While a
-    /// client is in the set, the `remaining` stored in its `Phase` is the
-    /// value at insertion and is not decremented.
+    /// contiguous memory instead of one record per timer.
     timer_rem: Vec<f64>,
     /// Count of clients in a terminal phase (replaces the per-event
     /// all-clients scan).
@@ -498,10 +583,52 @@ impl Engine {
     /// against the device, the partition list length, and the MPS client
     /// limit.
     pub fn new(config: EngineConfig, programs: Vec<ClientProgram>) -> Result<Self> {
+        Self::new_reusing(config, programs, EngineScratch::default())
+    }
+
+    /// [`Engine::new`] with recycled buffers from a previous run (see
+    /// [`EngineScratch`]). Behaviour is bit-identical to a fresh engine:
+    /// every buffer is cleared and re-initialized; only capacity survives.
+    pub fn new_reusing(
+        config: EngineConfig,
+        programs: Vec<ClientProgram>,
+        scratch: EngineScratch,
+    ) -> Result<Self> {
         let device = config.device.clone().validated()?;
         for p in &programs {
             p.validate(&device)?;
         }
+        Self::build(config, device, programs, scratch)
+    }
+
+    /// [`Engine::new_reusing`] for a roster validated ahead of time (see
+    /// [`ValidatedPrograms`]): skips the per-kernel validation walk, which
+    /// dominates construction for large rosters. The roster must have been
+    /// validated against this config's device — a mismatch is an error, not
+    /// a silent trust.
+    pub fn new_prevalidated(
+        config: EngineConfig,
+        roster: ValidatedPrograms,
+        scratch: EngineScratch,
+    ) -> Result<Self> {
+        if *roster.device() != config.device {
+            return Err(Error::InvalidConfig(
+                "pre-validated roster does not match the engine's device".into(),
+            ));
+        }
+        let (device, programs) = roster.into_parts();
+        Self::build(config, device, programs, scratch)
+    }
+
+    /// Shared construction tail: mode checks plus state/buffer setup.
+    /// `device` is already validated and `programs` already validated
+    /// against it.
+    fn build(
+        config: EngineConfig,
+        device: DeviceSpec,
+        programs: Vec<ClientProgram>,
+        scratch: EngineScratch,
+    ) -> Result<Self> {
         match &config.mode {
             SharingMode::Mps { partitions } => {
                 if partitions.len() != programs.len() {
@@ -553,15 +680,69 @@ impl Engine {
                 .enumerate()
                 .map(|(i, p)| (p.arrival.value(), i)),
         );
+        let EngineScratch {
+            mut cols,
+            mut memory_waiters,
+            mut agenda,
+            mut agenda_flag,
+            mut pass_scratch,
+            mut running_set,
+            mut timer_set,
+            mut timer_pos,
+            mut timer_rem,
+            mut solved_scheduled,
+            mut solved_rates,
+            mut solved_dyn_powers,
+            mut prepared_scratch,
+            mut allocations_scratch,
+            mut solve_scratch,
+            segments_hint,
+        } = scratch;
+        // Reset recycled state and pre-size every per-client buffer to the
+        // roster, so no steady-state push or sorted insert can ever grow a
+        // vector (the zero-allocation contract of `tests/alloc_gate.rs`).
+        cols.reset(n);
+        memory_waiters.clear();
+        memory_waiters.reserve(n);
+        // Every client starts Pending, so all are on the initial agenda.
+        agenda.clear();
+        agenda.extend(0..n);
+        agenda_flag.clear();
+        agenda_flag.resize(n, true);
+        pass_scratch.clear();
+        pass_scratch.reserve(n);
+        running_set.clear();
+        running_set.reserve(n);
+        timer_set.clear();
+        timer_set.reserve(n);
+        timer_pos.clear();
+        timer_pos.resize(n, usize::MAX);
+        timer_rem.clear();
+        timer_rem.reserve(n);
+        solved_scheduled.clear();
+        solved_scheduled.reserve(n);
+        solved_rates.clear();
+        solved_rates.reserve(n);
+        solved_dyn_powers.clear();
+        solved_dyn_powers.reserve(n);
+        prepared_scratch.clear();
+        prepared_scratch.reserve(n);
+        allocations_scratch.clear();
+        allocations_scratch.reserve(n);
+        // A recycled scratch must not let this engine's first solve extend
+        // the previous run's prefix sums.
+        solve_scratch.invalidate();
+        solve_scratch.reserve(n);
         Ok(Engine {
             config,
             solver,
             power,
-            clients: programs.into_iter().map(ClientState::new).collect(),
+            programs,
+            cols,
             free_memory,
-            memory_waiters: Vec::new(),
+            memory_waiters,
             now: 0.0,
-            telemetry: Telemetry::new(),
+            telemetry: Telemetry::with_capacity(segments_hint),
             active: None,
             quantum_remaining: 0.0,
             switch_remaining: 0.0,
@@ -571,27 +752,26 @@ impl Engine {
             was_capped: false,
             resident_epoch: 0,
             solved_epoch: 0,
-            solved_scheduled: Vec::new(),
-            solved_rates: Vec::new(),
+            solved_scheduled,
+            solved_rates,
             solved_sm_util: 0.0,
             solved_bw_util: 0.0,
             solved_pstate: idle_pstate,
             rate_solves: 0,
-            prepared_scratch: Vec::new(),
-            allocations_scratch: Vec::new(),
-            solve_scratch: SolveScratch::default(),
-            solved_dyn_powers: Vec::new(),
+            prepared_scratch,
+            allocations_scratch,
+            solve_scratch,
+            solved_dyn_powers,
             fault_queue,
             next_fault: 0,
             failures: Vec::new(),
-            // Every client starts Pending, so all are on the initial agenda.
-            agenda: (0..n).collect(),
-            agenda_flag: vec![true; n],
-            pass_scratch: Vec::new(),
-            running_set: Vec::new(),
-            timer_set: Vec::new(),
-            timer_pos: vec![usize::MAX; n],
-            timer_rem: Vec::new(),
+            agenda,
+            agenda_flag,
+            pass_scratch,
+            running_set,
+            timer_set,
+            timer_pos,
+            timer_rem,
             terminated_count: 0,
             seq_head: 0,
             arrivals,
@@ -600,6 +780,11 @@ impl Engine {
             full_solves: 0,
             max_queue_depth: 0,
         })
+    }
+
+    #[inline]
+    fn is_running(&self, i: usize) -> bool {
+        self.cols.phase[i] == Phase::Running
     }
 
     /// Marks the resident kernel set (or the GPU's drain state during a
@@ -658,16 +843,13 @@ impl Engine {
         }
     }
 
-    /// Adds client `i` to the host-timer index (Setup/Gap phases),
-    /// seeding its dense countdown from the phase just entered.
-    fn timer_insert(&mut self, i: usize) {
-        let remaining = match self.clients[i].phase {
-            Phase::Setup { remaining } | Phase::Gap { remaining } => remaining,
-            _ => {
-                debug_assert!(false, "client {i} entered timer set without a timer phase");
-                return;
-            }
-        };
+    /// Adds client `i` to the host-timer index with the given countdown
+    /// (the caller just moved it into `Setup` or `Gap`).
+    fn timer_insert(&mut self, i: usize, remaining: f64) {
+        debug_assert!(
+            matches!(self.cols.phase[i], Phase::Setup | Phase::Gap),
+            "client {i} entered timer set without a timer phase"
+        );
         if self.timer_pos[i] == usize::MAX {
             self.timer_pos[i] = self.timer_set.len();
             self.timer_set.push(i);
@@ -698,11 +880,12 @@ impl Engine {
     fn on_termination(&mut self) {
         self.terminated_count += 1;
         if matches!(self.config.mode, SharingMode::Sequential) {
-            while self.seq_head < self.clients.len() && self.clients[self.seq_head].is_terminated()
+            while self.seq_head < self.programs.len()
+                && self.cols.phase[self.seq_head].is_terminated()
             {
                 self.seq_head += 1;
             }
-            if self.seq_head < self.clients.len() {
+            if self.seq_head < self.programs.len() {
                 let head = self.seq_head;
                 self.push_agenda(head);
             }
@@ -723,68 +906,142 @@ impl Engine {
     /// Like [`Engine::run`], but also returns the hot-path counters —
     /// useful for asserting that the rate cache actually skips re-solves.
     pub fn run_with_stats(mut self) -> Result<(RunResult, EngineStats)> {
-        loop {
-            self.process_transitions()?;
-            if self.terminated_count == self.clients.len() {
-                break;
-            }
-            self.events += 1;
-            if self.events > self.config.max_events {
-                return Err(Error::Stalled {
-                    at_seconds: self.now,
-                    detail: format!("exceeded {} events", self.config.max_events),
-                });
-            }
-            self.advance()?;
-        }
+        while self.step()? {}
+        Ok(self.build_result())
+    }
 
+    /// Like [`Engine::run_with_stats`], but also hands the internal
+    /// buffers back for the next [`Engine::new_reusing`].
+    pub fn run_reusing(self) -> Result<(RunResult, EngineStats, EngineScratch)> {
+        let (result, stats, _roster, scratch) = self.run_recycling()?;
+        Ok((result, stats, scratch))
+    }
+
+    /// Like [`Engine::run_reusing`], but additionally hands back the
+    /// (immutable, still-valid) client roster for the next
+    /// [`Engine::new_prevalidated`]. The steady-state replay loop —
+    /// roster and scratch round-tripping through each run — constructs
+    /// engines with no program clone and no re-validation.
+    pub fn run_recycling(
+        mut self,
+    ) -> Result<(RunResult, EngineStats, ValidatedPrograms, EngineScratch)> {
+        while self.step()? {}
+        let segments_hint = self.telemetry.segments().len();
+        let (result, stats) = self.build_result();
+        let Engine {
+            config,
+            programs,
+            cols,
+            memory_waiters,
+            agenda,
+            agenda_flag,
+            pass_scratch,
+            running_set,
+            timer_set,
+            timer_pos,
+            timer_rem,
+            solved_scheduled,
+            solved_rates,
+            solved_dyn_powers,
+            prepared_scratch,
+            allocations_scratch,
+            solve_scratch,
+            ..
+        } = self;
+        // The run never touches `programs` (all mutable state lives in
+        // `cols`), so the roster is as valid as it was at construction.
+        let roster = ValidatedPrograms::sealed(config.device, programs);
+        let scratch = EngineScratch {
+            cols,
+            memory_waiters,
+            agenda,
+            agenda_flag,
+            pass_scratch,
+            running_set,
+            timer_set,
+            timer_pos,
+            timer_rem,
+            solved_scheduled,
+            solved_rates,
+            solved_dyn_powers,
+            prepared_scratch,
+            allocations_scratch,
+            solve_scratch,
+            segments_hint,
+        };
+        Ok((result, stats, roster, scratch))
+    }
+
+    /// Advances the simulation by exactly one event: drains every
+    /// zero-cost transition at the current time, then (unless all clients
+    /// terminated) moves time to the next event horizon. Returns `false`
+    /// once every client is terminal. [`Engine::run`] is this in a loop;
+    /// it is public so harnesses (the allocation gate, debuggers) can
+    /// drive and observe the engine stepwise.
+    pub fn step(&mut self) -> Result<bool> {
+        self.process_transitions()?;
+        if self.terminated_count == self.programs.len() {
+            return Ok(false);
+        }
+        self.events += 1;
+        if self.events > self.config.max_events {
+            return Err(Error::Stalled {
+                at_seconds: self.now,
+                detail: format!("exceeded {} events", self.config.max_events),
+            });
+        }
+        self.advance()?;
+        Ok(true)
+    }
+
+    /// Assembles the [`RunResult`] and counters after the step loop ends.
+    fn build_result(&mut self) -> (RunResult, EngineStats) {
         if self.was_capped {
             self.record(Event::DEVICE, EventKind::ThrottleOff);
+            self.was_capped = false;
         }
+        let n = self.programs.len();
         let makespan = Seconds::new(
-            self.clients
+            self.cols
+                .finished
                 .iter()
-                .filter_map(|c| c.finished)
+                .filter_map(|f| *f)
                 .map(|s| s.value())
                 .fold(0.0, f64::max),
         );
-        let tasks_completed = self.clients.iter().map(|c| c.completions.len()).sum();
-        let tasks_failed = self
-            .clients
-            .iter()
-            .filter(|c| c.failed)
-            .map(|c| c.program.tasks.len() - c.completions.len())
+        let tasks_completed = self.cols.completions.iter().map(|c| c.len()).sum();
+        let tasks_failed = (0..n)
+            .filter(|&i| self.cols.failed[i])
+            .map(|i| self.programs[i].tasks.len() - self.cols.completions[i].len())
             .sum();
         let total_energy = self.telemetry.total_energy();
-        let clients: Vec<ClientOutcome> = self
-            .clients
-            .into_iter()
-            .map(|c| ClientOutcome {
-                label: c.program.label.clone(),
-                started: c.started.unwrap_or(Seconds::ZERO),
-                finished: c.finished.unwrap_or(Seconds::ZERO),
-                gpu_progress: Seconds::new(c.gpu_progress.max(0.0)),
-                completions: c.completions,
-                failed: c.failed,
-                wasted_progress: Seconds::new(c.wasted_progress.max(0.0)),
-                wasted_energy: Energy::from_joules(c.wasted_energy.max(0.0)),
-                dyn_energy: Energy::from_joules(c.dyn_energy.max(0.0)),
+        let clients: Vec<ClientOutcome> = (0..n)
+            .map(|i| ClientOutcome {
+                label: self.programs[i].label.clone(),
+                started: self.cols.started[i].unwrap_or(Seconds::ZERO),
+                finished: self.cols.finished[i].unwrap_or(Seconds::ZERO),
+                gpu_progress: Seconds::new(self.cols.gpu_progress[i].max(0.0)),
+                completions: std::mem::take(&mut self.cols.completions[i]),
+                failed: self.cols.failed[i],
+                wasted_progress: Seconds::new(self.cols.wasted_progress[i].max(0.0)),
+                wasted_energy: Energy::from_joules(self.cols.wasted_energy[i].max(0.0)),
+                dyn_energy: Energy::from_joules(self.cols.dyn_energy[i].max(0.0)),
             })
             .collect();
         let wasted_progress = Seconds::new(clients.iter().map(|c| c.wasted_progress.value()).sum());
         let wasted_energy =
             Energy::from_joules(clients.iter().map(|c| c.wasted_energy.joules()).sum());
         let mut result = RunResult {
-            telemetry: self.telemetry,
+            telemetry: std::mem::take(&mut self.telemetry),
             clients,
             makespan,
             total_energy,
             tasks_completed,
-            failures: self.failures,
+            failures: std::mem::take(&mut self.failures),
             tasks_failed,
             wasted_progress,
             wasted_energy,
-            events: self.log,
+            events: std::mem::replace(&mut self.log, EventLog::with_capacity(0)),
             completion_order: Vec::new(),
         };
         result.index_completions();
@@ -796,12 +1053,12 @@ impl Engine {
             resident_changes: self.resident_epoch,
             max_queue_depth: self.max_queue_depth,
         };
-        Ok((result, stats))
+        (result, stats)
     }
 
     /// Is client `i` allowed to begin executing (arrival + mode gating)?
     fn eligible(&self, i: usize) -> bool {
-        if self.clients[i].program.arrival.value() > self.now + EPS {
+        if self.programs[i].arrival.value() > self.now + EPS {
             return false;
         }
         match self.config.mode {
@@ -812,7 +1069,7 @@ impl Engine {
             SharingMode::Sequential => {
                 debug_assert_eq!(
                     self.seq_head >= i,
-                    self.clients[..i].iter().all(|c| c.is_terminated()),
+                    (0..i).all(|c| self.cols.phase[c].is_terminated()),
                     "sequential head index out of sync"
                 );
                 self.seq_head >= i
@@ -886,7 +1143,7 @@ impl Engine {
             }
             self.next_fault += 1;
             let origin = spec.scope.origin();
-            if origin >= self.clients.len() || self.clients[origin].is_terminated() {
+            if origin >= self.programs.len() || self.cols.phase[origin].is_terminated() {
                 // An exited process cannot fault — and cannot crash the
                 // server it already disconnected from.
                 continue;
@@ -901,8 +1158,8 @@ impl Engine {
                     // unfinished resident sibling dies with the origin.
                     self.record(Event::DEVICE, EventKind::ServerCrash { origin });
                     let mut count = 0;
-                    for i in 0..self.clients.len() {
-                        if !self.clients[i].is_terminated() {
+                    for i in 0..self.programs.len() {
+                        if !self.cols.phase[i].is_terminated() {
                             self.abort_client(i, origin);
                             count += 1;
                         }
@@ -924,18 +1181,16 @@ impl Engine {
     /// as wasted work, frees its memory, and moves it to the terminal
     /// `Failed` phase.
     fn abort_client(&mut self, i: usize, origin: usize) {
-        let was_running = self.clients[i].is_running();
-        let client = &mut self.clients[i];
-        client.wasted_progress += client.task_progress;
-        client.wasted_energy += client.task_dyn_energy;
-        client.task_progress = 0.0;
-        client.task_dyn_energy = 0.0;
-        client.prepared = None;
-        client.phase = Phase::Failed;
-        client.failed = true;
-        client.finished = Some(Seconds::new(self.now));
-        self.free_memory += client.held_memory;
-        client.held_memory = MemBytes::ZERO;
+        let was_running = self.is_running(i);
+        self.cols.wasted_progress[i] += self.cols.task_progress[i];
+        self.cols.wasted_energy[i] += self.cols.task_dyn_energy[i];
+        self.cols.task_progress[i] = 0.0;
+        self.cols.task_dyn_energy[i] = 0.0;
+        self.cols.phase[i] = Phase::Failed;
+        self.cols.failed[i] = true;
+        self.cols.finished[i] = Some(Seconds::new(self.now));
+        self.free_memory += self.cols.held_memory[i];
+        self.cols.held_memory[i] = MemBytes::ZERO;
         self.memory_waiters.retain(|&w| w != i);
         self.timer_remove(i);
         if was_running {
@@ -961,8 +1216,7 @@ impl Engine {
     /// Applies at most one transition for client `i`; returns whether
     /// anything changed.
     fn step_client(&mut self, i: usize) -> Result<bool> {
-        let phase = self.clients[i].phase.clone();
-        match phase {
+        match self.cols.phase[i] {
             Phase::Pending => {
                 if self.eligible(i) {
                     self.begin_task(i);
@@ -971,18 +1225,18 @@ impl Engine {
                     Ok(false)
                 }
             }
-            Phase::Setup { .. } if self.timer_remaining(i) <= EPS => {
-                self.clients[i].kernel_idx = 0;
+            Phase::Setup if self.timer_remaining(i) <= EPS => {
+                self.cols.kernel_idx[i] = 0;
                 self.timer_remove(i);
                 self.start_kernel(i);
                 Ok(true)
             }
-            Phase::Running { remaining } if remaining <= EPS => {
+            Phase::Running if self.cols.run_rem[i] <= EPS => {
                 self.finish_kernel(i);
                 Ok(true)
             }
-            Phase::Gap { .. } if self.timer_remaining(i) <= EPS => {
-                self.clients[i].kernel_idx += 1;
+            Phase::Gap if self.timer_remaining(i) <= EPS => {
+                self.cols.kernel_idx[i] += 1;
                 self.timer_remove(i);
                 self.start_kernel(i);
                 Ok(true)
@@ -993,22 +1247,24 @@ impl Engine {
 
     /// Begins the current task of client `i`: request memory, then setup.
     fn begin_task(&mut self, i: usize) {
-        let client = &mut self.clients[i];
-        if client.started.is_none() {
-            client.started = Some(Seconds::new(self.now));
+        if self.cols.started[i].is_none() {
+            self.cols.started[i] = Some(Seconds::new(self.now));
         }
-        let task = &client.program.tasks[client.task_idx];
-        let (id, label, need) = (task.id, task.label.clone(), task.memory);
+        let task = &self.programs[i].tasks[self.cols.task_idx[i]];
+        let (id, need, setup) = (task.id, task.memory, task.setup.value());
         if need <= self.free_memory {
             self.free_memory = self.free_memory.saturating_sub(need);
-            let client = &mut self.clients[i];
-            client.held_memory = need;
-            let setup = client.program.tasks[client.task_idx].setup.value();
-            client.phase = Phase::Setup { remaining: setup };
-            self.timer_insert(i);
-            self.record(i, EventKind::TaskStart { task: id, label });
+            self.cols.held_memory[i] = need;
+            self.cols.phase[i] = Phase::Setup;
+            self.timer_insert(i, setup);
+            // The label is cloned only when the log is on: an event-less
+            // run must not pay a per-task String allocation.
+            if self.config.record_events {
+                let label = self.programs[i].tasks[self.cols.task_idx[i]].label.clone();
+                self.record(i, EventKind::TaskStart { task: id, label });
+            }
         } else {
-            self.clients[i].phase = Phase::WaitingMemory;
+            self.cols.phase[i] = Phase::WaitingMemory;
             self.memory_waiters.push(i);
             self.record(i, EventKind::MemoryBlocked { task: id });
         }
@@ -1018,24 +1274,26 @@ impl Engine {
     /// task if the kernel list is exhausted.
     fn start_kernel(&mut self, i: usize) {
         let partition = self.partition_of(i);
-        let client = &mut self.clients[i];
-        let task = &client.program.tasks[client.task_idx];
-        if client.kernel_idx < task.kernels.len() {
-            let kernel = &task.kernels[client.kernel_idx];
-            let remaining = kernel.solo_duration.value();
+        let ti = self.cols.task_idx[i];
+        let ki = self.cols.kernel_idx[i];
+        let task = &self.programs[i].tasks[ti];
+        if ki < task.kernels.len() {
+            let kernel = &task.kernels[ki];
             // Hoist the occupancy/partition arithmetic out of the solver:
             // these inputs are fixed for the kernel's whole residency.
             let prepared = self.solver.prepare(kernel, partition);
-            let (id, kernel_index) = (task.id, client.kernel_idx);
-            client.phase = Phase::Running { remaining };
-            client.prepared = Some(prepared);
+            let remaining = kernel.solo_duration.value();
+            let id = task.id;
+            self.cols.phase[i] = Phase::Running;
+            self.cols.run_rem[i] = remaining;
+            self.cols.prepared[i] = prepared;
             self.running_insert(i);
             self.bump_epoch_join(i);
             self.record(
                 i,
                 EventKind::KernelStart {
                     task: id,
-                    kernel_index,
+                    kernel_index: ki,
                 },
             );
         } else {
@@ -1047,18 +1305,18 @@ impl Engine {
                 at: Seconds::new(self.now),
             };
             let finished_task = completion.task;
-            self.free_memory += client.held_memory;
-            client.held_memory = MemBytes::ZERO;
-            client.completions.push(completion);
-            client.task_idx += 1;
-            client.kernel_idx = 0;
-            client.task_progress = 0.0;
-            client.task_dyn_energy = 0.0;
-            if client.task_idx < client.program.tasks.len() {
-                client.phase = Phase::Pending;
+            self.free_memory += self.cols.held_memory[i];
+            self.cols.held_memory[i] = MemBytes::ZERO;
+            self.cols.completions[i].push(completion);
+            self.cols.task_idx[i] += 1;
+            self.cols.kernel_idx[i] = 0;
+            self.cols.task_progress[i] = 0.0;
+            self.cols.task_dyn_energy[i] = 0.0;
+            if self.cols.task_idx[i] < self.programs[i].tasks.len() {
+                self.cols.phase[i] = Phase::Pending;
             } else {
-                client.phase = Phase::Done;
-                client.finished = Some(Seconds::new(self.now));
+                self.cols.phase[i] = Phase::Done;
+                self.cols.finished[i] = Some(Seconds::new(self.now));
                 self.on_termination();
             }
             self.record(
@@ -1076,24 +1334,23 @@ impl Engine {
         // The kernel leaves the GPU here no matter which phase follows.
         self.running_remove(i);
         self.bump_epoch_leave(i);
-        let client = &mut self.clients[i];
-        client.prepared = None;
-        let task = &client.program.tasks[client.task_idx];
-        let gap = task.kernels[client.kernel_idx].host_gap.value();
-        let (id, kernel_index) = (task.id, client.kernel_idx);
+        let ti = self.cols.task_idx[i];
+        let ki = self.cols.kernel_idx[i];
+        let task = &self.programs[i].tasks[ti];
+        let gap = task.kernels[ki].host_gap.value();
+        let id = task.id;
         self.record(
             i,
             EventKind::KernelEnd {
                 task: id,
-                kernel_index,
+                kernel_index: ki,
             },
         );
-        let client = &mut self.clients[i];
         if gap > EPS {
-            client.phase = Phase::Gap { remaining: gap };
-            self.timer_insert(i);
+            self.cols.phase[i] = Phase::Gap;
+            self.timer_insert(i, gap);
         } else {
-            client.kernel_idx += 1;
+            self.cols.kernel_idx[i] += 1;
             self.start_kernel(i);
         }
     }
@@ -1105,15 +1362,15 @@ impl Engine {
         let mut j = 0;
         while j < self.memory_waiters.len() {
             let i = self.memory_waiters[j];
-            let client = &mut self.clients[i];
-            let need = client.program.tasks[client.task_idx].memory;
+            let ti = self.cols.task_idx[i];
+            let need = self.programs[i].tasks[ti].memory;
             if need <= self.free_memory {
                 self.free_memory = self.free_memory.saturating_sub(need);
-                client.held_memory = need;
-                let setup = client.program.tasks[client.task_idx].setup.value();
-                let task = client.program.tasks[client.task_idx].id;
-                client.phase = Phase::Setup { remaining: setup };
-                self.timer_insert(i);
+                self.cols.held_memory[i] = need;
+                let setup = self.programs[i].tasks[ti].setup.value();
+                let task = self.programs[i].tasks[ti].id;
+                self.cols.phase[i] = Phase::Setup;
+                self.timer_insert(i, setup);
                 self.push_agenda(i);
                 self.memory_waiters.remove(j);
                 self.record(i, EventKind::MemoryGranted { task });
@@ -1137,15 +1394,15 @@ impl Engine {
         };
         let quantum = quantum.value();
         let switch = switch_overhead.value();
-        let still_valid = self.active.is_some_and(|a| self.clients[a].is_running());
+        let still_valid = self.active.is_some_and(|a| self.is_running(a));
         if still_valid {
             return;
         }
         // Pick the next runnable client round-robin from next_rr.
-        let n = self.clients.len();
+        let n = self.programs.len();
         let next = (0..n)
             .map(|k| (self.next_rr + k) % n)
-            .find(|&i| self.clients[i].is_running());
+            .find(|&i| self.is_running(i));
         match next {
             Some(i) => {
                 let switching_from_other =
@@ -1182,10 +1439,10 @@ impl Engine {
             self.quantum_remaining = quantum.value();
             return;
         }
-        let n = self.clients.len();
+        let n = self.programs.len();
         let next = (0..n)
             .map(|k| (self.next_rr + k) % n)
-            .find(|&i| self.clients[i].is_running())
+            .find(|&i| self.is_running(i))
             .expect("at least two runnable clients");
         if Some(next) != self.active {
             self.switch_remaining = switch_overhead.value();
@@ -1201,8 +1458,8 @@ impl Engine {
     fn scheduled_running(&self) -> Vec<usize> {
         match &self.config.mode {
             SharingMode::Mps { .. } | SharingMode::Sequential | SharingMode::Streams => {
-                (0..self.clients.len())
-                    .filter(|&i| self.clients[i].is_running())
+                (0..self.programs.len())
+                    .filter(|&i| self.is_running(i))
                     .collect()
             }
             SharingMode::TimeSliced { .. } => {
@@ -1210,7 +1467,7 @@ impl Engine {
                     Vec::new() // context switch in progress: GPU drained
                 } else {
                     self.active
-                        .filter(|&a| self.clients[a].is_running())
+                        .filter(|&a| self.is_running(a))
                         .map(|a| vec![a])
                         .unwrap_or_default()
                 }
@@ -1270,7 +1527,7 @@ impl Engine {
                 // During a context switch the GPU is drained.
                 if self.switch_remaining <= EPS {
                     if let Some(a) = self.active {
-                        if self.clients[a].is_running() {
+                        if self.is_running(a) {
                             scheduled.push(a);
                         }
                     }
@@ -1280,11 +1537,8 @@ impl Engine {
 
         self.prepared_scratch.clear();
         for &i in &scheduled {
-            self.prepared_scratch.push(
-                self.clients[i]
-                    .prepared
-                    .expect("running client has prepared contender"),
-            );
+            debug_assert!(self.is_running(i), "scheduled client {i} is not running");
+            self.prepared_scratch.push(self.cols.prepared[i]);
         }
         self.solver.solve_prepared_into(
             &self.prepared_scratch,
@@ -1307,10 +1561,8 @@ impl Engine {
             debug_assert!(false, "joining client {i} already scheduled");
             return false;
         };
-        let Some(prepared) = self.clients[i].prepared else {
-            debug_assert!(false, "joining client {i} has no prepared contender");
-            return false;
-        };
+        debug_assert!(self.is_running(i), "joining client {i} is not running");
+        let prepared = self.cols.prepared[i];
         self.solved_scheduled.insert(pos, i);
         self.prepared_scratch.insert(pos, prepared);
         self.solver.solve_prepared_join_into(
@@ -1343,6 +1595,12 @@ impl Engine {
     /// Derives the cached rate/power state from `allocations_scratch` and
     /// `solved_scheduled` — the shared tail of the full and incremental
     /// solve paths, bit-identical to the historical inline code.
+    ///
+    /// One fused pass: the four reductions (dynamic power, SM share, BW
+    /// share) and two per-slot products run over the allocation slots
+    /// once. Each left-to-right `acc + term` chain and each per-element
+    /// multiplication is the same operation on the same values as the
+    /// historical separate passes, so every output is bit-identical.
     fn apply_solution(&mut self) {
         let allocations = &self.allocations_scratch;
         let dyn_power: f64 = allocations.iter().map(|a| a.dyn_power_watts).sum();
@@ -1355,15 +1613,24 @@ impl Engine {
         self.solved_pstate = self.power.resolve(dyn_power, resident_processes);
         let clock_factor = self.solved_pstate.clock_factor;
         self.solved_rates.clear();
-        self.solved_rates
-            .extend(allocations.iter().map(|a| a.rate * clock_factor));
-        // The clock scaling that slows rates also scales the actual dynamic
-        // draw, so per-slot attributed power sums to (billed − idle).
         self.solved_dyn_powers.clear();
-        self.solved_dyn_powers
-            .extend(allocations.iter().map(|a| a.dyn_power_watts * clock_factor));
-        self.solved_sm_util = allocations.iter().map(|a| a.sm_share).sum();
-        self.solved_bw_util = allocations.iter().map(|a| a.bw_share).sum();
+        // -0.0 is `Sum for f64`'s identity; starting there keeps this
+        // fused pass bit-identical to the historical `.sum()` reductions
+        // (an idle GPU reports -0.0 utilization, and serde prints it).
+        let mut sm_util = -0.0f64;
+        let mut bw_util = -0.0f64;
+        for a in allocations {
+            self.solved_rates.push(a.rate * clock_factor);
+            // The clock scaling that slows rates also scales the actual
+            // dynamic draw, so per-slot attributed power sums to
+            // (billed − idle).
+            self.solved_dyn_powers
+                .push(a.dyn_power_watts * clock_factor);
+            sm_util += a.sm_share;
+            bw_util += a.bw_share;
+        }
+        self.solved_sm_util = sm_util;
+        self.solved_bw_util = bw_util;
         self.solved_epoch = self.resident_epoch;
         self.rate_solves += 1;
     }
@@ -1413,16 +1680,17 @@ impl Engine {
         }
         let pstate = self.solved_pstate;
 
-        // Find the next event horizon.
+        // Find the next event horizon. Every scheduled slot is a Running
+        // client (debug-asserted above and in `refresh_full`), so the scan
+        // reads the dense remaining/rate arrays with no phase dispatch.
         let mut dt = f64::INFINITY;
         // Kernel completions.
         for slot in 0..self.solved_scheduled.len() {
             let i = self.solved_scheduled[slot];
-            if let Phase::Running { remaining } = self.clients[i].phase {
-                let rate = self.solved_rates[slot];
-                if rate > 0.0 {
-                    dt = dt.min(remaining / rate);
-                }
+            debug_assert!(self.is_running(i), "scheduled client {i} is not running");
+            let rate = self.solved_rates[slot];
+            if rate > 0.0 {
+                dt = dt.min(self.cols.run_rem[i] / rate);
             }
         }
         // Host-side timers (setup and gaps) always progress. `timer_rem`
@@ -1437,9 +1705,9 @@ impl Engine {
         // the historical `Pending && !eligible` scan (see equeue module),
         // and min_j (at_j - now) == (min_j at_j) - now by monotonicity of
         // subtraction, so taking only the queue head is exact.
-        let clients = &self.clients;
+        let cols = &self.cols;
         if let Some(at) = self.arrivals.next_horizon(self.now, |c| {
-            clients[c].started.is_some() || clients[c].is_terminated()
+            cols.started[c].is_some() || cols.phase[c].is_terminated()
         }) {
             dt = dt.min(at - self.now);
         }
@@ -1506,24 +1774,21 @@ impl Engine {
             active_clients: self.solved_scheduled.len(),
         });
 
-        // Apply progress. Clients whose kernel or timer expires are pushed
+        // Apply progress over the dense columns — no phase dispatch, every
+        // slot is Running. Clients whose kernel or timer expires are pushed
         // onto the transition agenda so the next `process_transitions`
         // steps exactly them (plus any cascade) instead of the full roster.
         for slot in 0..self.solved_scheduled.len() {
             let i = self.solved_scheduled[slot];
-            let mut expired = false;
-            if let Phase::Running { remaining } = &mut self.clients[i].phase {
-                let progress = self.solved_rates[slot] * dt;
-                *remaining = (*remaining - progress).max(0.0);
-                expired = *remaining <= EPS;
-                let dyn_e = self.solved_dyn_powers[slot] * dt;
-                let client = &mut self.clients[i];
-                client.gpu_progress += progress;
-                client.task_progress += progress;
-                client.dyn_energy += dyn_e;
-                client.task_dyn_energy += dyn_e;
-            }
-            if expired {
+            let progress = self.solved_rates[slot] * dt;
+            let rem = (self.cols.run_rem[i] - progress).max(0.0);
+            self.cols.run_rem[i] = rem;
+            let dyn_e = self.solved_dyn_powers[slot] * dt;
+            self.cols.gpu_progress[i] += progress;
+            self.cols.task_progress[i] += progress;
+            self.cols.dyn_energy[i] += dyn_e;
+            self.cols.task_dyn_energy[i] += dyn_e;
+            if rem <= EPS {
                 self.push_agenda(i);
             }
         }
@@ -1601,6 +1866,43 @@ mod tests {
             .unwrap()
             .run()
             .unwrap()
+    }
+
+    #[test]
+    fn prevalidated_recycling_loop_is_bit_identical() {
+        let programs = vec![
+            one_task_client("a", 0, vec![kernel(2.0, 0.5, 0.2, 0.5); 3]),
+            one_task_client("b", 1, vec![kernel(1.0, 0.7, 0.1, 0.2); 5]),
+        ];
+        let config = EngineConfig::new(dev(), SharingMode::mps_uniform(2));
+        let reference = run(SharingMode::mps_uniform(2), programs.clone());
+
+        // Roster + scratch round-trip through three runs; every run must
+        // match the plain `Engine::new(...).run()` bit for bit.
+        let mut roster = ValidatedPrograms::new(&dev(), programs).unwrap();
+        let mut scratch = EngineScratch::new();
+        for _ in 0..3 {
+            let engine = Engine::new_prevalidated(config.clone(), roster, scratch).unwrap();
+            let (result, _stats, r, s) = engine.run_recycling().unwrap();
+            roster = r;
+            scratch = s;
+            assert_eq!(
+                serde_json::to_string(&result).unwrap(),
+                serde_json::to_string(&reference).unwrap()
+            );
+        }
+        assert_eq!(roster.len(), 2);
+    }
+
+    #[test]
+    fn prevalidated_roster_rejects_device_mismatch() {
+        let programs = vec![one_task_client("a", 0, vec![kernel(1.0, 0.5, 0.1, 0.0)])];
+        let roster = ValidatedPrograms::new(&dev(), programs).unwrap();
+        let mut other = dev();
+        other.num_sms += 1;
+        let config = EngineConfig::new(other, SharingMode::mps_uniform(1));
+        let err = Engine::new_prevalidated(config, roster, EngineScratch::new());
+        assert!(err.is_err(), "device mismatch must not be trusted");
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub mod telemetry;
 
 pub use contention::{Allocation, ContentionSolver, PreparedContender, SolveScratch};
 pub use device::DeviceSpec;
-pub use engine::{ClientOutcome, Engine, EngineConfig, EngineStats, RunResult, SharingMode};
+pub use engine::{
+    ClientOutcome, Engine, EngineConfig, EngineScratch, EngineStats, RunResult, SharingMode,
+};
 pub use events::{Event, EventKind, EventLog};
 pub use fault::{unit_hash, FaultPlan, FaultRecord, FaultScope, FaultSpec};
 pub use kernel::{KernelSpec, LaunchConfig};
 pub use occupancy::{OccupancyLimits, OccupancyReport};
 pub use power::{PowerModel, PowerState};
-pub use program::{ClientProgram, TaskProgram};
+pub use program::{ClientProgram, TaskProgram, ValidatedPrograms};
 pub use telemetry::{Segment, Telemetry};

@@ -159,6 +159,66 @@ impl ClientProgram {
     }
 }
 
+/// A client roster validated once against a specific device.
+///
+/// Program validation walks every kernel (occupancy limits, coefficient
+/// sanity), which is the dominant cost of engine construction for large
+/// rosters — and it is pure: the verdict depends only on the programs and
+/// the device, both immutable. A steady-state driver that re-runs the
+/// same roster (benchmark replay, scenario sweeps, the recycled-scratch
+/// loop) should validate once, then construct engines with
+/// [`crate::engine::Engine::new_prevalidated`] and take the roster back
+/// from [`crate::engine::Engine::run_recycling`] — no re-validation, no
+/// per-run clone.
+#[derive(Debug, Clone)]
+pub struct ValidatedPrograms {
+    programs: Vec<ClientProgram>,
+    device: DeviceSpec,
+}
+
+impl ValidatedPrograms {
+    /// Validates every program against `device` and seals the roster.
+    pub fn new(device: &DeviceSpec, programs: Vec<ClientProgram>) -> Result<Self> {
+        let device = device.clone().validated()?;
+        for p in &programs {
+            p.validate(&device)?;
+        }
+        Ok(ValidatedPrograms { programs, device })
+    }
+
+    /// Reseals a roster the engine already validated at construction time
+    /// (every `Engine` holds programs validated against its device).
+    pub(crate) fn sealed(device: DeviceSpec, programs: Vec<ClientProgram>) -> Self {
+        ValidatedPrograms { programs, device }
+    }
+
+    /// The device the roster was validated against.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    pub fn programs(&self) -> &[ClientProgram] {
+        &self.programs
+    }
+
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Unseals the roster (e.g. to mutate it before re-validating).
+    pub fn into_inner(self) -> Vec<ClientProgram> {
+        self.programs
+    }
+
+    pub(crate) fn into_parts(self) -> (DeviceSpec, Vec<ClientProgram>) {
+        (self.device, self.programs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

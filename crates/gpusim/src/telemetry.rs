@@ -52,6 +52,15 @@ impl Telemetry {
         Telemetry::default()
     }
 
+    /// An empty telemetry with room for `capacity` segments — engines
+    /// recycling buffers pass the previous run's segment count so a
+    /// comparable run never reallocates mid-flight.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            segments: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Records a segment; zero-length segments are dropped.
     pub fn record(&mut self, segment: Segment) {
         if segment.end > segment.start {
