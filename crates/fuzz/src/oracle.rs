@@ -19,6 +19,13 @@
 //! * `incremental-vs-full` — the run repeated with the incremental
 //!   contention re-solve disabled must be bit-identical (serialized
 //!   `RunResult` equality).
+//! * `component-vs-legacy` — the run repeated with the historical direct
+//!   `while step()` engine loop (instead of the component/tick-heap core
+//!   the runner uses by default) must be bit-identical.
+//! * `order` — the canonical completion sequence must be a pure function
+//!   of the completion records: seeded permutations of every per-client
+//!   completion list, re-indexed, and the unindexed fallback path must
+//!   all reproduce the same `(at, client, task)`-ordered sequence.
 //! * `attribution` — for MPS/Streams, the per-client slowdown
 //!   decomposition must close: every exactly-attributed client has
 //!   |residual| ≤ 1e-9, and exactness coincides with completion.
@@ -237,6 +244,71 @@ fn check_engine(sc: &EngineScenario) -> Result<OracleReport> {
                 canon_full.len()
             ),
         ));
+    }
+
+    // Component core vs the historical direct loop: the runner drives the
+    // engine through the component/tick-heap core by default, and the
+    // refactor promises to be observationally invisible. Forcing the
+    // legacy `while step()` loop must reproduce the run bit-identically.
+    let legacy = runner.clone().with_legacy_loop(true).run_with_faults(
+        &sharing,
+        programs.clone(),
+        &faults,
+    )?;
+    let canon_legacy = canonical_result(&legacy);
+    if canon_inc != canon_legacy {
+        let at = canon_inc
+            .bytes()
+            .zip(canon_legacy.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| canon_inc.len().min(canon_legacy.len()));
+        violations.push(Violation::new(
+            "component-vs-legacy",
+            format!(
+                "component-core and legacy-loop results diverge at byte {at} \
+                 (lens {} vs {})",
+                canon_inc.len(),
+                canon_legacy.len()
+            ),
+        ));
+    }
+
+    // Completion-order canonicalization: the `(at, client, task)` key is
+    // total over distinct records, so the canonical sequence must be a
+    // pure function of the records — independent of how the per-client
+    // lists were assembled and of whether the precomputed index or the
+    // merge-and-sort fallback produced it. Equal-time ties across clients
+    // are exactly where an underspecified key would leak insertion order.
+    let completion_seq = |r: &RunResult| -> String {
+        serde_json::to_string(&r.completions()).expect("completions serialize")
+    };
+    let reference_seq = completion_seq(&result);
+    let mut fallback = result.clone();
+    fallback.completion_order.clear();
+    if completion_seq(&fallback) != reference_seq {
+        violations.push(Violation::new(
+            "order",
+            "unindexed completions() fallback diverged from the precomputed index".to_string(),
+        ));
+    }
+    for seed in 0..8u64 {
+        let mut shuffled = result.clone();
+        for (ci, client) in shuffled.clients.iter_mut().enumerate() {
+            // Seeded Fisher-Yates via the engine's own splitmix64 stream:
+            // reproducible, no external RNG.
+            for i in (1..client.completions.len()).rev() {
+                let draw = mpshare_gpusim::unit_hash(seed, &[ci as u64, i as u64]);
+                let j = (draw * (i + 1) as f64) as usize;
+                client.completions.swap(i, j.min(i));
+            }
+        }
+        shuffled.index_completions();
+        if completion_seq(&shuffled) != reference_seq {
+            violations.push(Violation::new(
+                "order",
+                format!("completion permutation seed {seed} changed the canonical sequence"),
+            ));
+        }
     }
 
     // Attribution identity (MPS / Streams only — the modes `attribute`

@@ -94,6 +94,12 @@ pub struct EngineConfig {
     /// contract); this exists so equivalence tests and the
     /// incremental-vs-full bench pair can exercise both paths.
     pub force_full_resolve: bool,
+    /// Testing/equivalence hook: drive the run with the historical direct
+    /// `while step()` loop instead of the component core (see
+    /// [`crate::component`]). Results are bit-identical either way — the
+    /// component core issues the exact same `next_tick`/`tick_to` sequence
+    /// through the global heap — and `tests/perf_equivalence.rs` pins that.
+    pub legacy_loop: bool,
 }
 
 impl EngineConfig {
@@ -106,6 +112,7 @@ impl EngineConfig {
             record_events: false,
             faults: FaultPlan::default(),
             force_full_resolve: false,
+            legacy_loop: false,
         }
     }
 
@@ -127,6 +134,12 @@ impl EngineConfig {
     /// See [`EngineConfig::force_full_resolve`].
     pub fn with_forced_full_resolve(mut self, force: bool) -> Self {
         self.force_full_resolve = force;
+        self
+    }
+
+    /// See [`EngineConfig::legacy_loop`].
+    pub fn with_legacy_loop(mut self, legacy: bool) -> Self {
+        self.legacy_loop = legacy;
         self
     }
 }
@@ -249,12 +262,22 @@ impl RunResult {
         }
     }
 
-    /// All task completions across clients, sorted by time.
+    /// Canonical completion order: time, then client, then task id. The
+    /// explicit tie-break makes equal-time completions across clients a
+    /// pure function of the records themselves — never of flattening or
+    /// insertion order (merged multi-instance results flatten in instance
+    /// order, which is exactly where the old at-only sort leaked it).
+    fn completion_key(c: &TaskCompletion) -> (Seconds, usize, TaskId) {
+        (c.at, c.client, c.task)
+    }
+
+    /// All task completions across clients, in canonical
+    /// `(at, client, task)` order.
     ///
     /// Uses the precomputed [`RunResult::completion_order`] when it is
     /// consistent with the client lists; otherwise falls back to merging
-    /// and sorting in place (both paths use the same stable sort over the
-    /// same flattening order, so they produce identical sequences).
+    /// and sorting in place (both paths sort by the same canonical key, so
+    /// they produce identical sequences).
     pub fn completions(&self) -> Vec<&TaskCompletion> {
         let total: usize = self.clients.iter().map(|c| c.completions.len()).sum();
         if self.completion_order.len() == total && total > 0 {
@@ -269,13 +292,17 @@ impl RunResult {
             .iter()
             .flat_map(|c| c.completions.iter())
             .collect();
-        all.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+        all.sort_by(|a, b| {
+            Self::completion_key(a)
+                .partial_cmp(&Self::completion_key(b))
+                .expect("finite times")
+        });
         all
     }
 
     /// (Re)builds [`RunResult::completion_order`] from the per-client
-    /// completion lists. Called at the end of [`Engine::run`] and after
-    /// multi-instance merges.
+    /// completion lists, in canonical `(at, client, task)` order. Called at
+    /// the end of [`Engine::run`] and after multi-instance merges.
     pub fn index_completions(&mut self) {
         let mut order: Vec<(usize, usize)> = self
             .clients
@@ -284,9 +311,9 @@ impl RunResult {
             .flat_map(|(c, out)| (0..out.completions.len()).map(move |k| (c, k)))
             .collect();
         order.sort_by(|&(ca, ka), &(cb, kb)| {
-            let a = &self.clients[ca].completions[ka];
-            let b = &self.clients[cb].completions[kb];
-            a.at.partial_cmp(&b.at).expect("finite times")
+            let a = Self::completion_key(&self.clients[ca].completions[ka]);
+            let b = Self::completion_key(&self.clients[cb].completions[kb]);
+            a.partial_cmp(&b).expect("finite times")
         });
         self.completion_order = order;
     }
@@ -538,6 +565,19 @@ pub struct Engine {
     incremental_solves: u64,
     full_solves: u64,
     max_queue_depth: u64,
+    /// Time step planned by the last [`Engine::next_tick`], consumed by the
+    /// matching [`Engine::tick_to`]. Stored rather than recomputed from the
+    /// heap's absolute time so the apply side uses the exact `dt` the plan
+    /// derived (a `t - now` round-trip is not bit-identical). NaN = no
+    /// outstanding plan.
+    planned_dt: f64,
+    /// Whether the planned horizon is a time-slice quantum expiry (set by
+    /// the plan, consumed by the apply's end-of-step rotation).
+    planned_quantum_event: bool,
+    /// Component-core counters (zero under the legacy direct loop): global
+    /// heap ticks dispatched to this engine and the max heap depth seen.
+    component_ticks: u64,
+    heap_max_depth: u64,
 }
 
 /// Accumulated resident-set membership change between rate solves.
@@ -576,6 +616,12 @@ pub struct EngineStats {
     /// Maximum indexed event-queue depth observed across the run: running
     /// kernels + armed host timers + undelivered arrivals + pending faults.
     pub max_queue_depth: u64,
+    /// Global-heap ticks dispatched to this engine by the component core
+    /// (zero when the run used [`EngineConfig::legacy_loop`]).
+    pub ticks: u64,
+    /// Maximum global tick-heap depth observed while this engine ran under
+    /// the component core (1 for a solo engine; more in compositions).
+    pub heap_max_depth: u64,
 }
 
 impl Engine {
@@ -779,6 +825,10 @@ impl Engine {
             incremental_solves: 0,
             full_solves: 0,
             max_queue_depth: 0,
+            planned_dt: f64::NAN,
+            planned_quantum_event: false,
+            component_ticks: 0,
+            heap_max_depth: 0,
         })
     }
 
@@ -905,8 +955,23 @@ impl Engine {
 
     /// Like [`Engine::run`], but also returns the hot-path counters —
     /// useful for asserting that the rate cache actually skips re-solves.
+    ///
+    /// By default the run is driven through the component core (the engine
+    /// as the sole [`crate::component::Component`] on the global tick
+    /// heap); [`EngineConfig::legacy_loop`] selects the historical direct
+    /// `while step()` loop instead. Both produce bit-identical results —
+    /// pinned by `tests/perf_equivalence.rs`.
     pub fn run_with_stats(mut self) -> Result<(RunResult, EngineStats)> {
-        while self.step()? {}
+        if self.config.legacy_loop {
+            while self.step()? {}
+        } else {
+            let mut core = crate::component::SimCore::new(1);
+            {
+                let mut comps: [&mut dyn crate::component::Component; 1] = [&mut self];
+                core.run(&mut comps)?;
+            }
+            self.note_heap_max_depth(core.stats().max_heap_depth);
+        }
         Ok(self.build_result())
     }
 
@@ -978,10 +1043,35 @@ impl Engine {
     /// once every client is terminal. [`Engine::run`] is this in a loop;
     /// it is public so harnesses (the allocation gate, debuggers) can
     /// drive and observe the engine stepwise.
+    ///
+    /// `step` is exactly the component protocol inlined — one
+    /// [`Engine::next_tick`] plan immediately consumed by its
+    /// [`Engine::tick_to`] — so driving the engine through the global tick
+    /// heap executes the identical operation sequence.
     pub fn step(&mut self) -> Result<bool> {
+        match self.next_tick()? {
+            None => Ok(false),
+            Some(t) => {
+                self.tick_to(t)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Component-protocol plan half (see [`crate::component::Component`]):
+    /// drains zero-cost transitions at the current time and, unless every
+    /// client is terminal, plans the next event horizon. Returns the
+    /// absolute time of the engine's next internal event, or `None` when
+    /// the run is complete. The matching [`Engine::tick_to`] must be called
+    /// (with the returned time) before the next `next_tick`.
+    pub fn next_tick(&mut self) -> Result<Option<f64>> {
+        debug_assert!(
+            self.planned_dt.is_nan(),
+            "next_tick called with an unconsumed plan"
+        );
         self.process_transitions()?;
         if self.terminated_count == self.programs.len() {
-            return Ok(false);
+            return Ok(None);
         }
         self.events += 1;
         if self.events > self.config.max_events {
@@ -990,8 +1080,66 @@ impl Engine {
                 detail: format!("exceeded {} events", self.config.max_events),
             });
         }
-        self.advance()?;
-        Ok(true)
+        let dt = self.plan_advance()?;
+        self.planned_dt = dt;
+        Ok(Some(self.now + dt))
+    }
+
+    /// Component-protocol apply half: advances simulated time to `now` (the
+    /// horizon the preceding [`Engine::next_tick`] returned), integrating
+    /// telemetry, progress, energy and countdowns over the planned step.
+    pub fn tick_to(&mut self, now: f64) -> Result<()> {
+        let dt = self.planned_dt;
+        debug_assert!(!dt.is_nan(), "tick_to without a preceding next_tick plan");
+        debug_assert!(
+            now == self.now + dt,
+            "tick_to horizon {now} does not match the planned {}",
+            self.now + dt
+        );
+        self.planned_dt = f64::NAN;
+        self.apply_advance(dt)
+    }
+
+    /// Count of heap ticks dispatched to this engine when driven through
+    /// the component core (zero under the legacy direct loop).
+    pub fn note_component_tick(&mut self) {
+        self.component_ticks += 1;
+    }
+
+    /// Folds an observed global-heap depth into the run's stats (called by
+    /// whoever drives the engine through a [`crate::component::SimCore`]).
+    pub fn note_heap_max_depth(&mut self, depth: u64) {
+        self.heap_max_depth = self.heap_max_depth.max(depth);
+    }
+
+    /// Task completions recorded so far across all clients — the outbox
+    /// source for component compositions (a GPU component emits one
+    /// interconnect transfer per newly completed task).
+    pub fn tasks_completed_so_far(&self) -> usize {
+        self.cols.completions.iter().map(|c| c.len()).sum()
+    }
+
+    /// Simulated time reached so far.
+    pub fn now_seconds(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether every client has reached a terminal phase.
+    pub fn is_finished(&self) -> bool {
+        self.terminated_count == self.programs.len()
+    }
+
+    /// Finalizes a completed run into its result and counters — the
+    /// component-composition endpoint (a [`crate::component::Composition`]
+    /// drives engines through the shared heap, then collects each one
+    /// here). Errors if any client is still live.
+    pub fn into_result(mut self) -> Result<(RunResult, EngineStats)> {
+        if !self.is_finished() {
+            return Err(Error::InvalidConfig(
+                "into_result called before the run completed".into(),
+            ));
+        }
+        Ok(self.build_result())
     }
 
     /// Assembles the [`RunResult`] and counters after the step loop ends.
@@ -1052,6 +1200,8 @@ impl Engine {
             full_solves: self.full_solves,
             resident_changes: self.resident_epoch,
             max_queue_depth: self.max_queue_depth,
+            ticks: self.component_ticks,
+            heap_max_depth: self.heap_max_depth,
         };
         (result, stats)
     }
@@ -1436,14 +1586,25 @@ impl Engine {
         };
         let runnable = self.running_set.len();
         if runnable <= 1 {
+            // A fault can abort the only other runnable client mid-quantum
+            // (see `rotation_with_single_survivor_after_fault`): with zero
+            // or one runnable client there is nothing to rotate to, so the
+            // expiry just restarts the quantum.
             self.quantum_remaining = quantum.value();
             return;
         }
         let n = self.programs.len();
-        let next = (0..n)
+        let Some(next) = (0..n)
             .map(|k| (self.next_rr + k) % n)
             .find(|&i| self.is_running(i))
-            .expect("at least two runnable clients");
+        else {
+            // Unreachable while `running_set` is non-empty (the round-robin
+            // scan covers every index), but a rotation must never be a
+            // panic path: degrade to a quantum restart.
+            debug_assert!(false, "non-empty running set but no runnable client found");
+            self.quantum_remaining = quantum.value();
+            return;
+        };
         if Some(next) != self.active {
             self.switch_remaining = switch_overhead.value();
             self.bump_epoch_invalidate();
@@ -1662,8 +1823,11 @@ impl Engine {
         );
     }
 
-    /// Advances simulated time to the next event, integrating telemetry.
-    fn advance(&mut self) -> Result<()> {
+    /// Plans the next time step: refreshes the rate/power solution and
+    /// derives the time to the next event horizon (the plan half of the
+    /// component protocol — no state other than the solution cache, the
+    /// depth counter and `planned_quantum_event` is mutated).
+    fn plan_advance(&mut self) -> Result<f64> {
         // Rates/power are a pure function of the resident set (plus the
         // fixed device, partitions and overheads), so between resident-set
         // epochs the cached solution is exact — same inputs, same
@@ -1678,7 +1842,6 @@ impl Engine {
                  scheduled set without bumping the epoch"
             );
         }
-        let pstate = self.solved_pstate;
 
         // Find the next event horizon. Every scheduled slot is a Running
         // client (debug-asserted above and in `refresh_full`), so the scan
@@ -1750,6 +1913,19 @@ impl Engine {
                 ),
             });
         }
+
+        self.planned_quantum_event = quantum_event;
+        Ok(dt)
+    }
+
+    /// Applies a planned time step: integrates telemetry/progress/energy,
+    /// decrements countdowns, advances `now` by `dt`, delivers arrivals and
+    /// rotates the time-slice on a planned quantum expiry (the apply half
+    /// of the component protocol).
+    fn apply_advance(&mut self, dt: f64) -> Result<()> {
+        let pstate = self.solved_pstate;
+        let quantum_event = self.planned_quantum_event;
+        self.planned_quantum_event = false;
 
         // Throttle transition events.
         if pstate.capped != self.was_capped {
@@ -2518,5 +2694,78 @@ mod tests {
         fallback.completion_order.clear();
         let slow: Vec<TaskCompletion> = fallback.completions().into_iter().cloned().collect();
         assert_eq!(fast, slow);
+    }
+
+    /// Regression for the at-only completion sort: the canonical key is the
+    /// full `(at, client, task)` triple. With `at` alone, equal-time records
+    /// kept whatever flatten order the clients vec happened to have — which
+    /// leaks in merged multi-instance (MIG) results, where the outcome at
+    /// index 0 can carry an instance-local `client` field that is not 0 and
+    /// per-client lists need not be in task order.
+    #[test]
+    fn equal_time_completions_sort_canonically_across_clients() {
+        let mut r = run(
+            SharingMode::mps_uniform(2),
+            vec![
+                one_task_client("a", 0, vec![kernel(1.0, 0.2, 0.0, 0.0)]),
+                one_task_client("b", 1, vec![kernel(1.0, 0.2, 0.0, 0.0)]),
+            ],
+        );
+        let tc = |task: u64, client: usize, at: f64| TaskCompletion {
+            task: TaskId::new(task),
+            label: format!("t{task}"),
+            client,
+            at: Seconds::new(at),
+        };
+        // Mimic a merged result: flatten order (index 0 first) disagrees
+        // with client-field order, within-client lists disagree with task
+        // order, and every record completes at the same instant. An at-only
+        // stable sort would return flatten order: clients 1,1,0,0.
+        r.clients[0].completions = vec![tc(7, 1, 2.0), tc(3, 1, 2.0)];
+        r.clients[1].completions = vec![tc(5, 0, 2.0), tc(1, 0, 2.0)];
+        r.completion_order.clear();
+
+        let expect = vec![(2.0, 0, 1), (2.0, 0, 5), (2.0, 1, 3), (2.0, 1, 7)];
+        let observed = |r: &RunResult| -> Vec<(f64, usize, u64)> {
+            r.completions()
+                .iter()
+                .map(|c| (c.at.value(), c.client, c.task.raw()))
+                .collect()
+        };
+        // Merge-and-sort fallback path (completion_order empty).
+        assert_eq!(observed(&r), expect);
+        // Precomputed index path must agree record for record.
+        r.index_completions();
+        assert_eq!(r.completion_order.len(), 4);
+        assert_eq!(observed(&r), expect);
+    }
+
+    /// Regression for the rotation panic path: a fault aborts the only
+    /// other runnable client mid-quantum, so a later quantum expiry finds a
+    /// single survivor. The old code `.expect`ed at least two runnable
+    /// clients and panicked; rotation must instead restart the quantum and
+    /// let the survivor run to completion.
+    #[test]
+    fn rotation_with_single_survivor_after_fault() {
+        // 2 ms quantum: a 50 ms kernel guarantees many expirations after
+        // the 1 ms fault leaves exactly one runnable client.
+        let mk = |id| one_task_client("ts", id, vec![kernel(0.05, 0.5, 0.0, 0.0)]);
+        let mut faults = FaultPlan::new();
+        faults.push_client_fault(Seconds::new(0.001), 1);
+        let cfg =
+            EngineConfig::new(dev(), SharingMode::timesliced_default()).with_fault_plan(faults);
+        let r = Engine::new(cfg, vec![mk(0), mk(1)]).unwrap().run().unwrap();
+        assert_eq!(r.tasks_completed, 1);
+        assert_eq!(r.tasks_failed, 1);
+        assert!(r.clients[1].failed);
+        assert!(!r.clients[0].failed);
+        assert_eq!(r.clients[0].completions.len(), 1);
+        // The survivor runs solo after the fault: no sibling to rotate to,
+        // so the run still terminates at its solo duration.
+        assert!(
+            r.makespan.value() >= 0.05 && r.makespan.value() < 0.1,
+            "makespan {}",
+            r.makespan
+        );
     }
 }

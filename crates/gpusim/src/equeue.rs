@@ -30,6 +30,11 @@ pub(crate) struct MonotoneEventQueue {
     entries: Vec<(f64, usize)>,
     armed: usize,
     horizon: usize,
+    /// Last deadline passed to [`MonotoneEventQueue::pop_armed`], for the
+    /// monotonicity check: a decreasing deadline would silently skip
+    /// events (the armed cursor never rewinds), so it is asserted rather
+    /// than just documented. Same check as [`crate::heap::TickHeap::pop`].
+    last_deadline: f64,
 }
 
 impl MonotoneEventQueue {
@@ -50,13 +55,22 @@ impl MonotoneEventQueue {
             entries,
             armed: 0,
             horizon: 0,
+            last_deadline: f64::NEG_INFINITY,
         }
     }
 
     /// Pops the next entry whose time is `<= deadline`, if any. Each entry is
     /// delivered exactly once; `deadline` must be non-decreasing across calls
-    /// (simulated now + epsilon), which keeps the cursor monotone.
+    /// (simulated now + epsilon), which keeps the cursor monotone. The
+    /// requirement is checked, not just documented: a violation would
+    /// silently skip events whose time fell between the two deadlines.
     pub(crate) fn pop_armed(&mut self, deadline: f64) -> Option<usize> {
+        debug_assert!(
+            deadline >= self.last_deadline,
+            "pop_armed deadline went backwards: {deadline} after {}",
+            self.last_deadline
+        );
+        self.last_deadline = deadline;
         let &(t, client) = self.entries.get(self.armed)?;
         if t <= deadline {
             self.armed += 1;
@@ -141,6 +155,29 @@ mod tests {
         MonotoneEventQueue::new(vec![(f64::NAN, 0)]);
     }
 
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "deadline went backwards")]
+    fn decreasing_deadline_is_asserted() {
+        let mut q = MonotoneEventQueue::new(vec![(1.0, 0), (2.0, 1)]);
+        assert_eq!(q.pop_armed(1.5), Some(0));
+        // A rewound deadline would silently skip any entry between the two
+        // deadlines; the monotonicity debug_assert must catch it.
+        q.pop_armed(0.5);
+    }
+
+    #[test]
+    fn repeated_equal_deadlines_are_monotone() {
+        // The engine calls pop_armed with `now + EPS` in a drain loop, so
+        // the same deadline repeats; equal deadlines must satisfy the
+        // monotonicity check and drain every due entry.
+        let mut q = MonotoneEventQueue::new(vec![(1.0, 0), (1.0, 1), (1.0, 2)]);
+        assert_eq!(q.pop_armed(1.0), Some(0));
+        assert_eq!(q.pop_armed(1.0), Some(1));
+        assert_eq!(q.pop_armed(1.0), Some(2));
+        assert_eq!(q.pop_armed(1.0), None);
+    }
+
     /// Drains a queue through an interleaved pop/horizon schedule derived
     /// from the entry times themselves, recording every observable output.
     /// Clients `>= expire_above` are reported expired to the horizon
@@ -150,6 +187,9 @@ mod tests {
         expire_above: usize,
     ) -> Vec<(Option<usize>, Option<f64>, usize)> {
         let mut q = MonotoneEventQueue::new(entries.iter().copied());
+        // Ascending (with duplicates) — every drain schedule below runs
+        // under the pop_armed monotonicity assertion, so the property test
+        // also proves the engine-shaped deadline stream satisfies it.
         let mut deadlines: Vec<f64> = entries.iter().map(|&(t, _)| t).collect();
         deadlines.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut out = Vec::new();
@@ -162,6 +202,11 @@ mod tests {
                     break;
                 }
             }
+        }
+        // Final drain at the max deadline: everything left must pop, in
+        // (time, client) order, regardless of the insertion permutation.
+        while let Some(c) = q.pop_armed(f64::MAX) {
+            out.push((Some(c), None, q.pending()));
         }
         out
     }

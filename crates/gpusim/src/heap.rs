@@ -1,0 +1,267 @@
+//! Global component tick-heap: a binary min-heap keyed by
+//! `(time, component_id)`.
+//!
+//! The component core (see [`crate::component`]) schedules every
+//! component's next internal event through one of these. Entries are
+//! totally ordered by `(time, component_id, generation)` — ties at the
+//! same time always resolve by component id, so the pop order is a pure
+//! function of the *set* of armed entries, never of their push order
+//! (pinned by the permutation property test below).
+//!
+//! Re-arming is handled by **generation-based lazy invalidation**: each
+//! component has a monotonically increasing generation, every push tags
+//! the entry with the component's current generation, and pops silently
+//! discard entries whose generation is stale. This is the
+//! `BinaryHeap<EventContainer>` pattern of discrete-event simulators,
+//! extended so a component whose horizon moved (e.g. an interconnect that
+//! just received a transfer) can be re-armed in O(log n) without a
+//! decrease-key primitive.
+//!
+//! Like [`crate::equeue::MonotoneEventQueue`], popped times must be
+//! non-decreasing — simulated time only moves forward. The heap *checks*
+//! this (`debug_assert!`) rather than documenting it: a component that
+//! arms an event in the past would silently corrupt causality otherwise.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One armed entry: `(time, component, generation)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    time: f64,
+    component: usize,
+    gen: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on time and id: BinaryHeap is a max-heap, we want the
+        // earliest (time, component) out first. Times are validated finite
+        // at arm time, so `partial_cmp` cannot fail.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("tick times are finite")
+            .then(other.component.cmp(&self.component))
+            .then(other.gen.cmp(&self.gen))
+    }
+}
+
+/// Min-heap of component ticks keyed by `(time, component_id)`, with
+/// generation-based lazy invalidation and a monotone-pop check.
+#[derive(Debug, Default)]
+pub struct TickHeap {
+    heap: BinaryHeap<HeapEntry>,
+    /// Current generation per component; entries with an older generation
+    /// are stale and skipped on pop.
+    gen: Vec<u64>,
+    /// Whether the component's current generation is armed (live in the
+    /// heap). Disarmed components have no live entry.
+    armed: Vec<bool>,
+    /// Count of live (non-stale) entries — the real queue depth.
+    live: usize,
+    /// Last popped time, for the monotonicity assertion.
+    last_pop: f64,
+}
+
+impl TickHeap {
+    /// A heap sized for `components` components (capacity only; arming is
+    /// explicit).
+    pub fn new(components: usize) -> Self {
+        TickHeap {
+            heap: BinaryHeap::with_capacity(components.max(1)),
+            gen: vec![0; components],
+            armed: vec![false; components],
+            live: 0,
+            last_pop: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Arms (or re-arms) `component` to tick at absolute time `time`. Any
+    /// previously armed entry for the component becomes stale.
+    pub fn arm(&mut self, component: usize, time: f64) {
+        assert!(time.is_finite(), "tick times must be finite, got {time}");
+        debug_assert!(
+            component < self.gen.len(),
+            "component {component} out of range"
+        );
+        if !self.armed[component] {
+            self.armed[component] = true;
+            self.live += 1;
+        }
+        self.gen[component] += 1;
+        self.heap.push(HeapEntry {
+            time,
+            component,
+            gen: self.gen[component],
+        });
+    }
+
+    /// Disarms `component`: its live entry (if any) becomes stale.
+    pub fn disarm(&mut self, component: usize) {
+        if self.armed[component] {
+            self.armed[component] = false;
+            self.live -= 1;
+            self.gen[component] += 1;
+        }
+    }
+
+    /// Pops the earliest live `(time, component)` entry. Skips stale
+    /// generations. Popped times are checked non-decreasing — a component
+    /// arming an event in the simulated past is a causality bug.
+    pub fn pop(&mut self) -> Option<(f64, usize)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.armed[entry.component] || entry.gen != self.gen[entry.component] {
+                continue; // lazily invalidated by a re-arm or disarm
+            }
+            self.armed[entry.component] = false;
+            self.live -= 1;
+            debug_assert!(
+                entry.time >= self.last_pop,
+                "tick-heap pop went backwards: {} after {} (component {})",
+                entry.time,
+                self.last_pop,
+                entry.component
+            );
+            self.last_pop = entry.time;
+            return Some((entry.time, entry.component));
+        }
+        None
+    }
+
+    /// Live (armed, non-stale) entries — the true heap depth.
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+
+    /// Whether `component` currently has a live entry.
+    pub fn is_armed(&self, component: usize) -> bool {
+        self.armed[component]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_component_order() {
+        let mut h = TickHeap::new(4);
+        h.arm(2, 1.0);
+        h.arm(0, 1.0);
+        h.arm(3, 0.5);
+        h.arm(1, 2.0);
+        assert_eq!(h.depth(), 4);
+        assert_eq!(h.pop(), Some((0.5, 3)));
+        assert_eq!(h.pop(), Some((1.0, 0)));
+        assert_eq!(h.pop(), Some((1.0, 2)));
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.depth(), 0);
+    }
+
+    #[test]
+    fn rearm_invalidates_previous_entry() {
+        let mut h = TickHeap::new(2);
+        h.arm(0, 5.0);
+        h.arm(1, 2.0);
+        // Component 0's horizon moved earlier (e.g. a message arrived).
+        h.arm(0, 1.0);
+        assert_eq!(h.depth(), 2, "stale entries must not count");
+        assert_eq!(h.pop(), Some((1.0, 0)));
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), None, "the stale (5.0, 0) entry must be skipped");
+    }
+
+    #[test]
+    fn disarm_removes_component() {
+        let mut h = TickHeap::new(2);
+        h.arm(0, 1.0);
+        h.arm(1, 2.0);
+        h.disarm(0);
+        assert_eq!(h.depth(), 1);
+        assert!(!h.is_armed(0));
+        assert_eq!(h.pop(), Some((2.0, 1)));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_times() {
+        TickHeap::new(1).arm(0, f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pop went backwards")]
+    fn pop_monotonicity_is_asserted() {
+        let mut h = TickHeap::new(2);
+        h.arm(0, 2.0);
+        assert_eq!(h.pop(), Some((2.0, 0)));
+        // Arming in the simulated past is a causality bug; the next pop
+        // must trip the monotonicity assertion.
+        h.arm(1, 1.0);
+        h.pop();
+    }
+
+    /// Permuting the arm order of entries — including exact time ties
+    /// across distinct components — must not change the pop order: the
+    /// heap's total key is `(time, component)`, never insertion order.
+    /// This is the global-heap half of the execution-order fuzzing
+    /// property (ROADMAP item 4); the arrival-queue half lives in
+    /// `equeue.rs`.
+    #[test]
+    fn arm_order_of_tied_entries_is_irrelevant() {
+        // (component, time) multiset with heavy time ties.
+        let base: Vec<(usize, f64)> = vec![
+            (0, 1.0),
+            (5, 1.0),
+            (2, 1.0),
+            (7, 0.5),
+            (3, 0.5),
+            (1, 2.0),
+            (6, 2.0),
+            (4, 0.0),
+        ];
+        let drain = |entries: &[(usize, f64)]| -> Vec<(f64, usize)> {
+            let mut h = TickHeap::new(8);
+            for &(c, t) in entries {
+                h.arm(c, t);
+            }
+            let mut out = Vec::new();
+            while let Some(popped) = h.pop() {
+                out.push(popped);
+            }
+            out
+        };
+        let reference = drain(&base);
+        // Seeded Fisher-Yates shuffles via the shared splitmix64 stream.
+        for seed in 0..64u64 {
+            let mut permuted = base.clone();
+            for i in (1..permuted.len()).rev() {
+                let draw = crate::fault::unit_hash(seed, &[i as u64]);
+                let j = (draw * (i + 1) as f64) as usize;
+                permuted.swap(i, j.min(i));
+            }
+            assert_eq!(
+                drain(&permuted),
+                reference,
+                "pop order diverged for seed {seed}"
+            );
+        }
+        let mut reversed = base.clone();
+        reversed.reverse();
+        assert_eq!(drain(&reversed), reference);
+        let mut rotated = base;
+        rotated.rotate_left(3);
+        assert_eq!(drain(&rotated), reference);
+    }
+}

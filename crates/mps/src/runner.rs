@@ -47,6 +47,14 @@ fn record_engine_run(
         &mpshare_obs::DEPTH_BUCKETS,
         stats.max_queue_depth as f64,
     );
+    mpshare_obs::counter_add(names::ENGINE_COMPONENT_TICKS, stats.ticks);
+    if stats.heap_max_depth > 0 {
+        mpshare_obs::observe(
+            names::ENGINE_HEAP_DEPTH,
+            &mpshare_obs::DEPTH_BUCKETS,
+            stats.heap_max_depth as f64,
+        );
+    }
     mpshare_obs::gauge_add(names::ENGINE_SIM_SECONDS, result.makespan.value());
     mpshare_obs::observe(
         names::GROUP_MAKESPAN_SECONDS,
@@ -63,6 +71,7 @@ fn record_engine_run(
     let (events, solves) = (stats.events, stats.rate_solves);
     let (incremental, full) = (stats.incremental_solves, stats.full_solves);
     let queue_depth = stats.max_queue_depth;
+    let (ticks, heap_depth) = (stats.ticks, stats.heap_max_depth);
     let makespan = result.makespan.value();
     mpshare_obs::emit(
         mpshare_obs::Track::Daemon,
@@ -80,6 +89,8 @@ fn record_engine_run(
                 "incremental_solves": incremental,
                 "full_solves": full,
                 "max_queue_depth": queue_depth,
+                "component_ticks": ticks,
+                "heap_max_depth": heap_depth,
             })
         },
     );
@@ -197,6 +208,7 @@ pub struct GpuRunner {
     sharing_overhead: f64,
     record_events: bool,
     force_full_resolve: bool,
+    legacy_loop: bool,
 }
 
 impl GpuRunner {
@@ -206,6 +218,7 @@ impl GpuRunner {
             sharing_overhead: 0.0,
             record_events: false,
             force_full_resolve: false,
+            legacy_loop: false,
         }
     }
 
@@ -229,6 +242,15 @@ impl GpuRunner {
     /// hardware / L2 pressure); see `mpshare-gpusim`'s contention model.
     pub fn with_sharing_overhead(mut self, overhead: f64) -> Self {
         self.sharing_overhead = overhead;
+        self
+    }
+
+    /// Drives every engine run (including each MIG instance engine) with
+    /// the historical direct loop instead of the component core. Results
+    /// are bit-identical either way — the fuzz oracle and
+    /// `tests/perf_equivalence.rs` run both and compare.
+    pub fn with_legacy_loop(mut self, legacy: bool) -> Self {
+        self.legacy_loop = legacy;
         self
     }
 
@@ -310,6 +332,7 @@ impl GpuRunner {
             .with_sharing_overhead(self.sharing_overhead)
             .with_event_log(self.record_events)
             .with_forced_full_resolve(self.force_full_resolve)
+            .with_legacy_loop(self.legacy_loop)
             .with_fault_plan(faults);
         let (result, stats) = Engine::new(config, programs)?.run_with_stats()?;
         record_engine_run(mode_label, clients, faults_planned, &result, stats);
@@ -363,6 +386,7 @@ impl GpuRunner {
             .with_sharing_overhead(self.sharing_overhead)
             .with_event_log(self.record_events)
             .with_forced_full_resolve(self.force_full_resolve)
+            .with_legacy_loop(self.legacy_loop)
             .with_fault_plan(instance_faults.clone());
             let clients = progs.len();
             let (result, stats) = Engine::new(config, progs)?.run_with_stats()?;
@@ -739,6 +763,51 @@ mod tests {
             .unwrap();
         let labels: Vec<&str> = r.clients.iter().map(|c| c.label.as_str()).collect();
         assert_eq!(labels, vec!["first", "second", "third"]);
+    }
+
+    /// Regression for the at-only completion sort: merged MIG results keep
+    /// instance-local `client` ids in their completion records, so exact
+    /// cross-instance completion-time ties must be broken by the canonical
+    /// `(at, client, task)` key — never by the order the merge flattened
+    /// the instances in.
+    #[test]
+    fn mig_merged_equal_time_ties_sort_canonically() {
+        let runner = GpuRunner::new(dev());
+        let layout =
+            MigLayout::new(&dev(), &[MigProfile::ThreeSlice, MigProfile::ThreeSlice]).unwrap();
+        // Identical programs on identical isolated instances complete at
+        // bit-identical times; task ids are chosen so the canonical order
+        // (tied on `at` and on the instance-local client id 0) reverses
+        // submission order.
+        let r = runner
+            .run(
+                &GpuSharing::Mig {
+                    layout,
+                    assignment: vec![0, 1],
+                },
+                vec![program("a", 9, 0.5, 0.2), program("b", 2, 0.5, 0.2)],
+            )
+            .unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        let completions: Vec<_> = r.completions().into_iter().cloned().collect();
+        assert_eq!(
+            completions[0].at, completions[1].at,
+            "expected an exact cross-instance completion tie"
+        );
+        assert!(
+            completions.iter().all(|c| c.client == 0),
+            "merged records keep instance-local client ids"
+        );
+        // Tie broken by task id: task 2 ("b") before task 9 ("a"), even
+        // though the merge flattens instance 0 ("a") first — an at-only
+        // stable sort would have kept flatten order.
+        assert_eq!(completions[0].label, "b");
+        assert_eq!(completions[1].label, "a");
+        // The precomputed index and the merge-sort fallback agree.
+        let mut fallback = r.clone();
+        fallback.completion_order.clear();
+        let slow: Vec<_> = fallback.completions().into_iter().cloned().collect();
+        assert_eq!(completions, slow);
     }
 
     #[test]

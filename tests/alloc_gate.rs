@@ -6,7 +6,9 @@
 //!   re-solves, kernel boundaries, telemetry segments, timer churn —
 //!   touches no heap. The only allowed allocations are the per-client
 //!   task-completion records (whose buffers were moved into the previous
-//!   run's result), so at most one allocating step per client.
+//!   run's result), so at most one allocating step per client. The same
+//!   bound holds with the engine driven through the component/tick-heap
+//!   core (`SimCore`) instead of the direct loop.
 //! * **Warm planning allocates no more than cold planning.** A warm
 //!   [`Planner::plan_warm`] call — memo translation included — must not
 //!   out-allocate the cold `plan` call it replaces on the same queue.
@@ -150,6 +152,74 @@ fn steady_state_advance_is_alloc_free() {
     assert!(
         total <= 2 * CLIENTS as u64,
         "steady-state run allocated {total} times (> {})",
+        2 * CLIENTS
+    );
+}
+
+/// The steady-state contract holds when the engine is driven through the
+/// component/tick-heap core instead of the direct `step()` loop: a
+/// single-component `SimCore` pops and re-pushes one heap entry per tick
+/// (capacity 1, no stale accumulation), so `SimCore::step` adds zero
+/// allocations on top of the engine's own.
+#[test]
+fn component_core_steady_state_is_alloc_free() {
+    use mpshare::gpusim::{Component, SimCore};
+
+    let _serial = GATE_LOCK.lock().unwrap();
+
+    let warm_up = Engine::new_reusing(gate_config(), gate_programs(), EngineScratch::new())
+        .unwrap()
+        .run_reusing()
+        .unwrap();
+    let (reference, _, scratch) = warm_up;
+
+    let mut engine = Engine::new_reusing(gate_config(), gate_programs(), scratch).unwrap();
+    let mut core = SimCore::new(1);
+    let mut per_step: Vec<u64> = Vec::with_capacity(1 << 16);
+    {
+        let mut comps: [&mut dyn Component; 1] = [&mut engine];
+        // The initial arm pass plans the first horizon (unmeasured, like
+        // the constructors above); every subsequent tick is measured.
+        core.arm_all(&mut comps).unwrap();
+        loop {
+            let (more, allocs) = measured(|| core.step(&mut comps).unwrap());
+            assert!(per_step.len() < per_step.capacity(), "step budget exceeded");
+            per_step.push(allocs);
+            if !more {
+                break;
+            }
+        }
+    }
+    assert_eq!(core.stats().max_heap_depth, 1);
+    assert_eq!(core.stats().ticks, per_step.len() as u64 - 1);
+
+    let (result, stats, _scratch) = engine.run_reusing().unwrap();
+    assert_eq!(
+        stats.ticks,
+        core.stats().ticks,
+        "every engine event must have been dispatched as a component tick"
+    );
+    assert_eq!(
+        serde_json::to_string(&result).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "component-core run must be bit-identical to the warm-up run"
+    );
+
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let total: u64 = per_step.iter().sum();
+    let dirty_steps = per_step.iter().filter(|&&a| a > 0).count();
+    assert!(
+        dirty_steps <= CLIENTS,
+        "expected ≤ {CLIENTS} allocating steps (one completion push per \
+         client), found {dirty_steps} of {} (allocs per step: {:?})",
+        per_step.len(),
+        per_step.iter().filter(|&&a| a > 0).collect::<Vec<_>>()
+    );
+    assert!(
+        total <= 2 * CLIENTS as u64,
+        "component-core steady-state run allocated {total} times (> {})",
         2 * CLIENTS
     );
 }
