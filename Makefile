@@ -90,24 +90,32 @@ fault-smoke: build
 	@echo "fault-determinism smoke gate passed"
 
 # Observability determinism gate: two recorded serial runs must produce
-# byte-identical trace and metrics artifacts (the recorder uses simulated
-# time and sequence numbers only — no wall clocks), and a recorded
-# parallel run must still carry every required track and metric family
+# byte-identical trace, metrics, and timeline artifacts (the recorder
+# uses simulated time and sequence numbers only — no wall clocks), and a
+# recorded parallel run must produce the byte-identical timeline export
+# (it is a pure function of the observation multiset) and still carry
+# every required track, metric family, and timeline invariant
 # (validate-obs). Experiment outputs must be unaffected by recording.
 trace-smoke: build
 	@rm -rf .trace-smoke
 	@mkdir -p .trace-smoke
 	./target/release/mpshare-repro ext_online --out .trace-smoke/a --serial \
-		--trace-out .trace-smoke/a-trace.json --metrics-out .trace-smoke/a-metrics.json >/dev/null 2>&1
+		--trace-out .trace-smoke/a-trace.json --metrics-out .trace-smoke/a-metrics.json \
+		--timeline-out .trace-smoke/a-timeline.json >/dev/null 2>&1
 	./target/release/mpshare-repro ext_online --out .trace-smoke/b --serial \
-		--trace-out .trace-smoke/b-trace.json --metrics-out .trace-smoke/b-metrics.json >/dev/null 2>&1
+		--trace-out .trace-smoke/b-trace.json --metrics-out .trace-smoke/b-metrics.json \
+		--timeline-out .trace-smoke/b-timeline.json >/dev/null 2>&1
 	cmp .trace-smoke/a-trace.json .trace-smoke/b-trace.json
 	cmp .trace-smoke/a-metrics.json .trace-smoke/b-metrics.json
 	cmp .trace-smoke/a-metrics.json.prom .trace-smoke/b-metrics.json.prom
+	cmp .trace-smoke/a-timeline.json .trace-smoke/b-timeline.json
 	./target/release/mpshare-repro ext_online --out .trace-smoke/c \
-		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json >/dev/null 2>&1
+		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json \
+		--timeline-out .trace-smoke/c-timeline.json >/dev/null 2>&1
+	cmp .trace-smoke/a-timeline.json .trace-smoke/c-timeline.json
 	./target/release/mpshare-repro validate-obs \
-		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json
+		--trace-out .trace-smoke/c-trace.json --metrics-out .trace-smoke/c-metrics.json \
+		--timeline-out .trace-smoke/c-timeline.json
 	cmp .trace-smoke/a/ext_online.json .trace-smoke/c/ext_online.json
 	@rm -rf .trace-smoke
 	@echo "trace-determinism smoke gate passed"

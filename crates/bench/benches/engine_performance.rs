@@ -371,6 +371,36 @@ fn bench_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_timeline_overhead(c: &mut Criterion) {
+    // Cost of the timeline store itself: span pushes plus quantile
+    // observations through the guarded facade. The disabled variant
+    // must measure as a single relaxed atomic load per call — the
+    // zero-cost-when-off claim the obs layer makes. Large enough that
+    // the guarded calls dominate the fixed per-iteration reset, so the
+    // bench gate compares call cost rather than scheduler jitter.
+    let samples = 16384usize;
+    let run_once = || {
+        // Start each iteration from an empty store so the enabled
+        // variant never hits the capacity cap's cheaper drop path.
+        mpshare_obs::timelines().reset();
+        for i in 0..samples {
+            let t = i as f64;
+            mpshare_obs::series_push_span(mpshare_obs::series::DEVICE_SM_UTIL, t, 1.0, 0.5);
+            mpshare_obs::quantile_observe(mpshare_obs::series::CLIENT_TURNAROUND, t);
+        }
+        black_box(samples)
+    };
+    let mut group = c.benchmark_group("engine/timeline_overhead");
+    group.throughput(Throughput::Elements(2 * samples as u64));
+    mpshare_obs::set_enabled(false);
+    group.bench_function("disabled", |b| b.iter(run_once));
+    mpshare_obs::set_enabled(true);
+    group.bench_function("enabled", |b| b.iter(run_once));
+    mpshare_obs::set_enabled(false);
+    mpshare_obs::timelines().reset();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_solver,
@@ -378,6 +408,7 @@ criterion_group!(
     bench_engine_gap_heavy,
     bench_plan_search,
     bench_warm_planner,
-    bench_recorder_overhead
+    bench_recorder_overhead,
+    bench_timeline_overhead
 );
 criterion_main!(benches);

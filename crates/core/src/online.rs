@@ -327,7 +327,9 @@ impl OnlineScheduler {
             // the dispatcher's fault, not queueing delay.
             for &w in &members {
                 if attempts[w] == 0 {
-                    wait_total += (now.saturating_sub(arrivals[w].arrival)).value();
+                    let wait = (now.saturating_sub(arrivals[w].arrival)).value();
+                    wait_total += wait;
+                    mpshare_obs::quantile_observe(mpshare_obs::series::SCHED_QUEUE_WAIT, wait);
                 }
             }
             for record in &result.failures {
@@ -384,6 +386,12 @@ impl OnlineScheduler {
                 } else {
                     done[w] = true;
                     tasks += client.completions.len();
+                    // Turnaround = completion − arrival, including queue
+                    // wait and any earlier failed attempts' backoff.
+                    mpshare_obs::quantile_observe(
+                        mpshare_obs::series::SCHED_TURNAROUND,
+                        (end.saturating_sub(arrivals[w].arrival)).value(),
+                    );
                 }
             }
             mpshare_obs::counter_add(mpshare_obs::names::SCHED_DISPATCHES, 1);
@@ -391,6 +399,11 @@ impl OnlineScheduler {
                 mpshare_obs::observe(
                     mpshare_obs::names::QUEUE_DEPTH,
                     &mpshare_obs::DEPTH_BUCKETS,
+                    pending.len() as f64,
+                );
+                mpshare_obs::series_push(
+                    mpshare_obs::series::SCHED_QUEUE_DEPTH,
+                    now.value(),
                     pending.len() as f64,
                 );
                 let (group, depth) = (members.clone(), pending.len());

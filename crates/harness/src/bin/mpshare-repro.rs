@@ -3,8 +3,10 @@
 //! Usage:
 //! ```text
 //! mpshare-repro <experiment|all> [--out DIR] [--serial]
-//!               [--trace-out FILE] [--metrics-out FILE]
+//!               [--trace-out FILE] [--metrics-out FILE] [--timeline-out FILE]
+//! mpshare-repro report [--out DIR] [--serial] [--timeline-out FILE]
 //! mpshare-repro validate-obs --trace-out FILE --metrics-out FILE
+//!               [--timeline-out FILE]
 //! ```
 //!
 //! Each experiment prints its table to stdout and writes `.txt`, `.csv`,
@@ -19,9 +21,24 @@
 //! the same path with `.prom` appended. Recording never changes results:
 //! every artifact under `--out` is byte-identical with and without it.
 //!
-//! `validate-obs` re-opens the two artifacts and checks the invariants
-//! the trace-smoke gate relies on: the control tracks are present in the
-//! trace and the required metric families exist in the export.
+//! `--timeline-out` (or `MPSHARE_TIMELINE_OUT`) writes the timeline
+//! store's full JSON export — every simulated-time series with its exact
+//! integral/CDF, every quantile track with p50/p90/p99/p999 and full CDF.
+//! The export is a pure function of the observation multiset: serial and
+//! parallel runs produce byte-identical files (the trace-smoke gate pins
+//! this).
+//!
+//! `report` runs the timeline-instrumented experiments and writes the
+//! utilization/SLO dashboard (`report.txt` + `report.json`) under the
+//! output directory — utilization CDF, stranded-capacity integral, and
+//! per-mechanism tail-latency/SLO tables.
+//!
+//! `validate-obs` re-opens the artifacts and checks the invariants the
+//! trace-smoke gate relies on: the control tracks are present in the
+//! trace, the required metric families exist in the export, and (when
+//! `--timeline-out` is given) the timeline export is well-formed —
+//! monotone sample times, monotone CDFs, quantile ordering
+//! p50 ≤ p90 ≤ p99 ≤ p999.
 //!
 //! Sweep points fan out across worker threads by default; `--serial` (or
 //! `MPSHARE_SERIAL=1`) forces single-threaded execution. Both modes
@@ -36,7 +53,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|ext_faults|ext_attrib|all> [--out DIR] [--serial] [--trace-out FILE] [--metrics-out FILE]\n       mpshare-repro validate-obs --trace-out FILE --metrics-out FILE"
+        "usage: mpshare-repro <table1|table2|fig1|fig2|fig3|fig4|fig5|ext_node|ext_mechanisms|ext_powercap|ext_online|ext_hetero|ext_faults|ext_attrib|all> [--out DIR] [--serial] [--trace-out FILE] [--metrics-out FILE] [--timeline-out FILE]\n       mpshare-repro report [--out DIR] [--serial] [--timeline-out FILE]\n       mpshare-repro validate-obs --trace-out FILE --metrics-out FILE [--timeline-out FILE]"
     );
     std::process::exit(2);
 }
@@ -47,6 +64,9 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut trace_out = std::env::var("MPSHARE_TRACE_OUT").ok().map(PathBuf::from);
     let mut metrics_out = std::env::var("MPSHARE_METRICS_OUT").ok().map(PathBuf::from);
+    let mut timeline_out = std::env::var("MPSHARE_TIMELINE_OUT")
+        .ok()
+        .map(PathBuf::from);
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,6 +82,10 @@ fn main() -> ExitCode {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => usage(),
             },
+            "--timeline-out" => match it.next() {
+                Some(path) => timeline_out = Some(PathBuf::from(path)),
+                None => usage(),
+            },
             "--serial" => mpshare_par::set_serial(true),
             "-h" | "--help" => usage(),
             other if which.is_none() => which = Some(other.to_string()),
@@ -72,13 +96,17 @@ fn main() -> ExitCode {
 
     if which == "validate-obs" {
         return match (trace_out, metrics_out) {
-            (Some(trace), Some(metrics)) => validate_obs(&trace, &metrics),
+            (Some(trace), Some(metrics)) => validate_obs(&trace, &metrics, timeline_out.as_ref()),
             _ => usage(),
         };
     }
 
+    if which == "report" {
+        return run_report(&out_dir, timeline_out);
+    }
+
     // Any observability sink enables recording for the whole run.
-    if trace_out.is_some() || metrics_out.is_some() {
+    if trace_out.is_some() || metrics_out.is_some() || timeline_out.is_some() {
         mpshare_obs::set_enabled(true);
     }
 
@@ -98,7 +126,7 @@ fn main() -> ExitCode {
     for e in &experiments {
         println!("{}", e.render());
     }
-    if let Err(err) = write_obs_artifacts(&device, &which, trace_out, metrics_out) {
+    if let Err(err) = write_obs_artifacts(&device, &which, trace_out, metrics_out, timeline_out) {
         eprintln!("failed to write observability artifacts: {err}");
         return ExitCode::FAILURE;
     }
@@ -125,12 +153,14 @@ fn main() -> ExitCode {
     }
 }
 
-/// Drains the recorder and writes the merged trace and metric exports.
+/// Drains the recorder and writes the merged trace, metric, and timeline
+/// exports.
 fn write_obs_artifacts(
     device: &DeviceSpec,
     which: &str,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
 ) -> std::io::Result<()> {
     if let Some(path) = trace_out {
         // The ext_attrib run is the one experiment with a canonical
@@ -150,8 +180,18 @@ fn write_obs_artifacts(
             None
         };
         let records = mpshare_obs::recorder().drain();
-        let trace = mpshare_obs::merged_chrome_trace(engine.as_ref(), &records);
+        let trace = mpshare_obs::perfetto::merged_chrome_trace_with_timelines(
+            engine.as_ref(),
+            &records,
+            mpshare_obs::timelines(),
+        );
         std::fs::write(&path, trace)?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = timeline_out {
+        let json = serde_json::to_string_pretty(&mpshare_obs::timelines().to_json())
+            .expect("timeline export is valid JSON");
+        std::fs::write(&path, json)?;
         eprintln!("wrote {}", path.display());
     }
     if let Some(path) = metrics_out {
@@ -167,10 +207,54 @@ fn write_obs_artifacts(
     Ok(())
 }
 
+/// Runs the timeline-instrumented experiments and writes the dashboard
+/// (`report.txt` + `report.json`) under `out_dir`; `--timeline-out` also
+/// dumps the full timeline export from the same recorded run.
+fn run_report(out_dir: &std::path::Path, timeline_out: Option<PathBuf>) -> ExitCode {
+    let device = DeviceSpec::a100x();
+    let report = match mpshare_harness::report::generate(&device) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("report failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.text);
+    if let Err(err) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {err}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let txt = out_dir.join("report.txt");
+    let json = out_dir.join("report.json");
+    let body = serde_json::to_string_pretty(&report.json).expect("report export is valid JSON");
+    if let Err(err) = std::fs::write(&txt, &report.text).and_then(|()| std::fs::write(&json, body))
+    {
+        eprintln!("failed to write report artifacts: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {} and {}", txt.display(), json.display());
+    if let Some(path) = timeline_out {
+        let export = serde_json::to_string_pretty(&mpshare_obs::timelines().to_json())
+            .expect("timeline export is valid JSON");
+        if let Err(err) = std::fs::write(&path, export) {
+            eprintln!("failed to write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 /// Checks the trace and metrics artifacts a recorded run produced: the
 /// planner/scheduler/daemon tracks must be present in the trace, and the
-/// cache/fault/goodput metric families in the export.
-fn validate_obs(trace_path: &PathBuf, metrics_path: &PathBuf) -> ExitCode {
+/// cache/fault/goodput metric families in the export. With a timeline
+/// export, additionally checks the timeline invariants (see
+/// [`validate_timeline`]).
+fn validate_obs(
+    trace_path: &PathBuf,
+    metrics_path: &PathBuf,
+    timeline_path: Option<&PathBuf>,
+) -> ExitCode {
     let mut failures: Vec<String> = Vec::new();
 
     match std::fs::read_to_string(trace_path)
@@ -237,6 +321,16 @@ fn validate_obs(trace_path: &PathBuf, metrics_path: &PathBuf) -> ExitCode {
         Err(err) => failures.push(format!("cannot parse {}: {err}", metrics_path.display())),
     }
 
+    if let Some(path) = timeline_path {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).map_err(|e| e.to_string()))
+        {
+            Ok(timeline) => validate_timeline(&timeline, &mut failures),
+            Err(err) => failures.push(format!("cannot parse {}: {err}", path.display())),
+        }
+    }
+
     if failures.is_empty() {
         eprintln!("observability artifacts OK");
         ExitCode::SUCCESS
@@ -245,5 +339,106 @@ fn validate_obs(trace_path: &PathBuf, metrics_path: &PathBuf) -> ExitCode {
             eprintln!("validate-obs: {f}");
         }
         ExitCode::FAILURE
+    }
+}
+
+/// Timeline-export invariants: required series/track families present,
+/// per-series sample times monotone non-decreasing, every CDF monotone
+/// (values strictly ascending, fractions non-decreasing, last fraction 1),
+/// and quantile ordering p50 ≤ p90 ≤ p99 ≤ p999 on every track.
+fn validate_timeline(timeline: &serde_json::Value, failures: &mut Vec<String>) {
+    use mpshare_obs::series;
+    let f64_at = |v: &serde_json::Value| v.as_f64();
+
+    let series_map = timeline.get("series");
+    for required in [series::DEVICE_SM_UTIL, series::DEVICE_BW_UTIL] {
+        if series_map.and_then(|s| s.get(required)).is_none() {
+            failures.push(format!("timeline export is missing series {required}"));
+        }
+    }
+    for required in [series::SCHED_QUEUE_WAIT, series::SCHED_TURNAROUND] {
+        if timeline
+            .get("quantiles")
+            .and_then(|q| q.get(required))
+            .is_none()
+        {
+            failures.push(format!(
+                "timeline export is missing quantile track {required}"
+            ));
+        }
+    }
+
+    let check_cdf = |name: &str, cdf: &serde_json::Value, failures: &mut Vec<String>| {
+        let Some(pairs) = cdf.as_array() else {
+            failures.push(format!("{name}: cdf is not an array"));
+            return;
+        };
+        let knots: Vec<(f64, f64)> = pairs
+            .iter()
+            .filter_map(|p| {
+                let pair = p.as_array()?;
+                Some((f64_at(pair.first()?)?, f64_at(pair.get(1)?)?))
+            })
+            .collect();
+        if knots.len() != pairs.len() {
+            failures.push(format!("{name}: malformed cdf knots"));
+            return;
+        }
+        for w in knots.windows(2) {
+            if w[1].0 <= w[0].0 {
+                failures.push(format!("{name}: cdf values not strictly ascending"));
+                break;
+            }
+            if w[1].1 < w[0].1 {
+                failures.push(format!("{name}: cdf fractions decrease"));
+                break;
+            }
+        }
+        if let Some(last) = knots.last() {
+            if (last.1 - 1.0).abs() > 1e-9 {
+                failures.push(format!("{name}: cdf does not end at 1 (got {})", last.1));
+            }
+        }
+    };
+
+    // Per-series: monotone sample times, monotone CDF.
+    if let Some(entries) = series_map.and_then(|s| s.as_object()) {
+        for (name, entry) in entries {
+            if let Some(samples) = entry.get("samples").and_then(|s| s.as_array()) {
+                let times: Vec<f64> = samples
+                    .iter()
+                    .filter_map(|s| s.as_array().and_then(|a| a.first()).and_then(f64_at))
+                    .collect();
+                if times.len() != samples.len() {
+                    failures.push(format!("series {name}: malformed samples"));
+                } else if times.windows(2).any(|w| w[1] < w[0]) {
+                    failures.push(format!("series {name}: sample times not monotone"));
+                }
+            } else {
+                failures.push(format!("series {name}: missing samples"));
+            }
+            if let Some(cdf) = entry.get("cdf") {
+                check_cdf(&format!("series {name}"), cdf, failures);
+            }
+        }
+    }
+
+    // Per-track: quantile ordering and CDF monotonicity.
+    if let Some(entries) = timeline.get("quantiles").and_then(|q| q.as_object()) {
+        for (name, entry) in entries {
+            let qs: Vec<Option<f64>> = ["p50", "p90", "p99", "p999"]
+                .iter()
+                .map(|k| entry.get(k).and_then(f64_at))
+                .collect();
+            let present: Vec<f64> = qs.iter().filter_map(|q| *q).collect();
+            if present.windows(2).any(|w| w[1] < w[0]) {
+                failures.push(format!(
+                    "quantiles {name}: ordering violated (p50 <= p90 <= p99 <= p999)"
+                ));
+            }
+            if let Some(cdf) = entry.get("cdf") {
+                check_cdf(&format!("quantiles {name}"), cdf, failures);
+            }
+        }
     }
 }

@@ -19,6 +19,7 @@
 pub mod experiments;
 pub mod gantt;
 pub mod output;
+pub mod report;
 pub mod table;
 
 pub use gantt::render_gantt;

@@ -23,14 +23,24 @@ use mpshare_types::{Error, Fraction, Power, Result, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// Observability hook for one engine run: hot-path counters from
-/// [`EngineStats`], fault/goodput accounting, and a Daemon-track span
+/// [`EngineStats`], fault/goodput accounting, timeline series (device and
+/// per-client state over simulated time, per-mechanism occupancy and
+/// turnaround — see `mpshare_obs::timeline`), and a Daemon-track span
 /// covering the simulated makespan. A no-op unless recording is enabled.
+///
+/// `shares[i]` is client `i`'s SM-partition fraction under the mechanism
+/// (empty slice ⇒ unpartitioned, i.e. 1.0 for everyone). Emission happens
+/// here, post-run, derived exactly from the immutable [`RunResult`]'s
+/// piecewise-constant telemetry segments and client outcomes: the engine
+/// itself stays observability-free, so the zero-alloc steady state and
+/// bit-identity of results are untouched by recording.
 fn record_engine_run(
     mode: &'static str,
     clients: usize,
     faults_planned: u64,
     result: &RunResult,
     stats: EngineStats,
+    shares: &[f64],
 ) {
     if !mpshare_obs::enabled() {
         return;
@@ -67,6 +77,47 @@ fn record_engine_run(
     mpshare_obs::counter_add(names::TASKS_COMPLETED, result.tasks_completed as u64);
     mpshare_obs::counter_add(names::TASKS_FAILED, result.tasks_failed as u64);
     mpshare_obs::gauge_add(names::WASTED_ENERGY_JOULES, result.wasted_energy.joules());
+
+    // Timeline series: every piecewise-constant telemetry segment becomes
+    // one span sample, so the store's integrals and utilization CDFs are
+    // exact (no sampling). Device-level state feeds the global series and
+    // the per-mechanism occupancy track.
+    use mpshare_obs::series;
+    let tl = mpshare_obs::timelines();
+    let occupancy = series::occupancy(mode);
+    for s in result.telemetry.segments() {
+        let (t, dur) = (s.start.value(), s.duration().value());
+        tl.series_push_span(series::DEVICE_SM_UTIL, t, dur, s.sm_util);
+        tl.series_push_span(series::DEVICE_BW_UTIL, t, dur, s.bw_util);
+        tl.series_push_span(series::DEVICE_POWER_W, t, dur, s.power.watts());
+        tl.series_push_span(&occupancy, t, dur, s.sm_util);
+    }
+    // Per-client state over the client's [started, finished] residency:
+    // residency itself, the mechanism-granted SM share, and the mean
+    // dynamic power over the residency (dyn_energy ÷ residency — exact as
+    // an integral, since energy was integrated exactly engine-side).
+    // Turnarounds feed the exact quantile tracks; failed clients are
+    // excluded (their "finish" is the abort, not a completion).
+    let mech_turnaround = series::mechanism_turnaround(mode);
+    for (i, c) in result.clients.iter().enumerate() {
+        let share = shares.get(i).copied().unwrap_or(1.0);
+        let start = c.started.value();
+        let dur = (c.finished.value() - start).max(0.0);
+        tl.series_push_span(&series::client(&c.label, "resident"), start, dur, 1.0);
+        tl.series_push_span(&series::client(&c.label, "sm_share"), start, dur, share);
+        if dur > 0.0 {
+            tl.series_push_span(
+                &series::client(&c.label, "dyn_power_w"),
+                start,
+                dur,
+                c.dyn_energy.joules() / dur,
+            );
+        }
+        if !c.failed {
+            tl.quantile_observe(series::CLIENT_TURNAROUND, c.finished.value());
+            tl.quantile_observe(&mech_turnaround, c.finished.value());
+        }
+    }
     let (completed, failed_tasks) = (result.tasks_completed, result.tasks_failed);
     let (events, solves) = (stats.events, stats.rate_solves);
     let (incremental, full) = (stats.incremental_solves, stats.full_solves);
@@ -328,6 +379,12 @@ impl GpuRunner {
     ) -> Result<RunResult> {
         let clients = programs.len();
         let faults_planned = faults.len() as u64;
+        // Per-client SM shares for the timeline, captured before `mode`
+        // moves into the config; built only when recording is on.
+        let shares: Option<Vec<f64>> = mpshare_obs::enabled().then(|| match &mode {
+            SharingMode::Mps { partitions } => partitions.iter().map(|p| p.value()).collect(),
+            _ => Vec::new(),
+        });
         let config = EngineConfig::new(self.device.clone(), mode)
             .with_sharing_overhead(self.sharing_overhead)
             .with_event_log(self.record_events)
@@ -335,7 +392,14 @@ impl GpuRunner {
             .with_legacy_loop(self.legacy_loop)
             .with_fault_plan(faults);
         let (result, stats) = Engine::new(config, programs)?.run_with_stats()?;
-        record_engine_run(mode_label, clients, faults_planned, &result, stats);
+        record_engine_run(
+            mode_label,
+            clients,
+            faults_planned,
+            &result,
+            stats,
+            shares.as_deref().unwrap_or(&[]),
+        );
         Ok(result)
     }
 
@@ -396,6 +460,8 @@ impl GpuRunner {
                 instance_faults.len() as u64,
                 &result,
                 stats,
+                // Instance members run under full MPS partitions.
+                &[],
             );
             sub_results.push((inst, result, orig_indices));
         }

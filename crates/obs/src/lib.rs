@@ -47,11 +47,16 @@ pub mod attrib;
 pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod timeline;
 
 pub use attrib::{attribute, AttributionReport, ClientAttribution};
 pub use metrics::{names, Histogram, MetricsRegistry, DEPTH_BUCKETS, SIM_SECONDS_BUCKETS};
 pub use perfetto::{chrome_trace, control_events, engine_events, merged_chrome_trace, TraceEvent};
 pub use recorder::{global as recorder, ObsRecord, Recorder, Track};
+pub use timeline::{
+    series, Interp, QuantileTrack, Sample, TimeSeries, TimelineStore, WindowStat,
+    WindowedAggregator,
+};
 
 use serde_json::Value;
 
@@ -114,6 +119,37 @@ pub fn gauge_add(name: &str, value: f64) {
 pub fn observe(name: &str, bounds: &[f64], value: f64) {
     if enabled() {
         metrics().histogram_observe(name, bounds, value);
+    }
+}
+
+/// The global timeline store (simulated-time series + exact quantiles).
+pub fn timelines() -> &'static TimelineStore {
+    recorder().timelines()
+}
+
+/// Records an instantaneous timeline sample (no-op while disabled).
+#[inline]
+pub fn series_push(name: &str, t: f64, v: f64) {
+    if enabled() {
+        timelines().series_push(name, t, v);
+    }
+}
+
+/// Records a span timeline sample: `v` holding from `t` for `dur`
+/// simulated seconds (no-op while disabled).
+#[inline]
+pub fn series_push_span(name: &str, t: f64, dur: f64, v: f64) {
+    if enabled() {
+        timelines().series_push_span(name, t, dur, v);
+    }
+}
+
+/// Records an observation into a named exact-quantile track (no-op while
+/// disabled).
+#[inline]
+pub fn quantile_observe(name: &str, v: f64) {
+    if enabled() {
+        timelines().quantile_observe(name, v);
     }
 }
 

@@ -84,6 +84,8 @@ pub struct Histogram {
     counts: Vec<u64>,
     sum: f64,
     count: u64,
+    /// Non-finite observations rejected by [`Histogram::observe`].
+    dropped: u64,
 }
 
 impl Histogram {
@@ -97,10 +99,24 @@ impl Histogram {
             counts: vec![0; bounds.len() + 1],
             sum: 0.0,
             count: 0,
+            dropped: 0,
         }
     }
 
+    /// The bucket bounds this histogram was created with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Observes one value. Non-finite values are rejected and counted in
+    /// [`Histogram::dropped`]: a NaN would otherwise land in the `+Inf`
+    /// bucket (every `v <= b` comparison is false) and poison `sum`
+    /// forever, and ±Inf would poison `sum` the same way.
     pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.dropped += 1;
+            return;
+        }
         let idx = self
             .bounds
             .iter()
@@ -117,6 +133,11 @@ impl Histogram {
 
     pub fn sum(&self) -> f64 {
         self.sum
+    }
+
+    /// Non-finite observations rejected (never counted in `count`/`sum`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Cumulative counts per bound, Prometheus `le` semantics (the
@@ -242,20 +263,37 @@ impl MetricsRegistry {
         inner.gauges.get(name).copied().unwrap_or(0.0)
     }
 
-    /// Observes into a histogram, creating it with `bounds` on first use
-    /// (fixed layouts: later observes never change the buckets).
+    /// Observes into a histogram, creating it with `bounds` on first use.
+    ///
+    /// Layouts are fixed at creation — **first wins**: a later call with
+    /// different `bounds` for the same name observes into the original
+    /// layout (the passed bounds are ignored). Disagreeing layouts are a
+    /// call-site bug — two sites sharing a name must share a `names`-style
+    /// bounds constant — so debug builds assert the layouts agree.
     pub fn histogram_observe(&self, name: &str, bounds: &[f64], v: f64) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
-        inner
+        let h = inner
             .histograms
             .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(bounds))
-            .observe(v);
+            .or_insert_with(|| Histogram::new(bounds));
+        debug_assert_eq!(
+            h.bounds(),
+            bounds,
+            "histogram {name:?} observed with a different bucket layout \
+             than it was created with (first layout wins)"
+        );
+        h.observe(v);
     }
 
     pub fn histogram_count(&self, name: &str) -> u64 {
         let inner = self.inner.lock().expect("metrics poisoned");
         inner.histograms.get(name).map(|h| h.count()).unwrap_or(0)
+    }
+
+    /// Non-finite observations rejected by the named histogram.
+    pub fn histogram_dropped(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        inner.histograms.get(name).map(|h| h.dropped()).unwrap_or(0)
     }
 
     pub fn reset(&self) {
@@ -285,6 +323,7 @@ impl MetricsRegistry {
             }
             out.push_str(&format!("{name}_sum {}\n", h.sum()));
             out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_dropped {}\n", h.dropped()));
         }
         out
     }
@@ -333,6 +372,7 @@ impl MetricsRegistry {
                             ("buckets".to_string(), buckets),
                             ("sum".to_string(), Value::F64(h.sum())),
                             ("count".to_string(), Value::U64(h.count())),
+                            ("dropped".to_string(), Value::U64(h.dropped())),
                         ]),
                     )
                 })
@@ -388,6 +428,61 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite_observations() {
+        // Regression: a NaN used to land in the +Inf bucket and poison
+        // `sum` forever (NaN `<=` anything is false); ±Inf poisoned `sum`
+        // the same way.
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.dropped(), 3);
+        assert_eq!(
+            h.cumulative().last().unwrap().1,
+            0,
+            "+Inf bucket stays empty"
+        );
+        h.observe(5.0);
+        assert_eq!(h.count(), 1);
+        assert!(h.sum().is_finite());
+        assert_eq!(h.dropped(), 3);
+    }
+
+    #[test]
+    fn registry_counts_histogram_drops() {
+        let m = MetricsRegistry::new();
+        m.histogram_observe("h", &[1.0], f64::NAN);
+        m.histogram_observe("h", &[1.0], 0.5);
+        assert_eq!(m.histogram_count("h"), 1);
+        assert_eq!(m.histogram_dropped("h"), 1);
+        let text = m.to_prometheus();
+        assert!(text.contains("h_dropped 1"));
+        let json = serde_json::to_string(&m.to_json()).unwrap();
+        assert!(json.contains("\"dropped\":1"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different bucket layout")]
+    fn histogram_bounds_mismatch_asserts_in_debug() {
+        let m = MetricsRegistry::new();
+        m.histogram_observe("h", &[1.0, 2.0], 0.5);
+        m.histogram_observe("h", &[5.0], 0.5);
+    }
+
+    #[test]
+    fn histogram_first_bounds_win() {
+        // Release-mode semantics of a layout mismatch: the creating
+        // call's bounds stay authoritative.
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.5);
+        assert_eq!(h.bounds(), &[1.0, 2.0]);
+        assert_eq!(h.cumulative()[1], (2.0, 1));
     }
 
     #[test]

@@ -17,9 +17,14 @@
 //! instant marker, and `ServerCrash` a global-scoped one.
 
 use crate::recorder::{ObsRecord, Track};
+use crate::timeline::TimelineStore;
 use mpshare_gpusim::{EventKind, RunResult};
 use serde::Serialize;
 use serde_json::Value;
+
+/// The pid of the timeline-store counter tracks in the merged export
+/// (pids 0–2 are the engine timeline, 3–6 the control-plane tracks).
+pub const TIMELINE_PID: u64 = 7;
 
 /// One Chrome-tracing event (the subset of fields we emit). Field names
 /// match the Chrome tracing JSON schema exactly (`cname` is the Chrome
@@ -247,6 +252,39 @@ pub fn control_events(records: &[ObsRecord]) -> Vec<TraceEvent> {
     events
 }
 
+/// Timeline-store series as Perfetto counter tracks (ph `"C"`) on
+/// [`TIMELINE_PID`]: one counter track per series, one sample per span
+/// start, values in the series' native unit. Deterministic — series
+/// iterate in name order, samples in canonical `(t, dur, v)` order.
+pub fn timeline_events(store: &TimelineStore) -> Vec<TraceEvent> {
+    let snapshot = store.series_snapshot();
+    if snapshot.is_empty() {
+        return Vec::new();
+    }
+    let mut events = vec![TraceEvent::meta(
+        "process_name",
+        TIMELINE_PID,
+        0,
+        "timeline",
+    )];
+    for (tid, (name, samples)) in snapshot.iter().enumerate() {
+        for s in samples {
+            events.push(TraceEvent {
+                name: name.clone(),
+                ph: "C",
+                ts: s.t * SECONDS_TO_US,
+                dur: None,
+                pid: TIMELINE_PID,
+                tid: tid as u64,
+                args: Some(serde_json::json!({ "value": s.v })),
+                cname: None,
+                s: None,
+            });
+        }
+    }
+    events
+}
+
 fn render(events: &[TraceEvent]) -> String {
     let events = serde_json::to_value(&events.to_vec());
     serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
@@ -271,6 +309,26 @@ pub fn merged_chrome_trace(result: Option<&RunResult>, records: &[ObsRecord]) ->
         events.extend(engine_events(result));
     }
     events.extend(control_events(records));
+    render(&events)
+}
+
+/// [`merged_chrome_trace`] plus the timeline store's counter tracks on
+/// [`TIMELINE_PID`] — the full picture in one artifact: engine timeline,
+/// control-plane decisions, and the aggregated simulated-time series.
+pub fn merged_chrome_trace_with_timelines(
+    result: Option<&RunResult>,
+    records: &[ObsRecord],
+    timelines: &TimelineStore,
+) -> String {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    if let Some(result) = result {
+        events.push(TraceEvent::meta("process_name", 0, 0, "device"));
+        events.push(TraceEvent::meta("process_name", 1, 0, "clients"));
+        events.push(TraceEvent::meta("process_name", 2, 0, "kernels"));
+        events.extend(engine_events(result));
+    }
+    events.extend(control_events(records));
+    events.extend(timeline_events(timelines));
     render(&events)
 }
 
@@ -332,6 +390,31 @@ mod tests {
             .find(|e| e.pid == Track::Planner.pid() && e.ph == "i")
             .unwrap();
         assert_eq!(planner.ts, 0.0, "seq 0 lands at the origin");
+    }
+
+    #[test]
+    fn timeline_counter_tracks_render_on_their_own_pid() {
+        let store = TimelineStore::new();
+        store.series_push_span("device.sm_util", 0.0, 2.0, 0.5);
+        store.series_push_span("device.sm_util", 2.0, 1.0, 1.0);
+        store.quantile_observe("lat", 3.0); // quantiles are JSON-only
+        let events = timeline_events(&store);
+        assert_eq!(events[0].ph, "M");
+        assert_eq!(events[0].pid, TIMELINE_PID);
+        let counters: Vec<&TraceEvent> = events.iter().filter(|e| e.ph == "C").collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].ts, 0.0);
+        assert_eq!(counters[1].ts, 2.0 * SECONDS_TO_US);
+        let trace = merged_chrome_trace_with_timelines(None, &sample_records(), &store);
+        let parsed: Value = serde_json::from_str(&trace).unwrap();
+        assert!(parsed.get("traceEvents").is_some());
+        assert!(trace.contains("device.sm_util"));
+        // An empty store adds nothing over the plain merged export.
+        let empty = TimelineStore::new();
+        assert_eq!(
+            merged_chrome_trace_with_timelines(None, &sample_records(), &empty),
+            merged_chrome_trace(None, &sample_records())
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   restores the global order by sequence number.
 
 use crate::metrics::MetricsRegistry;
+use crate::timeline::TimelineStore;
 use serde_json::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -99,6 +100,7 @@ pub struct Recorder {
     shards: [Mutex<Vec<ObsRecord>>; SHARDS],
     dropped: AtomicU64,
     metrics: MetricsRegistry,
+    timelines: TimelineStore,
 }
 
 impl Default for Recorder {
@@ -115,6 +117,7 @@ impl Recorder {
             shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
             dropped: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
+            timelines: TimelineStore::new(),
         }
     }
 
@@ -137,6 +140,12 @@ impl Recorder {
     /// The metrics registry that shares this recorder's lifecycle.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The timeline store (simulated-time series and exact quantile
+    /// tracks) that shares this recorder's lifecycle.
+    pub fn timelines(&self) -> &TimelineStore {
+        &self.timelines
     }
 
     /// Emits one record (no-op while disabled). The payload closure only
@@ -227,6 +236,7 @@ impl Recorder {
         self.seq.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
         self.metrics.reset();
+        self.timelines.reset();
         if self.is_enabled() {
             self.metrics.register_defaults();
         }

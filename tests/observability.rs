@@ -58,23 +58,26 @@ fn recording_is_invisible_to_results_and_covers_all_tracks() {
 
     // 2. Exercise the online scheduler so the Scheduler track and
     //    goodput gauge fill in too.
-    let d = device();
-    let arrivals: Vec<ArrivingWorkflow> = queue()
-        .into_iter()
-        .map(|spec| ArrivingWorkflow {
-            spec,
-            arrival: Seconds::ZERO,
-        })
-        .collect();
-    let mut store = ProfileStore::new();
-    let specs: Vec<WorkflowSpec> = arrivals.iter().map(|a| a.spec.clone()).collect();
-    store.profile_workflows(&d, &specs).unwrap();
-    let scheduler = OnlineScheduler::new(
-        ExecutorConfig::new(d.clone()),
-        Planner::new(d, MetricPriority::balanced_product()),
-        PlannerStrategy::Auto,
-    );
-    let outcome = scheduler.run(&arrivals, &store).unwrap();
+    let run_online = || {
+        let d = device();
+        let arrivals: Vec<ArrivingWorkflow> = queue()
+            .into_iter()
+            .map(|spec| ArrivingWorkflow {
+                spec,
+                arrival: Seconds::ZERO,
+            })
+            .collect();
+        let mut store = ProfileStore::new();
+        let specs: Vec<WorkflowSpec> = arrivals.iter().map(|a| a.spec.clone()).collect();
+        store.profile_workflows(&d, &specs).unwrap();
+        let scheduler = OnlineScheduler::new(
+            ExecutorConfig::new(d.clone()),
+            Planner::new(d, MetricPriority::balanced_product()),
+            PlannerStrategy::Auto,
+        );
+        scheduler.run(&arrivals, &store).unwrap()
+    };
+    let outcome = run_online();
     assert!(outcome.goodput > 0.0);
 
     // 3. Every control-plane track recorded something.
@@ -132,6 +135,55 @@ fn recording_is_invisible_to_results_and_covers_all_tracks() {
     assert!(prom.contains(obs::names::FAULTS_INJECTED));
     assert!(prom.contains(obs::names::CLIENTS_FAILED));
     assert!(prom.contains(obs::names::GROUP_MAKESPAN_SECONDS));
+
+    // 5. Timelines: the export is a pure function of the observation
+    //    multiset, so the same pipeline run serially and with the
+    //    worker pool serializes to byte-identical JSON.
+    let timeline_json = |serial: bool| {
+        mpshare::par::set_serial(serial);
+        obs::set_enabled(true);
+        obs::recorder().reset();
+        let _ = evaluate();
+        let _ = run_online();
+        let json = serde_json::to_string(&obs::timelines().to_json()).unwrap();
+        obs::set_enabled(false);
+        mpshare::par::set_serial(false);
+        json
+    };
+    let parallel = timeline_json(false);
+    let serial = timeline_json(true);
+    assert_eq!(
+        serial, parallel,
+        "timeline export depends on the worker schedule"
+    );
+
+    // The tracks the report and validate-obs consume are present, with
+    // exact quantiles in percentile order.
+    let parsed: serde_json::Value = serde_json::from_str(&serial).unwrap();
+    let series = parsed.get("series").unwrap();
+    for name in [
+        obs::series::DEVICE_SM_UTIL,
+        obs::series::DEVICE_BW_UTIL,
+        obs::series::DEVICE_POWER_W,
+        obs::series::SCHED_QUEUE_DEPTH,
+    ] {
+        assert!(series.get(name).is_some(), "missing timeline series {name}");
+    }
+    let quantiles = parsed.get("quantiles").unwrap();
+    for name in [
+        obs::series::SCHED_QUEUE_WAIT,
+        obs::series::SCHED_TURNAROUND,
+        obs::series::CLIENT_TURNAROUND,
+    ] {
+        let q = quantiles
+            .get(name)
+            .unwrap_or_else(|| panic!("missing quantile track {name}"));
+        let p = |key: &str| q.get(key).and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            p("p50") <= p("p90") && p("p90") <= p("p99") && p("p99") <= p("p999"),
+            "quantile ordering violated for {name}"
+        );
+    }
 }
 
 #[test]

@@ -506,13 +506,36 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 encoded character.
-                    let rest = &self.bytes[self.pos..];
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: copy the unescaped run in one shot
+                    // instead of validating the remaining input per byte.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(run);
+                }
+                Some(b) => {
+                    // Multi-byte character: the leading byte encodes its
+                    // length, so validate only that bounded slice.
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let rest = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    out.push_str(s);
+                    self.pos += len;
                 }
                 None => return Err(self.err("unterminated string")),
             }
